@@ -1,0 +1,41 @@
+// Command edb-calibrate reruns the paper's Appendix A.5 timing protocol
+// against this library's WMS data structure on the host CPU, and prints
+// both the paper's SPARCstation 2 profile and a host-derived profile for
+// comparison.
+//
+// Usage:
+//
+//	edb-calibrate
+//	edb-calibrate -speedup 100   # assume kernel services 100x faster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edb/internal/calib"
+	"edb/internal/model"
+	"edb/internal/report"
+)
+
+func main() {
+	speedup := flag.Float64("speedup", 1, "scale factor applied to the paper's OS/hardware service costs")
+	flag.Parse()
+
+	fmt.Println("Measuring SoftwareLookup and SoftwareUpdate (Appendix A.5 protocol,")
+	fmt.Println("100-monitor WorkingMonitorSet over a 2 MiB region)...")
+	h := calib.Measure()
+	fmt.Printf("\nHost-measured software timing variables:\n")
+	fmt.Printf("  SoftwareLookup_t  %8.1f ns  (%d iterations)\n", h.SoftwareLookupNs, h.LookupIters)
+	fmt.Printf("  SoftwareUpdate_t  %8.1f ns  (%d operations)\n", h.SoftwareUpdateNs, h.UpdateIters)
+	fmt.Printf("\nPaper (SPARCstation 2, SunOS 4.1.1):\n")
+	fmt.Printf("  SoftwareLookup_t  %8.1f ns\n", model.Paper.SoftwareLookup*1000)
+	fmt.Printf("  SoftwareUpdate_t  %8.1f ns\n", model.Paper.SoftwareUpdate*1000)
+	fmt.Println()
+
+	report.Table2(os.Stdout, model.Paper)
+	fmt.Println()
+	fmt.Printf("Host profile (software measured natively, services scaled %gx):\n\n", *speedup)
+	report.Table2(os.Stdout, calib.HostProfile(h, *speedup))
+}

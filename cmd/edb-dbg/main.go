@@ -1,0 +1,93 @@
+// Command edb-dbg is a batch data-breakpoint debugger: it compiles a
+// mini-C program, sets data breakpoints on the named variables under the
+// chosen WMS strategy, runs the program, and reports every monitored
+// write attributed to the function that performed it.
+//
+// Usage:
+//
+//	edb-dbg -watch counter,table prog.mc
+//	edb-dbg -i prog.mc                # interactive: watch/continue/print
+//	edb-dbg -strategy vm -watch eqtb -benchmark ctex
+//	edb-dbg -strategy hardware -watch a,b,c,d,e prog.mc   # fails: 4 registers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edb"
+	"edb/internal/progs"
+)
+
+func main() {
+	strategy := flag.String("strategy", "code", "WMS strategy: hardware, vm, trap, or code")
+	watch := flag.String("watch", "", "comma-separated data symbols to watch (globals or func$static)")
+	benchmark := flag.String("benchmark", "", "debug a built-in benchmark instead of a source file")
+	scale := flag.Int("scale", 1, "benchmark scale")
+	fuel := flag.Uint64("fuel", 2_000_000_000, "instruction budget")
+	maxLog := flag.Int("maxlog", 20, "hits to display")
+	interactive := flag.Bool("i", false, "interactive mode (watch/continue/print REPL)")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *benchmark != "":
+		p, err := progs.ByName(*benchmark, *scale)
+		if err != nil {
+			fail(err)
+		}
+		src = p.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	default:
+		fail(fmt.Errorf("usage: edb-dbg -watch <syms> <file.mc> | -benchmark <name>"))
+	}
+	if *watch == "" && !*interactive {
+		fail(fmt.Errorf("-watch is required (or use -i)"))
+	}
+
+	s, err := edb.Launch(src, edb.Strategy(*strategy), 0)
+	if err != nil {
+		fail(err)
+	}
+	for _, sym := range strings.Split(*watch, ",") {
+		if sym = strings.TrimSpace(sym); sym == "" {
+			continue
+		}
+		if _, err := s.BreakOnData(sym); err != nil {
+			fail(err)
+		}
+	}
+	if *interactive {
+		repl(s, os.Stdin, os.Stdout)
+		return
+	}
+	if err := s.Run(*fuel); err != nil {
+		fail(err)
+	}
+
+	fmt.Print(s.Report())
+	hits := s.Hits()
+	show := len(hits)
+	if show > *maxLog {
+		show = *maxLog
+	}
+	for _, h := range hits[:show] {
+		fmt.Printf("hit %-16s %v written at pc=%#x in %s\n", h.Breakpoint,
+			edb.Range{BA: h.BA, EA: h.EA}, uint32(h.PC), h.Func)
+	}
+	if len(hits) > show {
+		fmt.Printf("... and %d more\n", len(hits)-show)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "edb-dbg:", err)
+	os.Exit(1)
+}

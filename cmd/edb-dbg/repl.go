@@ -1,0 +1,13 @@
+package main
+
+import (
+	"io"
+
+	"edb"
+	"edb/internal/debug"
+)
+
+// repl hands the session to the interactive debugger loop.
+func repl(s *edb.Session, in io.Reader, out io.Writer) {
+	debug.REPL(s, in, out)
+}

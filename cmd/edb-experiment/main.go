@@ -1,0 +1,108 @@
+// Command edb-experiment reproduces the paper's evaluation: it runs the
+// two-phase simulation experiment over the five benchmark workloads and
+// prints Tables 1-4 and Figures 7-9 (or a chosen subset).
+//
+// Usage:
+//
+//	edb-experiment                         # everything
+//	edb-experiment -table 4                # one table
+//	edb-experiment -figure 9               # one figure
+//	edb-experiment -programs gcc,bps       # subset of workloads
+//	edb-experiment -csv results.csv        # machine-readable Table 4
+//	edb-experiment -sessions sessions.csv  # per-session overheads
+//	edb-experiment -scale 2                # longer runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edb/internal/exp"
+	"edb/internal/model"
+	"edb/internal/report"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload run-length multiplier")
+	programs := flag.String("programs", "", "comma-separated benchmark subset (default: all five)")
+	table := flag.Int("table", 0, "print only table N (1-4)")
+	figure := flag.Int("figure", 0, "print only figure N (7-9)")
+	breakdown := flag.Bool("breakdown", false, "print only the overhead breakdown")
+	expansion := flag.Bool("expansion", false, "print only the CodePatch space analysis")
+	csvPath := flag.String("csv", "", "also write Table 4 data as CSV to this file")
+	sessionsPath := flag.String("sessions", "", "also write per-session overheads as CSV to this file")
+	svgPrefix := flag.String("svg", "", "also write figures 7-9 as SVG files with this path prefix")
+	flag.Parse()
+
+	cfg := exp.Config{Scale: *scale}
+	if *programs != "" {
+		cfg.Programs = strings.Split(*programs, ",")
+	}
+	fmt.Fprintf(os.Stderr, "running experiment (scale %d)...\n", *scale)
+	results, err := exp.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edb-experiment:", err)
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	switch {
+	case *table == 1:
+		report.Table1(w, results)
+	case *table == 2:
+		report.Table2(w, model.Paper)
+	case *table == 3:
+		report.Table3(w, results)
+	case *table == 4:
+		report.Table4(w, results)
+	case *figure == 7:
+		report.Figure7(w, results)
+	case *figure == 8:
+		report.Figure8(w, results)
+	case *figure == 9:
+		report.Figure9(w, results)
+	case *breakdown:
+		report.Breakdown(w, results)
+	case *expansion:
+		report.Expansion(w, results)
+	default:
+		report.All(w, results, model.Paper)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edb-experiment:", err)
+			os.Exit(1)
+		}
+		report.CSV(f, results)
+		f.Close()
+	}
+	if *svgPrefix != "" {
+		renders := map[string]func(*os.File){
+			"fig7.svg": func(f *os.File) { report.Figure7SVG(f, results) },
+			"fig8.svg": func(f *os.File) { report.Figure8SVG(f, results) },
+			"fig9.svg": func(f *os.File) { report.Figure9SVG(f, results) },
+		}
+		for name, render := range renders {
+			f, err := os.Create(*svgPrefix + name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "edb-experiment:", err)
+				os.Exit(1)
+			}
+			render(f)
+			f.Close()
+		}
+	}
+	if *sessionsPath != "" {
+		f, err := os.Create(*sessionsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "edb-experiment:", err)
+			os.Exit(1)
+		}
+		report.SessionsCSV(f, results)
+		f.Close()
+	}
+}

@@ -1,0 +1,93 @@
+// Command edb-trace runs phase 1 of the experiment for one benchmark:
+// it compiles the workload, executes it under the tracer, and writes the
+// program event trace (InstallMonitorEvent / RemoveMonitorEvent /
+// WriteEvent) in the binary trace format, or as text with -text.
+//
+// Usage:
+//
+//	edb-trace -program gcc -o gcc.trace
+//	edb-trace -program bps -text | head
+//	edb-trace -source prog.mc -o prog.trace   # trace your own mini-C
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edb/internal/arch"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+	"edb/internal/progs"
+	"edb/internal/tracer"
+)
+
+func main() {
+	program := flag.String("program", "", "benchmark name (gcc, ctex, spice, qcd, bps)")
+	source := flag.String("source", "", "trace a mini-C source file instead of a benchmark")
+	scale := flag.Int("scale", 1, "workload run-length multiplier")
+	out := flag.String("o", "", "output file (default: stdout)")
+	text := flag.Bool("text", false, "write the human-readable text format")
+	fuel := flag.Uint64("fuel", 2_000_000_000, "instruction budget")
+	flag.Parse()
+
+	var src, name string
+	switch {
+	case *program != "":
+		p, err := progs.ByName(*program, *scale)
+		if err != nil {
+			fail(err)
+		}
+		src, name = p.Source, p.Name
+		if p.Fuel > 0 {
+			*fuel = p.Fuel
+		}
+	case *source != "":
+		data, err := os.ReadFile(*source)
+		if err != nil {
+			fail(err)
+		}
+		src, name = string(data), *source
+	default:
+		fail(fmt.Errorf("one of -program or -source is required"))
+	}
+
+	img, err := minic.CompileToImage(src)
+	if err != nil {
+		fail(err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		fail(err)
+	}
+	tr, err := tracer.New(m, name).Run(*fuel)
+	if err != nil {
+		fail(err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if *text {
+		err = tr.WriteText(w)
+	} else {
+		err = tr.Write(w)
+	}
+	if err != nil {
+		fail(err)
+	}
+	ins, rem, wr := tr.Counts()
+	fmt.Fprintf(os.Stderr, "%s: %d objects, %d installs, %d removes, %d writes, %.3f simulated seconds\n",
+		name, tr.Objects.Len(), ins, rem, wr, tr.BaseSeconds())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "edb-trace:", err)
+	os.Exit(1)
+}

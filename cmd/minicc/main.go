@@ -1,0 +1,77 @@
+// Command minicc is the standalone mini-C compiler driver: it compiles
+// a source file for the simulated machine and runs it, optionally
+// printing the disassembly or execution statistics.
+//
+// Usage:
+//
+//	minicc prog.mc              # compile and run
+//	minicc -S prog.mc           # disassemble instead of running
+//	minicc -stats prog.mc       # run and report cycles/instructions
+//	minicc -benchmark gcc -S    # operate on a built-in benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edb/internal/arch"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+	"edb/internal/progs"
+)
+
+func main() {
+	disasm := flag.Bool("S", false, "print disassembly instead of running")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	benchmark := flag.String("benchmark", "", "use a built-in benchmark instead of a source file")
+	scale := flag.Int("scale", 1, "benchmark scale")
+	fuel := flag.Uint64("fuel", 2_000_000_000, "instruction budget")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *benchmark != "":
+		p, err := progs.ByName(*benchmark, *scale)
+		if err != nil {
+			fail(err)
+		}
+		src = p.Source
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	default:
+		fail(fmt.Errorf("usage: minicc [-S] [-stats] <file.mc> | -benchmark <name>"))
+	}
+
+	img, err := minic.CompileToImage(src)
+	if err != nil {
+		fail(err)
+	}
+	if *disasm {
+		fmt.Print(img.Disassemble())
+		return
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		fail(err)
+	}
+	if err := m.Run(*fuel); err != nil {
+		fail(err)
+	}
+	fmt.Print(m.Out.String())
+	if *stats {
+		stores, total := img.CountStores()
+		fmt.Fprintf(os.Stderr, "exit=%d instructions=%d cycles=%d simulated=%.4fs text=%d words (%d stores)\n",
+			m.CPU.ExitCode, m.CPU.Instret, m.CPU.Cycles, m.BaseSeconds(), total, stores)
+	}
+	os.Exit(int(m.CPU.ExitCode))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(2)
+}

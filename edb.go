@@ -1,0 +1,166 @@
+// Package edb is a faithful reproduction, as a Go library, of the
+// system described in:
+//
+//	Robert Wahbe. Efficient Data Breakpoints.
+//	ASPLOS V, October 1992.
+//
+// It provides everything the paper describes, built on a simulated
+// 40 MHz SPARCstation-2-class machine with its own compiler toolchain:
+//
+//   - A write monitor service (WMS) with the paper's §2 interface —
+//     InstallMonitor / RemoveMonitor / MonitorNotification — in all four
+//     §3 implementation strategies: NativeHardware monitor registers,
+//     VirtualMemory page protection, TrapPatch, and CodePatch.
+//   - A source-level debugger (Session) that sets named data breakpoints
+//     on compiled mini-C programs over any strategy.
+//   - The paper's full two-phase simulation experiment: event-trace
+//     generation over five synthesised benchmark workloads, monitor
+//     session discovery, a one-pass counting simulator, the §7
+//     analytical models, and renderers for Tables 1–4 and Figures 7–9.
+//
+// Quick start — watch a global under the paper's preferred strategy:
+//
+//	session, _ := edb.Launch(src, edb.CodePatch, 0)
+//	session.BreakOnData("counter")
+//	session.Run(10_000_000)
+//	fmt.Print(session.Report())
+//
+// Reproduce the paper's evaluation:
+//
+//	results, _ := edb.RunExperiment(edb.ExperimentConfig{})
+//	edb.WriteReport(os.Stdout, results)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package edb
+
+import (
+	"io"
+
+	"edb/internal/arch"
+	"edb/internal/calib"
+	"edb/internal/debug"
+	"edb/internal/exp"
+	"edb/internal/model"
+	"edb/internal/progs"
+	"edb/internal/report"
+)
+
+// Addr is a virtual address in the simulated 32-bit machine.
+type Addr = arch.Addr
+
+// Range is a half-open address range [BA, EA) — the paper's write
+// monitor descriptor.
+type Range = arch.Range
+
+// Strategy selects a WMS implementation.
+type Strategy = debug.Strategy
+
+// The four strategies of §3/§7.
+const (
+	// NativeHardware uses simulated monitor registers (four of them, as
+	// on 1992 hardware); installs beyond the register budget fail.
+	NativeHardware = debug.NativeHardware
+	// VirtualMemory write-protects pages holding monitors and fields the
+	// resulting faults.
+	VirtualMemory = debug.VirtualMemory
+	// TrapPatch replaces every store with a trap at compile time.
+	TrapPatch = debug.TrapPatch
+	// CodePatch inserts an inline check call before every store at
+	// compile time — the paper's recommended strategy.
+	CodePatch = debug.CodePatch
+)
+
+// Strategies lists all four.
+var Strategies = debug.Strategies
+
+// Session is a live debugging session over a compiled mini-C program.
+type Session = debug.Session
+
+// Breakpoint is an installed data breakpoint.
+type Breakpoint = debug.Breakpoint
+
+// Hit is a recorded data-breakpoint notification.
+type Hit = debug.Hit
+
+// Page sizes for the VirtualMemory strategy.
+const (
+	PageSize4K = arch.PageSize4K
+	PageSize8K = arch.PageSize8K
+)
+
+// Launch compiles a mini-C program, applies the strategy's compile-time
+// instrumentation, and returns a ready debugging session. pageSize is
+// PageSize4K or PageSize8K (0 selects 4K) and matters only for
+// VirtualMemory.
+func Launch(src string, strat Strategy, pageSize int) (*Session, error) {
+	return debug.Launch(src, strat, pageSize)
+}
+
+// Timings is a timing profile for the analytical models (Table 2).
+type Timings = model.Timings
+
+// PaperTimings is the paper's published SPARCstation 2 profile.
+var PaperTimings = model.Paper
+
+// ExperimentConfig parameterises a full reproduction run.
+type ExperimentConfig = exp.Config
+
+// ProgramResult is one benchmark's aggregated experiment output.
+type ProgramResult = exp.ProgramResult
+
+// RunExperiment executes the paper's complete evaluation pipeline over
+// the five benchmark workloads (or the subset configured).
+func RunExperiment(cfg ExperimentConfig) ([]*ProgramResult, error) {
+	return exp.Run(cfg)
+}
+
+// WriteReport renders every table and figure of §8 to w.
+func WriteReport(w io.Writer, results []*ProgramResult) {
+	report.All(w, results, model.Paper)
+}
+
+// WriteReportWithTimings renders the report under an alternative timing
+// profile's Table 2.
+func WriteReportWithTimings(w io.Writer, results []*ProgramResult, t Timings) {
+	report.All(w, results, t)
+}
+
+// BenchmarkNames lists the five workload names in paper order
+// ("gcc", "ctex", "spice", "qcd", "bps").
+func BenchmarkNames() []string { return progs.Names() }
+
+// BenchmarkSource returns the generated mini-C source of a benchmark at
+// the given scale, for inspection or standalone compilation.
+func BenchmarkSource(name string, scale int) (string, error) {
+	p, err := progs.ByName(name, scale)
+	if err != nil {
+		return "", err
+	}
+	return p.Source, nil
+}
+
+// HostTimings holds host-measured software timing variables.
+type HostTimings = calib.HostTimings
+
+// MeasureHostTimings reruns the paper's Appendix A.5 protocol against
+// this library's WMS data structure on the host CPU.
+func MeasureHostTimings() HostTimings { return calib.Measure() }
+
+// HostProfile builds a timing profile from host measurements, scaling
+// the paper's OS/hardware service costs by serviceSpeedup.
+func HostProfile(h HostTimings, serviceSpeedup float64) Timings {
+	return calib.HostProfile(h, serviceSpeedup)
+}
+
+// BreakState describes why Session.RunUntilBreak returned.
+type BreakState = debug.BreakState
+
+// Break states: a data breakpoint fired (the machine is suspended right
+// after the monitored store), the program exited, or the instruction
+// budget ran out.
+const (
+	Broke     = debug.Broke
+	Exited    = debug.Exited
+	OutOfFuel = debug.OutOfFuel
+)

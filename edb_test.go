@@ -1,0 +1,86 @@
+package edb_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"edb"
+)
+
+const demo = `
+int total = 0;
+int add(int v) { total = total + v; return total; }
+int main() {
+	int i;
+	for (i = 1; i <= 4; i = i + 1) { add(i); }
+	print(total);
+	return 0;
+}
+`
+
+func TestFacadeSession(t *testing.T) {
+	s, err := edb.Launch(demo, edb.CodePatch, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BreakOnData("total"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Hits()) != 4 {
+		t.Errorf("hits = %d, want 4", len(s.Hits()))
+	}
+	if !strings.Contains(s.Output(), "10") {
+		t.Errorf("output = %q", s.Output())
+	}
+}
+
+func TestFacadeStrategiesList(t *testing.T) {
+	if len(edb.Strategies) != 4 {
+		t.Errorf("strategies = %v", edb.Strategies)
+	}
+}
+
+func TestFacadeExperimentSubset(t *testing.T) {
+	results, err := edb.RunExperiment(edb.ExperimentConfig{Programs: []string{"bps"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Program != "bps" {
+		t.Fatalf("results = %v", results)
+	}
+	var buf bytes.Buffer
+	edb.WriteReport(&buf, results)
+	for _, want := range []string{"Table 1", "Table 4", "Figure 9", "BPS"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestFacadeBenchmarkSource(t *testing.T) {
+	src, err := edb.BenchmarkSource("qcd", 1)
+	if err != nil || !strings.Contains(src, "int main()") {
+		t.Errorf("BenchmarkSource: %v", err)
+	}
+	if _, err := edb.BenchmarkSource("nope", 1); err == nil {
+		t.Error("unknown benchmark should fail")
+	}
+	if len(edb.BenchmarkNames()) != 5 {
+		t.Error("benchmark names")
+	}
+}
+
+func TestFacadeHostProfile(t *testing.T) {
+	h := edb.HostTimings{SoftwareLookupNs: 100, SoftwareUpdateNs: 1000}
+	p := edb.HostProfile(h, 1)
+	if p.SoftwareLookup != 0.1 {
+		t.Errorf("profile = %+v", p)
+	}
+	if edb.PaperTimings.VMFaultHandler != 561 {
+		t.Error("paper profile wrong")
+	}
+}

@@ -1,0 +1,101 @@
+// Heap corruption hunt: the paper's §1 motivating example — "identify
+// pointer uses that are inadvertently modifying an otherwise unrelated
+// data structure".
+//
+// The debuggee builds two heap structures: an order book and a customer
+// table. A buggy routine walks the order book with an off-by-one bound
+// and silently tramples the customer table that the allocator placed
+// right after it. The symptom (corrupt customer record) appears far
+// from the cause. A data breakpoint on the customer table's storage
+// catches the culprit in the act, with the exact program counter and
+// function.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edb"
+)
+
+const program = `
+int orders = 0;     // heap array: 16 order amounts
+int customers = 0;  // heap array: 8 customer balances
+
+int setup() {
+	int i;
+	orders = alloc(64);      // 16 words
+	customers = alloc(32);   // 8 words, placed right after by first-fit
+	for (i = 0; i < 16; i = i + 1) { orders[i] = 10 + i; }
+	for (i = 0; i < 8; i = i + 1) { customers[i] = 1000 * (i + 1); }
+	return 0;
+}
+
+// The bug: applies a discount to orders[0..17] instead of [0..15],
+// walking off the end into the customers block.
+int apply_discount(int pct) {
+	int i;
+	for (i = 0; i <= 17; i = i + 1) {
+		orders[i] = orders[i] - (orders[i] * pct) / 100;
+	}
+	return 0;
+}
+
+int total_customers() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 8; i = i + 1) { s = s + customers[i]; }
+	return s;
+}
+
+int main() {
+	setup();
+	print(total_customers());   // 36000: intact
+	apply_discount(10);
+	print(total_customers());   // corrupted!
+	return 0;
+}
+`
+
+func main() {
+	// VirtualMemory works well here: the monitored heap pages are
+	// written rarely, so the fault cost is paid only on real events.
+	session, err := edb.Launch(program, edb.VirtualMemory, edb.PageSize4K)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The customer table is a heap object; its address is only known at
+	// run time. Run setup first, then plant the breakpoint.
+	// (A debugger would stop at a control breakpoint; here we simply ask
+	// the allocator's layout: first-fit places the 32-byte block right
+	// after the 64-byte one.)
+	heapBase := edb.Addr(0x0100_0000)
+	customerBlock := heapBase + 64
+	if _, err := session.BreakOnRange("customers[0..7]", customerBlock, customerBlock+32); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := session.Run(1_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("program output (36000 then corrupted):")
+	fmt.Println(session.Output())
+
+	legit := 0
+	for _, h := range session.Hits() {
+		if h.Func == "setup" {
+			legit++ // initialisation writes are expected
+		}
+	}
+	fmt.Printf("%d writes hit the customer table; %d were legitimate setup writes.\n\n",
+		len(session.Hits()), legit)
+	for _, h := range session.Hits() {
+		if h.Func == "setup" {
+			continue
+		}
+		fmt.Printf("CORRUPTION: %s() wrote %v at pc=%#x — outside its own structure!\n",
+			h.Func, edb.Range{BA: h.BA, EA: h.EA}, uint32(h.PC))
+	}
+}

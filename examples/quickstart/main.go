@@ -1,0 +1,64 @@
+// Quickstart: set a data breakpoint on a global variable and see every
+// write to it, attributed to the writing function — the paper's basic
+// "suspend execution whenever a certain object is modified" scenario,
+// using the CodePatch strategy it recommends.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edb"
+)
+
+const program = `
+int balance = 100;
+
+int deposit(int amount) {
+	balance = balance + amount;
+	return balance;
+}
+int withdraw(int amount) {
+	balance = balance - amount;
+	return balance;
+}
+int audit() {
+	// Reads don't trigger data breakpoints; only writes do.
+	return balance * 2;
+}
+int main() {
+	deposit(50);
+	withdraw(30);
+	audit();
+	deposit(5);
+	print(balance);
+	return 0;
+}
+`
+
+func main() {
+	// Launch compiles the program and applies CodePatch's compile-time
+	// instrumentation: two extra instructions before every store.
+	session, err := edb.Launch(program, edb.CodePatch, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A data breakpoint is a write monitor over the variable's storage.
+	if _, err := session.BreakOnData("balance"); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := session.Run(1_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("program output:", session.Output())
+	fmt.Printf("writes to balance: %d\n\n", len(session.Hits()))
+	for i, h := range session.Hits() {
+		fmt.Printf("  write %d: %v at pc=%#x in %s()\n", i+1,
+			edb.Range{BA: h.BA, EA: h.EA}, uint32(h.PC), h.Func)
+	}
+	fmt.Println()
+	fmt.Print(session.Report())
+}

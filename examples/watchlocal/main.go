@@ -1,0 +1,76 @@
+// Local watchpoints and conditional data breakpoints: the paper's
+// OneLocalAuto monitor sessions as a live debugger feature. The monitor
+// on a local variable is installed and removed on function boundaries
+// (as in §6 of the paper), so every instantiation — including recursive
+// ones — is watched at its own stack address. A condition narrows the
+// flood of hits down to the interesting transition.
+//
+// The debuggee is a tokenizer whose running `depth` counter goes
+// negative on malformed input — a classic "when did this counter first
+// go wrong?" hunt.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edb"
+)
+
+const program = `
+// token codes: 1 = '(' , 2 = ')' , 3 = atom
+int input[16] = {1, 3, 1, 3, 2, 2, 2, 2, 1, 3, 2, 3, 3, 1, 3, 2};
+int errors = 0;
+
+int scan(int n) {
+	int depth = 0;
+	int i;
+	for (i = 0; i < n; i = i + 1) {
+		if (input[i] == 1) { depth = depth + 1; }
+		if (input[i] == 2) { depth = depth - 1; }
+	}
+	if (depth != 0) { errors = errors + 1; }
+	return depth;
+}
+
+int main() {
+	print(scan(8));
+	print(scan(16));
+	print(errors);
+	return 0;
+}
+`
+
+func main() {
+	session, err := edb.Launch(program, edb.CodePatch, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Watch the *local* variable scan.depth: the monitor follows each
+	// activation of scan onto the stack.
+	bp, err := session.BreakOnLocal("scan", "depth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Only the moment it first goes negative is interesting.
+	bp.Condition = func(old, new int32) bool { return old >= 0 && new < 0 }
+
+	if err := session.Run(1_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("program output (final depths and error count):")
+	fmt.Println(session.Output())
+
+	if len(session.Hits()) == 0 {
+		fmt.Println("depth never went negative")
+		return
+	}
+	for _, h := range session.Hits() {
+		fmt.Printf("depth went NEGATIVE (%d) — store at pc=%#x in %s(), frame slot %v\n",
+			h.Value, uint32(h.PC), h.Func, edb.Range{BA: h.BA, EA: h.EA})
+	}
+	fmt.Printf("\n%d unbalanced ')' transitions caught out of every depth update.\n",
+		len(session.Hits()))
+}

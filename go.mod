@@ -1,0 +1,3 @@
+module edb
+
+go 1.22

@@ -1,0 +1,304 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/isa"
+)
+
+func TestAssembleSimple(t *testing.T) {
+	p := &Program{}
+	f := p.AddFunc("main")
+	f.Emit(Li(1, 42))
+	f.Emit(Sys(0))
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Entry != arch.TextBase {
+		t.Errorf("entry = %#x", img.Entry)
+	}
+	// Small Li is a single addi + sys = 2 words.
+	if len(img.Text) != 2 {
+		t.Errorf("text words = %d, want 2", len(img.Text))
+	}
+	in0 := isa.Decode(img.Text[0])
+	if in0.Op != isa.ADDI || in0.Imm != 42 {
+		t.Errorf("first inst = %v", in0)
+	}
+}
+
+func TestLiLarge(t *testing.T) {
+	p := &Program{}
+	f := p.AddFunc("main")
+	f.Emit(Li(5, 0x12345678))
+	f.Emit(Sys(0))
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lui := isa.Decode(img.Text[0])
+	ori := isa.Decode(img.Text[1])
+	if lui.Op != isa.LUI || uint16(lui.Imm) != 0x1234 {
+		t.Errorf("lui = %v", lui)
+	}
+	if ori.Op != isa.ORI || uint16(ori.Imm) != 0x5678 {
+		t.Errorf("ori = %v", ori)
+	}
+}
+
+func TestLiNegative(t *testing.T) {
+	p := &Program{}
+	f := p.AddFunc("main")
+	f.Emit(Li(5, -3))
+	f.Emit(Sys(0))
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := isa.Decode(img.Text[0])
+	if in.Op != isa.ADDI || in.Imm != -3 {
+		t.Errorf("li -3 = %v", in)
+	}
+}
+
+func TestGlobalsLayout(t *testing.T) {
+	p := &Program{
+		Globals: []Global{
+			{Name: "a", SizeWords: 1, Init: []arch.Word{7}},
+			{Name: "b", SizeWords: 10},
+			{Name: "c", SizeWords: 2, Init: []arch.Word{1, 2}},
+		},
+	}
+	f := p.AddFunc("main")
+	f.Emit(La(1, "b", 4))
+	f.Emit(Sys(0))
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := img.Data["a"]
+	rb := img.Data["b"]
+	rc := img.Data["c"]
+	if ra.BA != arch.GlobalBase || ra.Len() != 4 {
+		t.Errorf("a at %v", ra)
+	}
+	if rb.BA != ra.EA || rb.Len() != 40 {
+		t.Errorf("b at %v", rb)
+	}
+	if rc.BA != rb.EA {
+		t.Errorf("c at %v", rc)
+	}
+	if img.GlobalEnd != rc.EA {
+		t.Errorf("GlobalEnd = %#x", img.GlobalEnd)
+	}
+	if img.DataInit[ra.BA] != 7 || img.DataInit[rc.BA+4] != 2 {
+		t.Error("DataInit wrong")
+	}
+	// La resolves to b+4.
+	lui := isa.Decode(img.Text[0])
+	ori := isa.Decode(img.Text[1])
+	got := arch.Addr(uint32(uint16(lui.Imm))<<16 | uint32(uint16(ori.Imm)))
+	if got != rb.BA+4 {
+		t.Errorf("La resolved to %#x, want %#x", got, rb.BA+4)
+	}
+}
+
+func TestCallAndLabels(t *testing.T) {
+	p := &Program{}
+	mainF := p.AddFunc("main")
+	mainF.Emit(Call("helper"))
+	mainF.Emit(Sys(0))
+	h := p.AddFunc("helper")
+	h.Emit(I(isa.ADDI, 1, 0, 1))
+	h.Mark("loop")
+	h.Emit(I(isa.ADDI, 1, 1, 1))
+	h.Emit(Br(isa.BLT, 1, 2, "loop"))
+	h.Emit(Ret())
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	helperEntry := img.Funcs[img.FuncBySym["helper"]].Entry
+	jal := isa.Decode(img.Text[0])
+	if jal.Op != isa.JAL || arch.Addr(jal.Imm*4) != helperEntry {
+		t.Errorf("call resolved to %#x, want %#x", jal.Imm*4, helperEntry)
+	}
+	// The branch at helper+2 targets helper+1.
+	br := isa.Decode(img.Text[(helperEntry-arch.TextBase)/4+2])
+	if br.Op != isa.BLT || br.Imm != -2 {
+		t.Errorf("branch = %v (imm want -2)", br)
+	}
+}
+
+func TestJmp(t *testing.T) {
+	p := &Program{}
+	f := p.AddFunc("main")
+	f.Emit(Jmp("end"))
+	f.Emit(I(isa.ADDI, 1, 0, 99))
+	f.Mark("end")
+	f.Emit(Sys(0))
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := isa.Decode(img.Text[0])
+	if j.Op != isa.BEQ || j.RD != 0 || j.RS1 != 0 || j.Imm != 1 {
+		t.Errorf("jmp = %v", j)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Program
+	}{
+		{"no entry", func() *Program {
+			p := &Program{}
+			p.AddFunc("notmain").Emit(Ret())
+			return p
+		}},
+		{"dup func", func() *Program {
+			p := &Program{}
+			p.AddFunc("main").Emit(Ret())
+			p.AddFunc("main").Emit(Ret())
+			return p
+		}},
+		{"dup global", func() *Program {
+			p := &Program{Globals: []Global{{Name: "g", SizeWords: 1}, {Name: "g", SizeWords: 1}}}
+			p.AddFunc("main").Emit(Ret())
+			return p
+		}},
+		{"bad global size", func() *Program {
+			p := &Program{Globals: []Global{{Name: "g", SizeWords: 0}}}
+			p.AddFunc("main").Emit(Ret())
+			return p
+		}},
+		{"unknown symbol", func() *Program {
+			p := &Program{}
+			f := p.AddFunc("main")
+			f.Emit(La(1, "nope", 0))
+			return p
+		}},
+		{"unknown label", func() *Program {
+			p := &Program{}
+			f := p.AddFunc("main")
+			f.Emit(Jmp("nowhere"))
+			return p
+		}},
+		{"undefined call", func() *Program {
+			p := &Program{}
+			f := p.AddFunc("main")
+			f.Emit(Call("ghost"))
+			return p
+		}},
+	}
+	for _, c := range cases {
+		if _, err := Assemble(c.build()); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestFuncAt(t *testing.T) {
+	p := &Program{}
+	a := p.AddFunc("main")
+	a.Emit(Call("f2"))
+	a.Emit(Sys(0))
+	b := p.AddFunc("f2")
+	b.Emit(I(isa.ADDI, 1, 0, 1))
+	b.Emit(Ret())
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := img.FuncAt(arch.TextBase); f == nil || f.Name != "main" {
+		t.Errorf("FuncAt(TextBase) = %v", f)
+	}
+	f2 := img.Funcs[img.FuncBySym["f2"]]
+	if f := img.FuncAt(f2.Entry); f == nil || f.Name != "f2" {
+		t.Error("FuncAt(f2.Entry)")
+	}
+	if f := img.FuncAt(f2.End - 4); f == nil || f.Name != "f2" {
+		t.Error("FuncAt(last inst of f2)")
+	}
+	if f := img.FuncAt(f2.End); f != nil {
+		t.Error("FuncAt past end should be nil")
+	}
+	if f := img.FuncAt(arch.TextBase - 4); f != nil {
+		t.Error("FuncAt before text should be nil")
+	}
+}
+
+func TestImplicitStores(t *testing.T) {
+	p := &Program{}
+	f := p.AddFunc("main")
+	f.Emit(SwImplicit(isa.RA, isa.SP, -4))
+	f.Emit(Sw(1, isa.SP, -8))
+	f.Emit(Sys(0))
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !img.ImplicitStores[arch.TextBase] {
+		t.Error("first store should be implicit")
+	}
+	if img.ImplicitStores[arch.TextBase+4] {
+		t.Error("second store should not be implicit")
+	}
+}
+
+func TestCountStores(t *testing.T) {
+	p := &Program{}
+	f := p.AddFunc("main")
+	f.Emit(Sw(1, isa.SP, 0))
+	f.Emit(Lw(1, isa.SP, 0))
+	f.Emit(Sw(1, isa.SP, 4))
+	f.Emit(Sys(0))
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, n := img.CountStores()
+	if s != 2 || n != 4 {
+		t.Errorf("CountStores = %d/%d, want 2/4", s, n)
+	}
+}
+
+func TestDisassembleContainsFuncNames(t *testing.T) {
+	p := &Program{}
+	f := p.AddFunc("main")
+	f.Emit(Sys(0))
+	img, _ := Assemble(p)
+	d := img.Disassemble()
+	if !strings.Contains(d, "main:") || !strings.Contains(d, "sys") {
+		t.Errorf("disassembly = %q", d)
+	}
+}
+
+func TestFindFunc(t *testing.T) {
+	p := &Program{}
+	p.AddFunc("a")
+	p.AddFunc("b")
+	if p.FindFunc("b") == nil || p.FindFunc("z") != nil {
+		t.Error("FindFunc wrong")
+	}
+}
+
+func TestEndLabel(t *testing.T) {
+	// A label at the very end of the body is legal (used for loop exits).
+	p := &Program{}
+	f := p.AddFunc("main")
+	f.Emit(Jmp("end"))
+	f.Mark("end")
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := isa.Decode(img.Text[0])
+	if j.Imm != 0 {
+		t.Errorf("jump to end imm = %d", j.Imm)
+	}
+}

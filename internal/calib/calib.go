@@ -1,0 +1,150 @@
+// Package calib re-implements the paper's Appendix A timing
+// methodology against this repository's own WMS implementation.
+//
+// The paper measured seven timing variables on a 40 MHz SPARCstation 2
+// under SunOS 4.1.1. Four of them (NHFaultHandler, VMFaultHandler,
+// VMProtect/VMUnprotect, TPFaultHandler) are properties of hardware and
+// operating-system services that do not exist on this host; the
+// simulator charges them from the paper's published values
+// (kernel.DefaultCosts). The two software variables — SoftwareLookup
+// and SoftwareUpdate — are properties of the WMS data structure itself,
+// which we *can* measure natively: this package reproduces the Appendix
+// A.5 protocol (a WorkingMonitorSet of 100 non-overlapping monitors
+// with random size and location in a 2 MiB region, probed with
+// precomputed random values so the measurement loop is a simple array
+// lookup) against the Go page-bitmap index.
+package calib
+
+import (
+	"math/rand"
+	"time"
+
+	"edb/internal/arch"
+	"edb/internal/core/wms"
+	"edb/internal/model"
+)
+
+// Appendix A parameters.
+const (
+	// regionBytes is the contiguous region monitors are drawn from
+	// ("allocated from a 2 megabyte contiguous memory region").
+	regionBytes = 2 << 20
+	// numMonitors is the WorkingMonitorSet cardinality.
+	numMonitors = 100
+)
+
+// HostTimings reports the host-measured software timing variables in
+// nanoseconds, alongside the iteration counts used.
+type HostTimings struct {
+	SoftwareLookupNs float64
+	SoftwareUpdateNs float64
+	LookupIters      int
+	UpdateIters      int
+}
+
+// WorkingMonitorSet builds the Appendix A monitor population: 100
+// non-overlapping, word-aligned monitors of random size at random
+// locations in a 2 MiB region.
+func WorkingMonitorSet(seed int64) []arch.Range {
+	rng := rand.New(rand.NewSource(seed))
+	base := arch.HeapBase
+	// Partition the region into 100 equal slots; place one monitor of
+	// random size at a random offset inside each, guaranteeing
+	// non-overlap.
+	slot := arch.Addr(regionBytes/numMonitors) &^ 3 // word-aligned slots
+	out := make([]arch.Range, 0, numMonitors)
+	for i := 0; i < numMonitors; i++ {
+		lo := base + arch.Addr(i)*slot
+		size := arch.Addr(4 * (1 + rng.Intn(64))) // 4..256 bytes
+		off := arch.Addr(4 * rng.Intn(int(slot-size)/4))
+		out = append(out, arch.Range{BA: lo + off, EA: lo + off + size})
+	}
+	return out
+}
+
+// MeasureSoftwareLookup times SoftwareLookup_τ: with the
+// WorkingMonitorSet installed, look up precomputed random addresses
+// (RandYesReplace — "a simple array lookup").
+func MeasureSoftwareLookup(iters int) HostTimings {
+	idx := wms.NewPageBitmap()
+	set := WorkingMonitorSet(1)
+	for _, r := range set {
+		idx.Install(r.BA, r.EA)
+	}
+	rng := rand.New(rand.NewSource(2))
+	addrs := make([]arch.Addr, 8192)
+	for i := range addrs {
+		addrs[i] = arch.HeapBase + arch.Addr(4*rng.Intn(regionBytes/4))
+	}
+	var sink bool
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		a := addrs[i&8191]
+		sink = idx.Lookup(a, a+arch.WordBytes) || sink
+	}
+	elapsed := time.Since(start)
+	_ = sink
+	return HostTimings{
+		SoftwareLookupNs: float64(elapsed.Nanoseconds()) / float64(iters),
+		LookupIters:      iters,
+	}
+}
+
+// MeasureSoftwareUpdate times SoftwareUpdate_τ: repeatedly install the
+// whole WorkingMonitorSet (RandNoReplace order) and then remove it, as
+// in Appendix A.5.1. The reported time is per install-or-remove
+// operation.
+func MeasureSoftwareUpdate(rounds int) HostTimings {
+	idx := wms.NewPageBitmap()
+	set := WorkingMonitorSet(3)
+	rng := rand.New(rand.NewSource(4))
+	order := rng.Perm(len(set))
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, i := range order {
+			idx.Install(set[i].BA, set[i].EA)
+		}
+		for _, i := range order {
+			idx.Remove(set[i].BA, set[i].EA)
+		}
+	}
+	elapsed := time.Since(start)
+	ops := rounds * len(set) * 2
+	return HostTimings{
+		SoftwareUpdateNs: float64(elapsed.Nanoseconds()) / float64(ops),
+		UpdateIters:      ops,
+	}
+}
+
+// Measure runs both software measurements at defaults sized for a few
+// hundred milliseconds of wall clock.
+func Measure() HostTimings {
+	l := MeasureSoftwareLookup(2_000_000)
+	u := MeasureSoftwareUpdate(2_000)
+	return HostTimings{
+		SoftwareLookupNs: l.SoftwareLookupNs,
+		SoftwareUpdateNs: u.SoftwareUpdateNs,
+		LookupIters:      l.LookupIters,
+		UpdateIters:      u.UpdateIters,
+	}
+}
+
+// HostProfile builds a timing profile with the measured software costs
+// (converted to µs) and the paper's OS/hardware service costs scaled by
+// the given speedup factor (1 = paper-era services). This lets the
+// models answer "what would the trade-offs look like on a machine N×
+// faster at kernel services but with this exact WMS implementation?".
+func HostProfile(h HostTimings, serviceSpeedup float64) model.Timings {
+	if serviceSpeedup <= 0 {
+		serviceSpeedup = 1
+	}
+	t := model.Paper
+	t.SoftwareLookup = h.SoftwareLookupNs / 1000
+	t.SoftwareUpdate = h.SoftwareUpdateNs / 1000
+	t.NHFaultHandler /= serviceSpeedup
+	t.VMFaultHandler /= serviceSpeedup
+	t.VMProtect /= serviceSpeedup
+	t.VMUnprotect /= serviceSpeedup
+	t.TPFaultHandler /= serviceSpeedup
+	return t
+}

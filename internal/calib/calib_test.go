@@ -1,0 +1,81 @@
+package calib
+
+import (
+	"testing"
+
+	"edb/internal/model"
+)
+
+func TestWorkingMonitorSet(t *testing.T) {
+	set := WorkingMonitorSet(1)
+	if len(set) != numMonitors {
+		t.Fatalf("cardinality = %d, want %d", len(set), numMonitors)
+	}
+	for i, r := range set {
+		if r.Empty() {
+			t.Errorf("monitor %d empty", i)
+		}
+		if r.BA%4 != 0 || r.EA%4 != 0 {
+			t.Errorf("monitor %d not word-aligned: %v", i, r)
+		}
+		for j := i + 1; j < len(set); j++ {
+			if r.Overlaps(set[j]) {
+				t.Errorf("monitors %d and %d overlap", i, j)
+			}
+		}
+	}
+	// Deterministic for a fixed seed.
+	set2 := WorkingMonitorSet(1)
+	for i := range set {
+		if set[i] != set2[i] {
+			t.Fatal("WorkingMonitorSet not deterministic")
+		}
+	}
+	// Different seeds differ.
+	set3 := WorkingMonitorSet(2)
+	same := true
+	for i := range set {
+		if set[i] != set3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("seeds do not vary the set")
+	}
+}
+
+func TestMeasureLookup(t *testing.T) {
+	h := MeasureSoftwareLookup(50_000)
+	if h.SoftwareLookupNs <= 0 || h.SoftwareLookupNs > 100_000 {
+		t.Errorf("lookup = %v ns, implausible", h.SoftwareLookupNs)
+	}
+	if h.LookupIters != 50_000 {
+		t.Errorf("iters = %d", h.LookupIters)
+	}
+}
+
+func TestMeasureUpdate(t *testing.T) {
+	h := MeasureSoftwareUpdate(50)
+	if h.SoftwareUpdateNs <= 0 || h.SoftwareUpdateNs > 1_000_000 {
+		t.Errorf("update = %v ns, implausible", h.SoftwareUpdateNs)
+	}
+	if h.UpdateIters != 50*numMonitors*2 {
+		t.Errorf("ops = %d", h.UpdateIters)
+	}
+}
+
+func TestHostProfile(t *testing.T) {
+	h := HostTimings{SoftwareLookupNs: 50, SoftwareUpdateNs: 500}
+	p := HostProfile(h, 10)
+	if p.SoftwareLookup != 0.05 || p.SoftwareUpdate != 0.5 {
+		t.Errorf("software conversion wrong: %+v", p)
+	}
+	if p.VMFaultHandler != model.Paper.VMFaultHandler/10 {
+		t.Errorf("service scaling wrong: %v", p.VMFaultHandler)
+	}
+	// Zero speedup defaults to 1.
+	p1 := HostProfile(h, 0)
+	if p1.TPFaultHandler != model.Paper.TPFaultHandler {
+		t.Error("zero speedup should mean unscaled")
+	}
+}

@@ -1,0 +1,77 @@
+package codepatch
+
+import (
+	"edb/internal/arch"
+	"edb/internal/core/wms"
+	"edb/internal/cpu"
+	"edb/internal/isa"
+	"edb/internal/kernel"
+)
+
+// Options tunes the CodePatch WMS.
+type Options struct {
+	// Memo enables the §9 optimisation the paper sketches for loops:
+	// "A preliminary check ... may be applied for write instructions
+	// whose target is a loop-invariant memory range". Rather than
+	// patching loops dynamically, this implementation exploits the same
+	// temporal locality at the check routine: it remembers the last page
+	// that contained no monitor, and writes landing on that page skip
+	// the full software lookup for a two-instruction compare. The memo
+	// is conservatively invalidated by every InstallMonitor /
+	// RemoveMonitor.
+	Memo bool
+	// MemoCheckMicros is the cost of the fast-path compare (default
+	// 0.25 µs ≈ 10 cycles at 40 MHz, the inline compare-and-branch the
+	// paper's preliminary check would cost per iteration).
+	MemoCheckMicros float64
+}
+
+// AttachWithOptions is Attach with tuning options.
+func AttachWithOptions(m *kernel.Machine, notify wms.Notifier, opt Options) (*WMS, error) {
+	w, err := Attach(m, notify)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Memo {
+		w.memoEnabled = true
+		// Re-register the host check routine with the fast path.
+		fi := m.Image.FuncBySym[CheckFuncName]
+		m.CPU.RegisterHostFunc(m.Image.Funcs[fi].Entry, w.checkMemo)
+		us := opt.MemoCheckMicros
+		if us <= 0 {
+			us = 0.25
+		}
+		w.memoCost = arch.MicrosToCycles(us)
+	}
+	return w, nil
+}
+
+// memoState lives in the WMS struct (see codepatch.go fields).
+
+// checkMemo is the fast-path variant of check installed when the memo
+// is enabled.
+func (w *WMS) checkMemo(c *cpu.CPU) error {
+	addr := arch.Addr(c.Regs[isa.AT2])
+	page := uint32(addr) >> 12
+	if w.memoValid && page == w.memoPage {
+		// The page held no monitors when last checked and no update has
+		// happened since: a guaranteed miss for the price of a compare.
+		w.Checks++
+		w.MemoHits++
+		c.ChargeCycles(w.memoCost)
+		return nil
+	}
+	if err := w.check(c); err != nil {
+		return err
+	}
+	// Memoise only when the page as a whole carries no monitored word:
+	// a miss for this write alone would not be safe to generalise.
+	if pb, ok := w.svc.Index().(*wms.PageBitmap); ok && !pb.PageHasMonitors(page) {
+		w.memoPage = page
+		w.memoValid = true
+	}
+	return nil
+}
+
+// invalidateMemo is called on every monitor update.
+func (w *WMS) invalidateMemo() { w.memoValid = false }

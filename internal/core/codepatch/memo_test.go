@@ -1,0 +1,130 @@
+package codepatch
+
+import (
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/core/wms"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+)
+
+const loopProg = `
+int watched = 0;
+int buffer[256];
+int main() {
+	int i;
+	int s = 0;
+	for (i = 0; i < 2000; i = i + 1) {
+		buffer[i & 255] = i;
+		s = s + buffer[(i * 7) & 255];
+	}
+	watched = s;
+	print(watched);
+	return 0;
+}
+`
+
+func launchCP(t *testing.T, memo bool) (*kernel.Machine, *WMS, []wms.Notification) {
+	t.Helper()
+	prog, err := minic.Compile(loopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Patch(prog); err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var notes []wms.Notification
+	notify := func(n wms.Notification) { notes = append(notes, n) }
+	var w *WMS
+	if memo {
+		w, err = AttachWithOptions(m, notify, Options{Memo: true})
+	} else {
+		w, err = Attach(m, notify)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := img.Data["watched"]
+	if err := w.InstallMonitor(g.BA, g.EA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return m, w, notes
+}
+
+func TestMemoPreservesHits(t *testing.T) {
+	_, _, plain := launchCP(t, false)
+	_, w, memo := launchCP(t, true)
+	if len(plain) != len(memo) {
+		t.Fatalf("memo changed hit count: %d vs %d", len(plain), len(memo))
+	}
+	if len(plain) != 1 {
+		t.Fatalf("expected exactly one hit on watched, got %d", len(plain))
+	}
+	if plain[0] != memo[0] {
+		t.Errorf("notifications differ: %+v vs %+v", plain[0], memo[0])
+	}
+	if w.MemoHits == 0 {
+		t.Error("memo never engaged on a loop workload")
+	}
+}
+
+func TestMemoReducesOverhead(t *testing.T) {
+	mPlain, _, _ := launchCP(t, false)
+	mMemo, w, _ := launchCP(t, true)
+	if mMemo.CPU.Cycles >= mPlain.CPU.Cycles {
+		t.Errorf("memo did not reduce cycles: %d vs %d", mMemo.CPU.Cycles, mPlain.CPU.Cycles)
+	}
+	// The loop writes buffer/s/i on unmonitored pages over and over;
+	// most checks should hit the memo.
+	if float64(w.MemoHits)/float64(w.Checks) < 0.5 {
+		t.Errorf("memo hit rate = %d/%d, want most checks", w.MemoHits, w.Checks)
+	}
+}
+
+func TestMemoInvalidatedByUpdates(t *testing.T) {
+	// A monitor installed on the memoised page must immediately be
+	// honoured by subsequent checks.
+	prog, _ := minic.Compile(loopProg)
+	_, _ = Patch(prog)
+	img, _ := asm.Assemble(prog)
+	m, _ := kernel.NewMachine(img, arch.PageSize4K)
+	hits := 0
+	w, err := AttachWithOptions(m, func(wms.Notification) { hits++ }, Options{Memo: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run a while with no monitors (memo warms on the buffer page), then
+	// install a monitor over the buffer mid-run.
+	buf := img.Data["buffer"]
+	steps := 0
+	for !m.CPU.Halted {
+		if err := m.CPU.Step(); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+		if steps == 20000 {
+			if err := w.InstallMonitor(buf.BA, buf.EA); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if steps > 5_000_000 {
+			t.Fatal("runaway")
+		}
+	}
+	if hits == 0 {
+		t.Error("monitor installed mid-run caught nothing: memo not invalidated")
+	}
+}

@@ -1,0 +1,74 @@
+// Package nh implements the paper's NativeHardware WMS strategy (§7.1.1,
+// Figure 3): monitor registers raise a fault on each hit; installs,
+// removes, and misses are free because the comparison happens in
+// hardware. Each fault costs NHFaultHandler (131 µs on the paper's
+// SPARCstation model) to deliver to a user-level handler and continue.
+//
+// The strategy's fundamental limit — a handful of simultaneous monitors
+// on real hardware — is enforced by the underlying register file:
+// Install fails with hw.ErrNoFreeRegister once the registers are full.
+package nh
+
+import (
+	"edb/internal/arch"
+	"edb/internal/core/wms"
+	"edb/internal/hw"
+	"edb/internal/kernel"
+)
+
+// WMS is the NativeHardware write monitor service attached to one
+// machine.
+type WMS struct {
+	m      *kernel.Machine
+	regs   *hw.MonitorRegisters
+	notify wms.Notifier
+	stats  wms.Stats
+}
+
+// Attach wires a NativeHardware WMS to the machine, claiming the CPU's
+// store observation hook (the simulator stands in for the silicon
+// comparator). capacity is the number of monitor registers
+// (hw.NumShippingRegisters for realism, hw.Unlimited for the paper's
+// hypothetical).
+func Attach(m *kernel.Machine, capacity int, notify wms.Notifier) *WMS {
+	w := &WMS{m: m, regs: hw.New(capacity), notify: notify}
+	m.CPU.OnStore = w.onStore
+	return w
+}
+
+// InstallMonitor programs a monitor register. It fails when the
+// hardware is out of registers.
+func (w *WMS) InstallMonitor(ba, ea arch.Addr) error {
+	if err := w.regs.Install(ba, ea); err != nil {
+		return err
+	}
+	w.stats.Installs++
+	return nil
+}
+
+// RemoveMonitor clears a monitor register.
+func (w *WMS) RemoveMonitor(ba, ea arch.Addr) error {
+	if err := w.regs.Remove(ba, ea); err != nil {
+		return err
+	}
+	w.stats.Removes++
+	return nil
+}
+
+func (w *WMS) onStore(ba, ea, pc arch.Addr) {
+	if w.regs.Match(ba, ea) {
+		w.stats.Hits++
+		w.m.CPU.ChargeCycles(w.m.Costs.HWMonitorFault)
+		if w.notify != nil {
+			w.notify(wms.Notification{BA: ba, EA: ea, PC: pc})
+		}
+		return
+	}
+	w.stats.Misses++
+}
+
+// Stats returns the activity counters.
+func (w *WMS) Stats() wms.Stats { return w.stats }
+
+// Registers exposes the underlying register file (occupancy metrics).
+func (w *WMS) Registers() *hw.MonitorRegisters { return w.regs }

@@ -1,0 +1,106 @@
+package nh
+
+import (
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/core/wms"
+	"edb/internal/hw"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+)
+
+const src = `
+int g = 0;
+int other = 0;
+int main() {
+	int i;
+	for (i = 0; i < 10; i = i + 1) {
+		g = g + 1;
+		other = other + 2;
+	}
+	return 0;
+}`
+
+func machine(t *testing.T) *kernel.Machine {
+	t.Helper()
+	img, err := minic.CompileToImage(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestHitsAndMisses(t *testing.T) {
+	m := machine(t)
+	var notes []wms.Notification
+	w := Attach(m, hw.NumShippingRegisters, func(n wms.Notification) { notes = append(notes, n) })
+	g := m.Image.Data["g"]
+	if err := w.InstallMonitor(g.BA, g.EA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Hits != 10 {
+		t.Errorf("hits = %d, want 10", st.Hits)
+	}
+	if st.Misses == 0 {
+		t.Error("other writes should be misses")
+	}
+	if len(notes) != 10 {
+		t.Errorf("notifications = %d", len(notes))
+	}
+	if err := w.RemoveMonitor(g.BA, g.EA); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Stats(); got.Installs != 1 || got.Removes != 1 {
+		t.Errorf("install/remove = %d/%d", got.Installs, got.Removes)
+	}
+}
+
+func TestFaultCostCharged(t *testing.T) {
+	// A run with a hot monitor must cost hits × NHFaultHandler more than
+	// an unmonitored run.
+	mBase := machine(t)
+	Attach(mBase, hw.NumShippingRegisters, nil)
+	if err := mBase.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	m := machine(t)
+	w := Attach(m, hw.NumShippingRegisters, nil)
+	g := m.Image.Data["g"]
+	_ = w.InstallMonitor(g.BA, g.EA)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * m.Costs.HWMonitorFault
+	got := m.CPU.Cycles - mBase.CPU.Cycles
+	if got != want {
+		t.Errorf("monitored run cost %d extra cycles, want %d", got, want)
+	}
+}
+
+func TestRegisterBudget(t *testing.T) {
+	m := machine(t)
+	w := Attach(m, 2, nil)
+	base := arch.GlobalBase
+	if err := w.InstallMonitor(base, base+4); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallMonitor(base+8, base+12); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.InstallMonitor(base+16, base+20); err != hw.ErrNoFreeRegister {
+		t.Errorf("over-budget install: %v", err)
+	}
+	if w.Registers().Peak() != 2 {
+		t.Errorf("peak = %d", w.Registers().Peak())
+	}
+}

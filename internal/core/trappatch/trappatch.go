@@ -1,0 +1,131 @@
+// Package trappatch implements the paper's TrapPatch WMS strategy
+// (§3.3, §7.1.3, Figure 5): at compile time, every write instruction is
+// replaced by a trap instruction — the mechanism UNIX debuggers like gdb
+// and dbx use for breakpoints. At run time a user-level trap handler
+// looks up the would-be store's target in the software mapping, delivers
+// a notification on hits, emulates the store, and continues.
+//
+// Every store traps, hit or miss, which is why the paper finds TrapPatch
+// "unacceptably slow for most debugging applications": the per-write
+// cost is TPFaultHandler_τ + SoftwareLookup_τ ≈ 105 µs on the paper's
+// SPARCstation model.
+package trappatch
+
+import (
+	"fmt"
+
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/core/wms"
+	"edb/internal/isa"
+	"edb/internal/kernel"
+)
+
+// maxPatchedStores is the capacity of the trap side table (the TRAP
+// immediate is 16 bits).
+const maxPatchedStores = 1 << 15
+
+// PatchResult records the store → trap rewriting so the run-time handler
+// can emulate the original instructions.
+type PatchResult struct {
+	// Table maps trap code → original store instruction.
+	Table []asm.Inst
+	// Patched counts rewritten stores.
+	Patched int
+}
+
+// Patch rewrites every store instruction in the program into a TRAP
+// whose immediate indexes the side table. The program is mutated in
+// place (compile a fresh program per strategy). Instruction counts and
+// label positions are unchanged: the rewrite is one word for one word.
+func Patch(p *asm.Program) (*PatchResult, error) {
+	res := &PatchResult{}
+	for _, f := range p.Funcs {
+		for i := range f.Body {
+			in := &f.Body[i]
+			if in.Pseudo != asm.PNone || in.Op != isa.SW {
+				continue
+			}
+			if len(res.Table) >= maxPatchedStores {
+				return nil, fmt.Errorf("trappatch: more than %d stores", maxPatchedStores)
+			}
+			code := int32(len(res.Table))
+			res.Table = append(res.Table, *in)
+			*in = asm.I(isa.TRAP, 0, 0, code)
+			res.Patched++
+		}
+	}
+	return res, nil
+}
+
+// WMS is a TrapPatch write monitor service attached to one machine
+// running a patched image.
+type WMS struct {
+	m      *kernel.Machine
+	svc    *wms.Service
+	notify wms.Notifier
+	table  []asm.Inst
+
+	updCost    uint64
+	lookupCost uint64
+
+	// Traps counts delivered store traps (every executed store).
+	Traps uint64
+}
+
+// Attach wires the TrapPatch WMS to a machine whose image was built from
+// a program rewritten by Patch.
+func Attach(m *kernel.Machine, res *PatchResult, notify wms.Notifier) *WMS {
+	w := &WMS{
+		m: m, notify: notify, table: res.Table,
+		updCost:    arch.MicrosToCycles(22),   // SoftwareUpdate_τ
+		lookupCost: arch.MicrosToCycles(2.75), // SoftwareLookup_τ
+	}
+	w.svc = wms.NewService(nil, nil)
+	m.RegisterTrapHandler(w.onTrap)
+	return w
+}
+
+// InstallMonitor updates the software mapping.
+func (w *WMS) InstallMonitor(ba, ea arch.Addr) error {
+	if err := w.svc.InstallMonitor(ba, ea); err != nil {
+		return err
+	}
+	w.m.CPU.ChargeCycles(w.updCost)
+	return nil
+}
+
+// RemoveMonitor updates the software mapping.
+func (w *WMS) RemoveMonitor(ba, ea arch.Addr) error {
+	if err := w.svc.RemoveMonitor(ba, ea); err != nil {
+		return err
+	}
+	w.m.CPU.ChargeCycles(w.updCost)
+	return nil
+}
+
+// onTrap handles one store trap: trap-delivery cost has already been
+// charged by the kernel.
+func (w *WMS) onTrap(m *kernel.Machine, code int, pc arch.Addr) error {
+	if code < 0 || code >= len(w.table) {
+		return fmt.Errorf("trappatch: trap code %d outside side table", code)
+	}
+	w.Traps++
+	orig := w.table[code]
+	in := isa.Inst{Op: orig.Op, RD: orig.RD, RS1: orig.RS1, RS2: orig.RS2, Imm: orig.Imm}
+
+	// Emulate the original store, then classify.
+	addr, err := m.EmulateStore(in)
+	if err != nil {
+		return err
+	}
+	w.m.CPU.ChargeCycles(w.lookupCost)
+	if w.svc.CheckWrite(addr, addr+arch.WordBytes, pc) && w.notify != nil {
+		w.notify(wms.Notification{BA: addr, EA: addr + arch.WordBytes, PC: pc})
+	}
+	return nil
+}
+
+// Stats returns the activity counters; every executed store is counted
+// as a hit or a miss, exactly as in the paper's model.
+func (w *WMS) Stats() wms.Stats { return w.svc.Stats() }

@@ -1,0 +1,170 @@
+package trappatch
+
+import (
+	"strings"
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/core/wms"
+	"edb/internal/isa"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+)
+
+const src = `
+int g = 0;
+int main() {
+	int i;
+	for (i = 0; i < 6; i = i + 1) { g = g + i; }
+	print(g);
+	return 0;
+}`
+
+func patched(t *testing.T) (*kernel.Machine, *PatchResult) {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Patch(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := asm.Assemble(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, res
+}
+
+func TestPatchReplacesEveryStore(t *testing.T) {
+	prog, _ := minic.Compile(src)
+	orig := 0
+	for _, f := range prog.Funcs {
+		for _, in := range f.Body {
+			if in.Pseudo == asm.PNone && in.Op == isa.SW {
+				orig++
+			}
+		}
+	}
+	res, err := Patch(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Patched != orig {
+		t.Errorf("patched %d of %d stores", res.Patched, orig)
+	}
+	traps := 0
+	for _, f := range prog.Funcs {
+		for _, in := range f.Body {
+			if in.Pseudo == asm.PNone && in.Op == isa.SW {
+				t.Fatal("store survived patching")
+			}
+			if in.Pseudo == asm.PNone && in.Op == isa.TRAP {
+				traps++
+			}
+		}
+	}
+	if traps != orig {
+		t.Errorf("traps = %d, want %d", traps, orig)
+	}
+	// The image size is unchanged: trap-for-store is word-for-word.
+	img1, _ := minic.CompileToImage(src)
+	img2, _ := asm.Assemble(prog)
+	if len(img1.Text) != len(img2.Text) {
+		t.Errorf("patching changed text size: %d vs %d", len(img1.Text), len(img2.Text))
+	}
+}
+
+func TestSemanticsAndNotifications(t *testing.T) {
+	m, res := patched(t)
+	var notes []wms.Notification
+	w := Attach(m, res, func(n wms.Notification) { notes = append(notes, n) })
+	g := m.Image.Data["g"]
+	if err := w.InstallMonitor(g.BA, g.EA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Out.String(), "15") {
+		t.Errorf("output = %q, want 15", m.Out.String())
+	}
+	if len(notes) != 6 {
+		t.Errorf("notifications = %d, want 6", len(notes))
+	}
+	st := w.Stats()
+	// Every executed store traps: hits + misses = all stores.
+	if st.Hits != 6 {
+		t.Errorf("hits = %d", st.Hits)
+	}
+	if st.Misses == 0 {
+		t.Error("loop induction stores should be misses")
+	}
+	if w.Traps != st.Hits+st.Misses {
+		t.Errorf("traps %d != hits+misses %d", w.Traps, st.Hits+st.Misses)
+	}
+}
+
+func TestEveryStoreCostsTrapTime(t *testing.T) {
+	// Even with zero monitors, the patched program pays the trap cost on
+	// every store — the paper's core complaint about TrapPatch.
+	mPlain, err := kernel.NewMachine(mustImage(t), arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mPlain.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+
+	m, res := patched(t)
+	w := Attach(m, res, nil)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	stores := w.Traps
+	if stores == 0 {
+		t.Fatal("no traps")
+	}
+	extra := m.CPU.Cycles - mPlain.CPU.Cycles
+	perStore := float64(extra) / float64(stores)
+	// TPFaultHandler+Lookup ≈ 104.75µs ≈ 4190 cycles.
+	if perStore < 3800 || perStore > 4600 {
+		t.Errorf("per-store trap cost = %.0f cycles, want ≈4190", perStore)
+	}
+}
+
+func mustImage(t *testing.T) *asm.Image {
+	t.Helper()
+	img, err := minic.CompileToImage(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+func TestBadTrapCode(t *testing.T) {
+	m, res := patched(t)
+	w := Attach(m, res, nil)
+	if err := w.onTrap(m, len(res.Table)+5, 0); err == nil {
+		t.Error("out-of-table trap code should error")
+	}
+}
+
+func TestUpdateCosts(t *testing.T) {
+	m, res := patched(t)
+	w := Attach(m, res, nil)
+	before := m.CPU.Cycles
+	_ = w.InstallMonitor(arch.GlobalBase, arch.GlobalBase+4)
+	_ = w.RemoveMonitor(arch.GlobalBase, arch.GlobalBase+4)
+	got := m.CPU.Cycles - before
+	want := 2 * arch.MicrosToCycles(22) // two SoftwareUpdates
+	if got != want {
+		t.Errorf("update cost = %d cycles, want %d", got, want)
+	}
+}

@@ -1,0 +1,324 @@
+package cpu
+
+import (
+	"errors"
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/isa"
+	"edb/internal/mem"
+)
+
+// load assembles a raw instruction slice at TextBase and returns a CPU
+// ready to run it.
+func load(t *testing.T, code []isa.Inst) *CPU {
+	t.Helper()
+	m := mem.New(arch.PageSize4K)
+	for i, in := range code {
+		a := arch.TextBase + arch.Addr(i*4)
+		if err := m.KernelWriteWord(a, arch.Word(isa.Encode(in))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Protect(arch.TextBase, arch.TextBase+arch.Addr(len(code)*4), mem.ProtRead|mem.ProtExec)
+	c := New(m)
+	c.PC = arch.TextBase
+	c.Regs[isa.SP] = arch.Word(arch.StackBase)
+	c.Syscall = func(c *CPU, code int) error {
+		c.Halt(int32(c.Regs[2]))
+		return nil
+	}
+	return c
+}
+
+func run(t *testing.T, c *CPU) {
+	t.Helper()
+	if err := c.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	c := load(t, []isa.Inst{
+		{Op: isa.ADDI, RD: 1, RS1: 0, Imm: 10},
+		{Op: isa.ADDI, RD: 2, RS1: 0, Imm: 3},
+		{Op: isa.ADD, RD: 3, RS1: 1, RS2: 2},  // 13
+		{Op: isa.SUB, RD: 4, RS1: 1, RS2: 2},  // 7
+		{Op: isa.MUL, RD: 5, RS1: 1, RS2: 2},  // 30
+		{Op: isa.DIV, RD: 6, RS1: 1, RS2: 2},  // 3
+		{Op: isa.REM, RD: 7, RS1: 1, RS2: 2},  // 1
+		{Op: isa.SLT, RD: 8, RS1: 2, RS2: 1},  // 1
+		{Op: isa.SLT, RD: 9, RS1: 1, RS2: 2},  // 0
+		{Op: isa.XOR, RD: 10, RS1: 1, RS2: 2}, // 9
+		{Op: isa.SYS},
+	})
+	run(t, c)
+	want := map[isa.Reg]arch.Word{3: 13, 4: 7, 5: 30, 6: 3, 7: 1, 8: 1, 9: 0, 10: 9}
+	for r, w := range want {
+		if c.Regs[r] != w {
+			t.Errorf("r%d = %d, want %d", r, c.Regs[r], w)
+		}
+	}
+}
+
+func TestSignedALU(t *testing.T) {
+	c := load(t, []isa.Inst{
+		{Op: isa.ADDI, RD: 1, RS1: 0, Imm: -7},
+		{Op: isa.ADDI, RD: 2, RS1: 0, Imm: 2},
+		{Op: isa.DIV, RD: 3, RS1: 1, RS2: 2}, // -3 (trunc toward zero)
+		{Op: isa.REM, RD: 4, RS1: 1, RS2: 2}, // -1
+		{Op: isa.SRAI, RD: 5, RS1: 1, Imm: 1},
+		{Op: isa.SYS},
+	})
+	run(t, c)
+	if int32(c.Regs[3]) != -3 || int32(c.Regs[4]) != -1 {
+		t.Errorf("div/rem = %d, %d", int32(c.Regs[3]), int32(c.Regs[4]))
+	}
+	if int32(c.Regs[5]) != -4 {
+		t.Errorf("srai(-7,1) = %d, want -4", int32(c.Regs[5]))
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	c := load(t, []isa.Inst{
+		{Op: isa.ADDI, RD: 0, RS1: 0, Imm: 42},
+		{Op: isa.ADD, RD: 1, RS1: 0, RS2: 0},
+		{Op: isa.SYS},
+	})
+	run(t, c)
+	if c.Regs[0] != 0 || c.Regs[1] != 0 {
+		t.Errorf("r0 = %d, r1 = %d; r0 must stay 0", c.Regs[0], c.Regs[1])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	base := arch.GlobalBase
+	c := load(t, []isa.Inst{
+		{Op: isa.LUI, RD: 1, Imm: int32(base >> 16)},
+		{Op: isa.ADDI, RD: 2, RS1: 0, Imm: 99},
+		{Op: isa.SW, RD: 2, RS1: 1, Imm: 8},
+		{Op: isa.LW, RD: 3, RS1: 1, Imm: 8},
+		{Op: isa.SYS},
+	})
+	var stores []arch.Addr
+	c.OnStore = func(ba, ea, pc arch.Addr) { stores = append(stores, ba) }
+	run(t, c)
+	if c.Regs[3] != 99 {
+		t.Errorf("loaded %d, want 99", c.Regs[3])
+	}
+	if len(stores) != 1 || stores[0] != base+8 {
+		t.Errorf("OnStore = %v", stores)
+	}
+	if c.Stores != 1 {
+		t.Errorf("Stores = %d", c.Stores)
+	}
+}
+
+func TestBranches(t *testing.T) {
+	// Count down from 5; r2 accumulates iterations.
+	c := load(t, []isa.Inst{
+		{Op: isa.ADDI, RD: 1, RS1: 0, Imm: 5},
+		{Op: isa.ADDI, RD: 2, RS1: 0, Imm: 0},
+		// loop:
+		{Op: isa.BEQ, RD: 1, RS1: 0, Imm: 3}, // exit loop
+		{Op: isa.ADDI, RD: 2, RS1: 2, Imm: 1},
+		{Op: isa.ADDI, RD: 1, RS1: 1, Imm: -1},
+		{Op: isa.BNE, RD: 1, RS1: 0, Imm: -4}, // back to BEQ+1? no: to loop head
+		{Op: isa.SYS},
+	})
+	run(t, c)
+	if c.Regs[2] != 5 {
+		t.Errorf("loop iterations = %d, want 5", c.Regs[2])
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	// main: jal f; sys. f: addi r1,r0,7; ret
+	fWord := int32((arch.TextBase + 8) / 4)
+	c := load(t, []isa.Inst{
+		{Op: isa.JAL, Imm: fWord},
+		{Op: isa.SYS},
+		{Op: isa.ADDI, RD: 1, RS1: 0, Imm: 7},
+		{Op: isa.JALR, RD: 0, RS1: isa.RA, Imm: 0},
+	})
+	var calls, rets int
+	c.OnCall = func(target, pc arch.Addr) {
+		calls++
+		if target != arch.TextBase+8 {
+			t.Errorf("call target %#x", target)
+		}
+	}
+	c.OnRet = func(pc arch.Addr) { rets++ }
+	run(t, c)
+	if c.Regs[1] != 7 {
+		t.Errorf("r1 = %d", c.Regs[1])
+	}
+	if calls != 1 || rets != 1 {
+		t.Errorf("calls=%d rets=%d", calls, rets)
+	}
+}
+
+func TestHostFunc(t *testing.T) {
+	target := arch.TextBase + 0x1000
+	c := load(t, []isa.Inst{
+		{Op: isa.ADDI, RD: 2, RS1: 0, Imm: 21},
+		{Op: isa.JAL, Imm: int32(target / 4)},
+		{Op: isa.SYS},
+	})
+	c.RegisterHostFunc(target, func(c *CPU) error {
+		c.Regs[1] = c.Regs[2] * 2
+		c.ChargeCycles(100)
+		return nil
+	})
+	before := c.Cycles
+	run(t, c)
+	if c.Regs[1] != 42 {
+		t.Errorf("host func result = %d", c.Regs[1])
+	}
+	if c.Cycles-before < 100 {
+		t.Error("host func cycles not charged")
+	}
+}
+
+func TestTrapHandler(t *testing.T) {
+	c := load(t, []isa.Inst{
+		{Op: isa.TRAP, Imm: 5},
+		{Op: isa.SYS},
+	})
+	var got int
+	c.TrapHandler = func(c *CPU, code int, pc arch.Addr) error {
+		got = code
+		if pc != arch.TextBase {
+			t.Errorf("trap pc = %#x", pc)
+		}
+		return nil
+	}
+	run(t, c)
+	if got != 5 {
+		t.Errorf("trap code = %d", got)
+	}
+}
+
+func TestUnhandledTrapFatal(t *testing.T) {
+	c := load(t, []isa.Inst{{Op: isa.TRAP, Imm: 1}})
+	if err := c.Run(10); err == nil {
+		t.Error("unhandled trap should be fatal")
+	}
+}
+
+func TestWriteProtectionFaultDelivery(t *testing.T) {
+	base := arch.GlobalBase
+	c := load(t, []isa.Inst{
+		{Op: isa.LUI, RD: 1, Imm: int32(base >> 16)},
+		{Op: isa.ADDI, RD: 2, RS1: 0, Imm: 77},
+		{Op: isa.SW, RD: 2, RS1: 1, Imm: 4},
+		{Op: isa.SYS},
+	})
+	c.Mem.Protect(base, base+8, mem.ProtRead)
+	var handled bool
+	c.FaultHandler = func(c *CPU, f *mem.Fault, in isa.Inst, pc arch.Addr) error {
+		handled = true
+		if f.Addr != base+4 {
+			t.Errorf("fault addr %#x", f.Addr)
+		}
+		// Emulate the store with kernel privilege.
+		return c.Mem.KernelWriteWord(f.Addr, c.Regs[in.RD])
+	}
+	var notified bool
+	c.OnStore = func(ba, ea, pc arch.Addr) { notified = ba == base+4 }
+	run(t, c)
+	if !handled {
+		t.Fatal("fault handler not invoked")
+	}
+	if !notified {
+		t.Error("OnStore must fire after emulated store (notification after write)")
+	}
+	w, _ := c.Mem.KernelReadWord(base + 4)
+	if w != 77 {
+		t.Errorf("emulated store wrote %d", w)
+	}
+}
+
+func TestFaultWithoutHandlerFatal(t *testing.T) {
+	base := arch.GlobalBase
+	c := load(t, []isa.Inst{
+		{Op: isa.LUI, RD: 1, Imm: int32(base >> 16)},
+		{Op: isa.SW, RD: 0, RS1: 1, Imm: 0},
+	})
+	c.Mem.Protect(base, base+4, mem.ProtRead)
+	err := c.Run(10)
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("want ExecError, got %v", err)
+	}
+}
+
+func TestDivisionByZeroFatal(t *testing.T) {
+	c := load(t, []isa.Inst{{Op: isa.DIV, RD: 1, RS1: 1, RS2: 0}})
+	if err := c.Run(10); err == nil {
+		t.Error("div by zero should be fatal")
+	}
+}
+
+func TestIllegalInstructionFatal(t *testing.T) {
+	c := load(t, []isa.Inst{{Op: isa.ILL}})
+	// Encode(ILL) == 0; the fetch succeeds, execution must fail.
+	if err := c.Run(10); err == nil {
+		t.Error("illegal instruction should be fatal")
+	}
+}
+
+func TestFuelExhaustion(t *testing.T) {
+	// Infinite loop.
+	c := load(t, []isa.Inst{{Op: isa.BEQ, RD: 0, RS1: 0, Imm: -1}})
+	err := c.Run(100)
+	if !errors.Is(err, ErrFuelExhausted) {
+		t.Errorf("want fuel exhaustion, got %v", err)
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	c := load(t, []isa.Inst{
+		{Op: isa.ADDI, RD: 1, RS1: 0, Imm: 1}, // 1 cycle
+		{Op: isa.LUI, RD: 2, Imm: int32(arch.GlobalBase >> 16)},
+		{Op: isa.SW, RD: 1, RS1: 2, Imm: 0}, // 2 cycles
+		{Op: isa.SYS},
+	})
+	run(t, c)
+	// addi(1) + lui(1) + sw(2) + sys(1) = 5
+	if c.Cycles != 5 {
+		t.Errorf("cycles = %d, want 5", c.Cycles)
+	}
+	if c.Instret != 4 {
+		t.Errorf("instret = %d, want 4", c.Instret)
+	}
+}
+
+func TestHaltStopsExecution(t *testing.T) {
+	c := load(t, []isa.Inst{
+		{Op: isa.ADDI, RD: 2, RS1: 0, Imm: 3},
+		{Op: isa.SYS},
+		{Op: isa.ADDI, RD: 1, RS1: 0, Imm: 99}, // must not run
+	})
+	run(t, c)
+	if !c.Halted || c.ExitCode != 3 {
+		t.Errorf("halted=%v code=%d", c.Halted, c.ExitCode)
+	}
+	if c.Regs[1] == 99 {
+		t.Error("executed past halt")
+	}
+	// Step after halt is a no-op.
+	ic := c.Instret
+	if err := c.Step(); err != nil || c.Instret != ic {
+		t.Error("Step after halt should be a no-op")
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	c := load(t, []isa.Inst{{Op: isa.SYS}})
+	c.ChargeCycles(arch.ClockHz - 1) // SYS adds 1
+	run(t, c)
+	if got := c.Seconds(); got != 1.0 {
+		t.Errorf("Seconds() = %v", got)
+	}
+}

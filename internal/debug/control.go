@@ -1,0 +1,126 @@
+package debug
+
+import (
+	"fmt"
+
+	"edb/internal/arch"
+)
+
+// Execution control: the paper's data breakpoint "suspends execution
+// whenever a certain object is modified" (§1). Because the debuggee is
+// simulated, suspension is exact: RunUntilBreak returns with the
+// machine stopped immediately after the monitored store, with the new
+// value already in place, ready for inspection.
+
+// BreakState describes why RunUntilBreak returned.
+type BreakState int
+
+// Break states.
+const (
+	// Broke: a data breakpoint fired; the machine is suspended right
+	// after the monitored store.
+	Broke BreakState = iota
+	// Exited: the program ran to completion.
+	Exited
+	// OutOfFuel: the instruction budget ran out first.
+	OutOfFuel
+)
+
+// String names the state.
+func (b BreakState) String() string {
+	switch b {
+	case Broke:
+		return "breakpoint"
+	case Exited:
+		return "exited"
+	default:
+		return "out of fuel"
+	}
+}
+
+// RunUntilBreak executes the debuggee until a data breakpoint fires,
+// the program exits, or fuel instructions retire. On Broke, the
+// returned hits are the notifications delivered by the breaking store
+// (usually one).
+func (s *Session) RunUntilBreak(fuel uint64) ([]Hit, BreakState, error) {
+	start := len(s.log)
+	cpu := s.Machine.CPU
+	for fuel > 0 {
+		if cpu.Halted {
+			return nil, Exited, nil
+		}
+		if err := cpu.Step(); err != nil {
+			return nil, OutOfFuel, err
+		}
+		fuel--
+		if len(s.log) > start {
+			return s.log[start:], Broke, nil
+		}
+	}
+	if cpu.Halted {
+		return nil, Exited, nil
+	}
+	return nil, OutOfFuel, nil
+}
+
+// ReadWord inspects debuggee memory (kernel privilege, so monitored
+// pages are readable while suspended).
+func (s *Session) ReadWord(a arch.Addr) (int32, error) {
+	w, err := s.Machine.Mem.KernelReadWord(a)
+	return int32(w), err
+}
+
+// ReadSymbol reads the current value of a scalar global or function
+// static.
+func (s *Session) ReadSymbol(symbol string) (int32, error) {
+	r, ok := s.Image.Data[symbol]
+	if !ok {
+		return 0, fmt.Errorf("debug: no data symbol %q", symbol)
+	}
+	return s.ReadWord(r.BA)
+}
+
+// ReadSymbolIndex reads element i of a global array.
+func (s *Session) ReadSymbolIndex(symbol string, i int) (int32, error) {
+	r, ok := s.Image.Data[symbol]
+	if !ok {
+		return 0, fmt.Errorf("debug: no data symbol %q", symbol)
+	}
+	a := r.BA + arch.Addr(i*arch.WordBytes)
+	if !r.Contains(a) {
+		return 0, fmt.Errorf("debug: %s[%d] out of range %v", symbol, i, r)
+	}
+	return s.ReadWord(a)
+}
+
+// Where reports the current program counter and enclosing function.
+func (s *Session) Where() (arch.Addr, string) {
+	pc := s.Machine.CPU.PC
+	if f := s.Image.FuncAt(pc); f != nil {
+		return pc, f.Name
+	}
+	return pc, "?"
+}
+
+// DataSymbols lists the program's data symbols (globals and statics),
+// sorted by address.
+func (s *Session) DataSymbols() []string {
+	type entry struct {
+		name string
+		ba   arch.Addr
+	}
+	var es []entry
+	for name, r := range s.Image.Data {
+		es = append(es, entry{name, r.BA})
+	}
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && es[j].ba < es[j-1].ba; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.name
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package debug
+
+import (
+	"testing"
+)
+
+const ctrlProg = `
+int counter = 0;
+int table[4];
+int step(int i) {
+	counter = counter + i;
+	table[i & 3] = counter;
+	return counter;
+}
+int main() {
+	int i;
+	for (i = 1; i <= 5; i = i + 1) { step(i); }
+	print(counter);
+	return 0;
+}
+`
+
+func TestRunUntilBreakSuspends(t *testing.T) {
+	for _, strat := range Strategies {
+		strat := strat
+		t.Run(string(strat), func(t *testing.T) {
+			s, err := Launch(ctrlProg, strat, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.BreakOnData("counter"); err != nil {
+				t.Fatal(err)
+			}
+			// counter is written 5 times; we should be able to stop at
+			// each write and watch the running sum 1, 3, 6, 10, 15.
+			want := []int32{1, 3, 6, 10, 15}
+			for _, w := range want {
+				hits, state, err := s.RunUntilBreak(1_000_000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if state != Broke {
+					t.Fatalf("state = %v, want breakpoint", state)
+				}
+				if len(hits) != 1 {
+					t.Fatalf("hits = %d", len(hits))
+				}
+				// The machine is suspended right after the store: the
+				// value is in place.
+				got, err := s.ReadSymbol("counter")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != w {
+					t.Errorf("counter = %d at break, want %d", got, w)
+				}
+				if hits[0].Value != w {
+					t.Errorf("hit value = %d, want %d", hits[0].Value, w)
+				}
+			}
+			// Next resume runs to completion.
+			_, state, err := s.RunUntilBreak(1_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if state != Exited {
+				t.Errorf("final state = %v, want exited", state)
+			}
+		})
+	}
+}
+
+func TestWhereDuringBreak(t *testing.T) {
+	s, _ := Launch(ctrlProg, CodePatch, 0)
+	if _, err := s.BreakOnData("counter"); err != nil {
+		t.Fatal(err)
+	}
+	_, state, err := s.RunUntilBreak(1_000_000)
+	if err != nil || state != Broke {
+		t.Fatalf("state=%v err=%v", state, err)
+	}
+	_, fn := s.Where()
+	if fn != "step" {
+		t.Errorf("suspended in %q, want step", fn)
+	}
+}
+
+func TestReadSymbolIndex(t *testing.T) {
+	s, _ := Launch(ctrlProg, TrapPatch, 0)
+	if err := s.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// After the run: table[1]=1 (i=1), table[2]=3, table[3]=6, table[0]=10... then i=5: table[1]=15.
+	v, err := s.ReadSymbolIndex("table", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 15 {
+		t.Errorf("table[1] = %d, want 15", v)
+	}
+	if _, err := s.ReadSymbolIndex("table", 9); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := s.ReadSymbol("ghost"); err == nil {
+		t.Error("unknown symbol should fail")
+	}
+}
+
+func TestOutOfFuel(t *testing.T) {
+	s, _ := Launch(ctrlProg, CodePatch, 0)
+	_, state, err := s.RunUntilBreak(10) // far too little
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != OutOfFuel {
+		t.Errorf("state = %v, want out of fuel", state)
+	}
+	// Resumable.
+	if _, state, _ := s.RunUntilBreak(1_000_000); state != Exited {
+		t.Errorf("resume state = %v", state)
+	}
+}
+
+func TestDataSymbolsSorted(t *testing.T) {
+	s, _ := Launch(ctrlProg, CodePatch, 0)
+	syms := s.DataSymbols()
+	if len(syms) != 2 {
+		t.Fatalf("symbols = %v", syms)
+	}
+	// counter declared first → lower address.
+	if syms[0] != "counter" || syms[1] != "table" {
+		t.Errorf("order = %v", syms)
+	}
+}
+
+func TestBreakStateString(t *testing.T) {
+	for _, st := range []BreakState{Broke, Exited, OutOfFuel} {
+		if st.String() == "" {
+			t.Error("empty state name")
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package debug
+
+import (
+	"fmt"
+
+	"edb/internal/arch"
+	"edb/internal/isa"
+)
+
+// Local-variable watchpoints: the debugger installs and removes the
+// monitor on function boundaries, exactly as the paper's experiment
+// does for OneLocalAuto sessions ("Write monitors for automatic
+// variables are installed and removed on function boundaries", §6).
+// Recursion is handled: each live instantiation gets its own monitor.
+//
+// The implementation claims the CPU's call/return observation hooks,
+// which none of the four WMS strategies use, so local watchpoints work
+// over every backend.
+
+type localWatch struct {
+	funcIdx int
+	offset  int32
+	words   int
+	name    string
+	// active instantiation ranges, innermost last
+	frames []arch.Range
+}
+
+// BreakOnLocal installs a data breakpoint on a local automatic variable
+// (or parameter) of the named function. The monitor is installed each
+// time the function is entered and removed when it returns.
+func (s *Session) BreakOnLocal(fn, variable string) (*Breakpoint, error) {
+	fi, ok := s.Image.FuncBySym[fn]
+	if !ok {
+		return nil, fmt.Errorf("debug: no function %q", fn)
+	}
+	info := &s.Image.Funcs[fi]
+	for _, l := range info.Locals {
+		if l.Name == variable {
+			name := fn + "." + variable
+			if _, dup := s.bps[name]; dup {
+				return nil, fmt.Errorf("debug: breakpoint %q already set", name)
+			}
+			lw := &localWatch{funcIdx: fi, offset: l.Offset, words: l.SizeWords, name: name}
+			s.locals = append(s.locals, lw)
+			s.ensureFrameHooks()
+			bp := &Breakpoint{Name: name}
+			s.bps[name] = bp
+			return bp, nil
+		}
+	}
+	return nil, fmt.Errorf("debug: function %q has no local %q", fn, variable)
+}
+
+// ensureFrameHooks claims the call/return hooks once.
+func (s *Session) ensureFrameHooks() {
+	if s.frameHooked {
+		return
+	}
+	s.frameHooked = true
+	cpu := s.Machine.CPU
+	cpu.OnCall = s.onCall
+	cpu.OnRet = s.onRet
+}
+
+func (s *Session) onCall(target, pc arch.Addr) {
+	f := s.Image.FuncAt(target)
+	if f == nil || f.Entry != target {
+		s.frameStack = append(s.frameStack, -1)
+		return
+	}
+	fi := s.Image.FuncBySym[f.Name]
+	s.frameStack = append(s.frameStack, fi)
+	fp := arch.Addr(s.Machine.CPU.Regs[isa.SP])
+	for _, lw := range s.locals {
+		if lw.funcIdx != fi {
+			continue
+		}
+		base := fp - arch.Addr(lw.offset)
+		r := arch.Range{BA: base, EA: base + arch.Addr(lw.words*arch.WordBytes)}
+		if err := s.backend.InstallMonitor(r.BA, r.EA); err != nil {
+			// Hardware register exhaustion: record and carry on; the
+			// instantiation simply goes unmonitored, as it would on a
+			// real debug-register machine.
+			s.LocalInstallFailures++
+			lw.frames = append(lw.frames, arch.Range{})
+			continue
+		}
+		lw.frames = append(lw.frames, r)
+		if bp := s.bps[lw.name]; bp != nil {
+			bp.Range = r // most recent instantiation
+		}
+	}
+}
+
+func (s *Session) onRet(pc arch.Addr) {
+	if len(s.frameStack) == 0 {
+		return
+	}
+	fi := s.frameStack[len(s.frameStack)-1]
+	s.frameStack = s.frameStack[:len(s.frameStack)-1]
+	if fi < 0 {
+		return
+	}
+	for _, lw := range s.locals {
+		if lw.funcIdx != fi || len(lw.frames) == 0 {
+			continue
+		}
+		r := lw.frames[len(lw.frames)-1]
+		lw.frames = lw.frames[:len(lw.frames)-1]
+		if !r.Empty() {
+			_ = s.backend.RemoveMonitor(r.BA, r.EA)
+		}
+	}
+}
+
+// localBreakpointFor resolves a hit address against live local-watch
+// instantiations (the hit map in onHit only knows static ranges).
+func (s *Session) localBreakpointFor(a arch.Addr) *Breakpoint {
+	for _, lw := range s.locals {
+		for _, r := range lw.frames {
+			if r.Contains(a) {
+				return s.bps[lw.name]
+			}
+		}
+	}
+	return nil
+}

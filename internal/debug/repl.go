@@ -1,0 +1,121 @@
+package debug
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"edb/internal/arch"
+)
+
+// REPL drives an interactive debugging session: set watchpoints,
+// continue to the next monitored write, inspect memory — the classic
+// data-breakpoint workflow the paper's WMS enables.
+func REPL(s *Session, in io.Reader, out io.Writer) {
+	fmt.Fprintf(out, "edb interactive debugger (strategy %s). Type 'help'.\n", s.Strategy)
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "(edb) ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			fmt.Fprint(out, "(edb) ")
+			continue
+		}
+		switch fields[0] {
+		case "help", "h":
+			fmt.Fprint(out, `commands:
+  watch <symbol>            data breakpoint on a global or func$static
+  watchlocal <func> <var>   data breakpoint on a local (per activation)
+  c | continue              run until the next monitored write
+  run                       run to completion
+  p <symbol> [index]        print a data symbol (optionally one element)
+  syms                      list data symbols
+  info                      show breakpoints and machine state
+  q | quit                  leave
+`)
+		case "watch":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: watch <symbol>")
+				break
+			}
+			if _, err := s.BreakOnData(fields[1]); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintf(out, "watching %s\n", fields[1])
+			}
+		case "watchlocal":
+			if len(fields) != 3 {
+				fmt.Fprintln(out, "usage: watchlocal <func> <var>")
+				break
+			}
+			if _, err := s.BreakOnLocal(fields[1], fields[2]); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintf(out, "watching %s.%s (per activation)\n", fields[1], fields[2])
+			}
+		case "c", "continue":
+			hits, state, err := s.RunUntilBreak(2_000_000_000)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			switch state {
+			case Broke:
+				for _, h := range hits {
+					fmt.Fprintf(out, "breakpoint %s: wrote %d to %v at pc=%#x in %s()\n",
+						h.Breakpoint, h.Value, arch.Range{BA: h.BA, EA: h.EA}, uint32(h.PC), h.Func)
+				}
+			case Exited:
+				fmt.Fprintf(out, "program exited (code %d); output:\n%s", s.Machine.CPU.ExitCode, s.Output())
+			default:
+				fmt.Fprintln(out, "instruction budget exhausted")
+			}
+		case "run":
+			if err := s.Run(2_000_000_000); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintf(out, "program exited (code %d), %d hit(s); output:\n%s",
+				s.Machine.CPU.ExitCode, len(s.Hits()), s.Output())
+		case "p", "print":
+			if len(fields) < 2 {
+				fmt.Fprintln(out, "usage: p <symbol> [index]")
+				break
+			}
+			var v int32
+			var err error
+			if len(fields) == 3 {
+				var idx int
+				if idx, err = strconv.Atoi(fields[2]); err == nil {
+					v, err = s.ReadSymbolIndex(fields[1], idx)
+				}
+			} else {
+				v, err = s.ReadSymbol(fields[1])
+			}
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintf(out, "%s = %d\n", strings.Join(fields[1:], " "), v)
+			}
+		case "syms":
+			for _, sym := range s.DataSymbols() {
+				fmt.Fprintf(out, "  %s\n", sym)
+			}
+		case "info":
+			pc, fn := s.Where()
+			fmt.Fprintf(out, "pc=%#x in %s(); %d cycles (%.4f simulated s); halted=%v\n",
+				uint32(pc), fn, s.Machine.CPU.Cycles, s.Machine.BaseSeconds(), s.Machine.CPU.Halted)
+			for _, bp := range s.Breakpoints() {
+				fmt.Fprintf(out, "  breakpoint %-20s %v hits=%d\n", bp.Name, bp.Range, bp.Hits)
+			}
+		case "q", "quit", "exit":
+			return
+		default:
+			fmt.Fprintf(out, "unknown command %q (try 'help')\n", fields[0])
+		}
+		fmt.Fprint(out, "(edb) ")
+	}
+}

@@ -1,0 +1,231 @@
+// Package exp orchestrates the paper's full simulation experiment
+// (Figure 1): for each benchmark program it compiles the mini-C source,
+// traces one run (phase 1), discovers every monitor session, replays the
+// trace through the counting simulator (phase 2), applies the §7
+// analytical models under a timing profile, and aggregates the
+// statistics behind every table and figure of §8.
+package exp
+
+import (
+	"fmt"
+
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/core/codepatch"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+	"edb/internal/model"
+	"edb/internal/progs"
+	"edb/internal/sessions"
+	"edb/internal/sim"
+	"edb/internal/stats"
+	"edb/internal/trace"
+	"edb/internal/tracer"
+)
+
+// Config parameterises one experiment run.
+type Config struct {
+	// Scale multiplies workload run length (1 = default).
+	Scale int
+	// Timings selects the timing profile (zero value: model.Paper).
+	Timings model.Timings
+	// Programs restricts the benchmark set (nil = all five).
+	Programs []string
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Scale < 1 {
+		out.Scale = 1
+	}
+	if out.Timings == (model.Timings{}) {
+		out.Timings = model.Paper
+	}
+	if len(out.Programs) == 0 {
+		out.Programs = progs.Names()
+	}
+	return out
+}
+
+// SessionOutcome is the per-session result: its counting variables and
+// the modelled relative overhead per strategy.
+type SessionOutcome struct {
+	Session  *sessions.Session
+	Counting sim.Counting
+	// Relative[s] is the session's relative overhead under strategy s.
+	Relative [model.NumStrategies]float64
+}
+
+// ProgramResult aggregates one benchmark's results.
+type ProgramResult struct {
+	Program     string
+	BaseSeconds float64
+	BaseCycles  uint64
+	Instret     uint64
+	TotalWrites uint64
+
+	// SessionCounts tallies kept (≥1 hit) sessions per type: Table 1.
+	SessionCounts [sessions.NumTypes]int
+	// Kept lists the surviving sessions with their outcomes.
+	Kept []SessionOutcome
+	// Discarded counts zero-hit sessions dropped per the paper's rule.
+	Discarded int
+
+	// Mean counting variables over kept sessions: Table 3.
+	MeanInstalls, MeanHits, MeanMisses float64
+	MeanProtects, MeanActivePageMiss   [2]float64
+	// Summaries per strategy over the kept sessions' relative overheads:
+	// Table 4 / Figures 7-9.
+	Summaries [model.NumStrategies]stats.Summary
+	// BreakdownMean is the mean fraction of overhead attributed to each
+	// timing variable, per strategy (§8's "where the time was spent").
+	BreakdownMean [model.NumStrategies]map[string]float64
+
+	// Expansion is CodePatch's code-size increase (§8).
+	Expansion float64
+	// Stores / TotalInstructions of the unpatched image.
+	StoreFraction float64
+}
+
+// RelativeSamples returns the kept sessions' relative overheads for one
+// strategy.
+func (r *ProgramResult) RelativeSamples(s model.Strategy) []float64 {
+	out := make([]float64, len(r.Kept))
+	for i := range r.Kept {
+		out[i] = r.Kept[i].Relative[s]
+	}
+	return out
+}
+
+// RunProgram executes the full pipeline for one benchmark.
+func RunProgram(p progs.Program, timings model.Timings) (*ProgramResult, error) {
+	prog, err := minic.Compile(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("exp: compiling %s: %w", p.Name, err)
+	}
+	img, err := asm.Assemble(prog)
+	if err != nil {
+		return nil, fmt.Errorf("exp: assembling %s: %w", p.Name, err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		return nil, fmt.Errorf("exp: machine for %s: %w", p.Name, err)
+	}
+	tr, err := tracer.New(m, p.Name).Run(p.Fuel)
+	if err != nil {
+		return nil, fmt.Errorf("exp: tracing %s: %w", p.Name, err)
+	}
+	res, err := Analyze(tr, timings)
+	if err != nil {
+		return nil, err
+	}
+
+	// Code-expansion estimate for CodePatch (patches a fresh compile).
+	stores, total := img.CountStores()
+	res.StoreFraction = float64(stores) / float64(total)
+	prog2, err := minic.Compile(p.Source)
+	if err == nil {
+		if pr, err := codepatch.Patch(prog2); err == nil {
+			res.Expansion = pr.Expansion()
+		}
+	}
+	return res, nil
+}
+
+// Analyze runs phase 2 and the models over an existing trace.
+func Analyze(tr *trace.Trace, timings model.Timings) (*ProgramResult, error) {
+	set := sessions.Discover(tr)
+	out, err := sim.Run(tr, set)
+	if err != nil {
+		return nil, fmt.Errorf("exp: simulating %s: %w", tr.Program, err)
+	}
+	res := &ProgramResult{
+		Program:     tr.Program,
+		BaseSeconds: tr.BaseSeconds(),
+		BaseCycles:  tr.BaseCycles,
+		Instret:     tr.Instret,
+		TotalWrites: out.TotalWrites,
+	}
+	base := tr.BaseSeconds()
+
+	keep := out.FilterZeroHit()
+	res.Discarded = len(set.Sessions) - len(keep)
+	for si := range res.BreakdownMean {
+		res.BreakdownMean[si] = make(map[string]float64)
+	}
+	for _, i := range keep {
+		s := &set.Sessions[i]
+		c := out.PerSession[i]
+		res.SessionCounts[s.Type]++
+		oc := SessionOutcome{Session: s, Counting: c}
+		mc := toModelCounting(c)
+		for _, strat := range model.Strategies {
+			ov := model.Estimate(strat, mc, timings)
+			oc.Relative[strat] = ov.Relative(base)
+			for name, frac := range model.BreakdownFractions(model.Breakdown(strat, mc, timings)) {
+				res.BreakdownMean[strat][name] += frac
+			}
+		}
+		res.Kept = append(res.Kept, oc)
+
+		res.MeanInstalls += float64(c.Installs)
+		res.MeanHits += float64(c.Hits)
+		res.MeanMisses += float64(c.Misses)
+		for psi := 0; psi < 2; psi++ {
+			res.MeanProtects[psi] += float64(c.VM[psi].Protects)
+			res.MeanActivePageMiss[psi] += float64(c.VM[psi].ActivePageMiss)
+		}
+	}
+	if n := float64(len(res.Kept)); n > 0 {
+		res.MeanInstalls /= n
+		res.MeanHits /= n
+		res.MeanMisses /= n
+		for psi := 0; psi < 2; psi++ {
+			res.MeanProtects[psi] /= n
+			res.MeanActivePageMiss[psi] /= n
+		}
+		for si := range res.BreakdownMean {
+			for name := range res.BreakdownMean[si] {
+				res.BreakdownMean[si][name] /= n
+			}
+		}
+	}
+	for _, strat := range model.Strategies {
+		res.Summaries[strat] = stats.Summarize(res.RelativeSamples(strat))
+	}
+	return res, nil
+}
+
+func toModelCounting(c sim.Counting) model.Counting {
+	return model.Counting{
+		Installs: c.Installs,
+		Removes:  c.Removes,
+		Hits:     c.Hits,
+		Misses:   c.Misses,
+		Protects: [2]uint64{c.VM[0].Protects, c.VM[1].Protects},
+		Unprotects: [2]uint64{
+			c.VM[0].Unprotects, c.VM[1].Unprotects,
+		},
+		ActivePageMiss: [2]uint64{
+			c.VM[0].ActivePageMiss, c.VM[1].ActivePageMiss,
+		},
+	}
+}
+
+// Run executes the experiment for every configured program.
+func Run(cfg Config) ([]*ProgramResult, error) {
+	c := cfg.withDefaults()
+	var out []*ProgramResult
+	for _, name := range c.Programs {
+		p, err := progs.ByName(name, c.Scale)
+		if err != nil {
+			return nil, err
+		}
+		r, err := RunProgram(p, c.Timings)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

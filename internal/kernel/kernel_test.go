@@ -1,0 +1,277 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/isa"
+	"edb/internal/mem"
+)
+
+func build(t *testing.T, p *asm.Program) *Machine {
+	t.Helper()
+	img, err := asm.Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestExitAndPrint(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	f.Emit(asm.Li(int32Reg(RegArg0), 42))
+	f.Emit(asm.Sys(SysPrint))
+	f.Emit(asm.Li(int32Reg(RegArg0), -7))
+	f.Emit(asm.Sys(SysPrint))
+	f.Emit(asm.Li(int32Reg(RegArg0), 3))
+	f.Emit(asm.Sys(SysExit))
+	m := build(t, p)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU.ExitCode != 3 {
+		t.Errorf("exit code = %d", m.CPU.ExitCode)
+	}
+	if got := m.Out.String(); got != "42\n-7\n" {
+		t.Errorf("output = %q", got)
+	}
+}
+
+func int32Reg(r isa.Reg) isa.Reg { return r }
+
+func TestAllocFreeSyscalls(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	// r1 = alloc(24); store 5 at [r1]; print [r1]; free(r1); exit 0
+	f.Emit(asm.Li(RegArg0, 24))
+	f.Emit(asm.Sys(SysAlloc))
+	f.Emit(asm.I(isa.ADDI, 10, RegRet, 0)) // save pointer in r10
+	f.Emit(asm.Li(11, 5))
+	f.Emit(asm.Sw(11, 10, 0))
+	f.Emit(asm.Lw(RegArg0, 10, 0))
+	f.Emit(asm.Sys(SysPrint))
+	f.Emit(asm.I(isa.ADDI, RegArg0, 10, 0))
+	f.Emit(asm.Sys(SysFree))
+	f.Emit(asm.Li(RegArg0, 0))
+	f.Emit(asm.Sys(SysExit))
+	m := build(t, p)
+	var allocs, frees int
+	m.OnAlloc = func(r arch.Range) {
+		allocs++
+		if r.Len() != 24 {
+			t.Errorf("alloc range %v", r)
+		}
+	}
+	m.OnFree = func(r arch.Range) { frees++ }
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.Out.String(), "5") {
+		t.Errorf("output = %q", m.Out.String())
+	}
+	if allocs != 1 || frees != 1 {
+		t.Errorf("allocs=%d frees=%d", allocs, frees)
+	}
+	if m.Heap.InUse() != 0 {
+		t.Error("heap should be empty after free")
+	}
+}
+
+func TestReallocSyscall(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	f.Emit(asm.Li(RegArg0, 8))
+	f.Emit(asm.Sys(SysAlloc))
+	f.Emit(asm.I(isa.ADDI, RegArg0, RegRet, 0))
+	f.Emit(asm.Li(RegArg1, 64))
+	f.Emit(asm.Sys(SysRealloc))
+	f.Emit(asm.Li(RegArg0, 0))
+	f.Emit(asm.Sys(SysExit))
+	m := build(t, p)
+	var reallocCalled bool
+	m.OnRealloc = func(old, new arch.Range) {
+		reallocCalled = true
+		if new.Len() != 64 {
+			t.Errorf("realloc new range %v", new)
+		}
+	}
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !reallocCalled {
+		t.Error("OnRealloc not invoked")
+	}
+}
+
+func TestCyclesSyscall(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	f.Emit(asm.Sys(SysCycles))
+	f.Emit(asm.I(isa.ADDI, RegArg0, RegRet, 0))
+	f.Emit(asm.Sys(SysExit))
+	m := build(t, p)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.CPU.ExitCode <= 0 {
+		t.Errorf("cycle counter = %d, want > 0", m.CPU.ExitCode)
+	}
+}
+
+func TestUnknownSyscallFatal(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	f.Emit(asm.Sys(99))
+	m := build(t, p)
+	if err := m.Run(10); err == nil {
+		t.Error("unknown syscall should be fatal")
+	}
+}
+
+func TestTextIsExecuteProtected(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	f.Emit(asm.Li(RegArg0, 0))
+	f.Emit(asm.Sys(SysExit))
+	m := build(t, p)
+	// A store into text must fault fatally (no handler registered).
+	pr := m.Mem.ProtAt(arch.TextBase)
+	if pr&mem.ProtWrite != 0 {
+		t.Error("text pages must not be writable")
+	}
+	if pr&mem.ProtExec == 0 {
+		t.Error("text pages must be executable")
+	}
+}
+
+func TestDataInitLoaded(t *testing.T) {
+	p := &asm.Program{
+		Globals: []asm.Global{{Name: "g", SizeWords: 2, Init: []arch.Word{0xabcd, 0x1234}}},
+	}
+	f := p.AddFunc("main")
+	f.Emit(asm.La(10, "g", 0))
+	f.Emit(asm.Lw(RegArg0, 10, 4))
+	f.Emit(asm.Sys(SysPrint))
+	f.Emit(asm.Li(RegArg0, 0))
+	f.Emit(asm.Sys(SysExit))
+	m := build(t, p)
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(m.Out.String()); got != "4660" { // 0x1234
+		t.Errorf("output = %q, want 4660", got)
+	}
+}
+
+func TestMprotectChargesCycles(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	f.Emit(asm.Sys(SysExit))
+	m := build(t, p)
+	before := m.CPU.Cycles
+	m.Mprotect(arch.HeapBase, arch.HeapBase+4, mem.ProtRead)
+	protCost := m.CPU.Cycles - before
+	if protCost != m.Costs.MprotectOn {
+		t.Errorf("protect cost = %d, want %d", protCost, m.Costs.MprotectOn)
+	}
+	before = m.CPU.Cycles
+	m.Mprotect(arch.HeapBase, arch.HeapBase+4, mem.ProtRW)
+	if got := m.CPU.Cycles - before; got != m.Costs.MprotectOff {
+		t.Errorf("unprotect cost = %d, want %d", got, m.Costs.MprotectOff)
+	}
+	// Two pages cost double.
+	before = m.CPU.Cycles
+	m.Mprotect(arch.HeapBase, arch.HeapBase+arch.PageSize4K+4, mem.ProtRead)
+	if got := m.CPU.Cycles - before; got != 2*m.Costs.MprotectOn {
+		t.Errorf("2-page protect cost = %d", got)
+	}
+}
+
+func TestFaultHandlerDeliveryCost(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	f.Emit(asm.La(10, "g", 0))
+	f.Emit(asm.Li(11, 9))
+	f.Emit(asm.Sw(11, 10, 0))
+	f.Emit(asm.Li(RegArg0, 0))
+	f.Emit(asm.Sys(SysExit))
+	p.Globals = []asm.Global{{Name: "g", SizeWords: 1}}
+	m := build(t, p)
+	g := m.Image.Data["g"]
+	m.Mem.Protect(g.BA, g.EA, mem.ProtRead)
+	var handlerCycles uint64
+	m.RegisterFaultHandler(func(mch *Machine, fl *mem.Fault, in isa.Inst, pc arch.Addr) error {
+		handlerCycles = mch.CPU.Cycles
+		_, err := mch.EmulateStore(in)
+		return err
+	})
+	start := m.CPU.Cycles
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if handlerCycles-start < m.Costs.SignalDeliver {
+		t.Error("signal delivery cost not charged before handler ran")
+	}
+	w, _ := m.Mem.KernelReadWord(g.BA)
+	if w != 9 {
+		t.Errorf("emulated store result = %d", w)
+	}
+}
+
+func TestTrapHandlerDeliveryCost(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	f.Emit(asm.I(isa.TRAP, 0, 0, 7))
+	f.Emit(asm.Li(RegArg0, 0))
+	f.Emit(asm.Sys(SysExit))
+	m := build(t, p)
+	var seen int
+	m.RegisterTrapHandler(func(mch *Machine, code int, pc arch.Addr) error {
+		seen = code
+		return nil
+	})
+	before := m.CPU.Cycles
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 7 {
+		t.Errorf("trap code = %d", seen)
+	}
+	if m.CPU.Cycles-before < m.Costs.TrapDeliver {
+		t.Error("trap delivery cost not charged")
+	}
+}
+
+func TestCostDecomposition(t *testing.T) {
+	c := DefaultCosts()
+	us := arch.MicrosToCycles
+	// VMFaultHandler decomposition: deliver + emulate + protect + unprotect = 561µs.
+	total := c.SignalDeliver + c.Emulate + c.MprotectOn + c.MprotectOff
+	if total != us(561) {
+		t.Errorf("VM fault composite = %d cycles, want %d", total, us(561))
+	}
+	// TPFaultHandler decomposition: deliver + emulate = 102µs.
+	if c.TrapDeliver+c.Emulate != us(102) {
+		t.Errorf("TP composite = %d, want %d", c.TrapDeliver+c.Emulate, us(102))
+	}
+	if c.HWMonitorFault != us(131) {
+		t.Errorf("NH fault = %d", c.HWMonitorFault)
+	}
+}
+
+func TestEmulateStoreRejectsNonStore(t *testing.T) {
+	p := &asm.Program{}
+	f := p.AddFunc("main")
+	f.Emit(asm.Sys(SysExit))
+	m := build(t, p)
+	if _, err := m.EmulateStore(isa.Inst{Op: isa.LW}); err == nil {
+		t.Error("EmulateStore should reject loads")
+	}
+}

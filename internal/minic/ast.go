@@ -1,0 +1,152 @@
+package minic
+
+// The abstract syntax tree. Everything is a 32-bit word, as on the
+// target: "pointers" are word values, arrays decay to their base
+// address, and subscripting scales by the word size.
+
+type expr interface{ exprNode() }
+
+type numExpr struct {
+	val int32
+}
+
+type varExpr struct {
+	name string
+	line int
+}
+
+// indexExpr is base[idx]: the word at address(base) + 4*idx.
+type indexExpr struct {
+	base expr
+	idx  expr
+}
+
+// derefExpr is *e: the word at address e.
+type derefExpr struct {
+	e expr
+}
+
+// addrExpr is &v or &v[i]: the address of an lvalue.
+type addrExpr struct {
+	lv lvalue
+}
+
+type unaryExpr struct {
+	op string // "-", "!", "~"
+	e  expr
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+}
+
+type callExpr struct {
+	name string
+	args []expr
+	line int
+}
+
+func (numExpr) exprNode()   {}
+func (varExpr) exprNode()   {}
+func (indexExpr) exprNode() {}
+func (derefExpr) exprNode() {}
+func (addrExpr) exprNode()  {}
+func (unaryExpr) exprNode() {}
+func (binExpr) exprNode()   {}
+func (callExpr) exprNode()  {}
+
+// lvalue is an assignable location.
+type lvalue interface{ lvalueNode() }
+
+type varLV struct {
+	name string
+	line int
+}
+
+type indexLV struct {
+	base expr
+	idx  expr
+}
+
+type derefLV struct {
+	e expr
+}
+
+func (varLV) lvalueNode()   {}
+func (indexLV) lvalueNode() {}
+func (derefLV) lvalueNode() {}
+
+type stmt interface{ stmtNode() }
+
+type declStmt struct {
+	name   string
+	size   int  // array words; 0 for scalar
+	static bool // function static
+	init   expr // scalar initialiser or nil
+	sinit  []int32
+	line   int
+}
+
+type assignStmt struct {
+	lhs lvalue
+	rhs expr
+}
+
+type exprStmt struct {
+	e expr
+}
+
+type ifStmt struct {
+	cond      expr
+	then, els []stmt
+}
+
+type whileStmt struct {
+	cond expr
+	body []stmt
+}
+
+type forStmt struct {
+	init stmt // nil or assignStmt/exprStmt
+	cond expr // nil means true
+	post stmt
+	body []stmt
+}
+
+type returnStmt struct {
+	e expr // nil means return 0
+}
+
+type breakStmt struct{ line int }
+
+type continueStmt struct{ line int }
+
+func (declStmt) stmtNode()     {}
+func (assignStmt) stmtNode()   {}
+func (exprStmt) stmtNode()     {}
+func (ifStmt) stmtNode()       {}
+func (whileStmt) stmtNode()    {}
+func (forStmt) stmtNode()      {}
+func (returnStmt) stmtNode()   {}
+func (breakStmt) stmtNode()    {}
+func (continueStmt) stmtNode() {}
+
+type funcDecl struct {
+	name   string
+	params []string
+	body   []stmt
+	line   int
+}
+
+type globalDecl struct {
+	name string
+	size int // words; 0 for scalar
+	init []int32
+	line int
+}
+
+type unit struct {
+	globals []globalDecl
+	funcs   []funcDecl
+}

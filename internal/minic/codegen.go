@@ -1,0 +1,767 @@
+package minic
+
+import (
+	"fmt"
+
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/isa"
+	"edb/internal/kernel"
+)
+
+// Register conventions used by generated code.
+const (
+	regRV      = isa.Reg(1)  // return value
+	regArgBase = isa.Reg(2)  // first argument register (r2..r9)
+	maxArgs    = 8           //
+	regTmpBase = isa.Reg(10) // expression-stack registers r10..r23
+	maxTmps    = 14          //
+)
+
+// Builtin arities; -1 is unused.
+var builtins = map[string]int{
+	"print":   1,
+	"alloc":   1,
+	"free":    1,
+	"realloc": 2,
+	"cycles":  0,
+	"bzero":   2,
+}
+
+type localInfo struct {
+	off   int32 // base address is fp-off
+	words int
+}
+
+type funcSig struct {
+	params int
+}
+
+// Compile translates mini-C source into a symbolic assembly program
+// ready for asm.Assemble (or for instrumentation by the patching WMS
+// strategies first).
+func Compile(src string) (*asm.Program, error) {
+	u, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return compileUnit(u)
+}
+
+// CompileToImage is a convenience wrapper: compile and assemble.
+func CompileToImage(src string) (*asm.Image, error) {
+	p, err := Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return asm.Assemble(p)
+}
+
+func compileUnit(u *unit) (*asm.Program, error) {
+	p := &asm.Program{Entry: "_start"}
+
+	// Global symbols.
+	globals := make(map[string]*globalDecl)
+	for i := range u.globals {
+		g := &u.globals[i]
+		if globals[g.name] != nil {
+			return nil, &Error{Line: g.line, Msg: fmt.Sprintf("duplicate global %q", g.name)}
+		}
+		globals[g.name] = g
+		words := g.size
+		if words == 0 {
+			words = 1
+		}
+		init := make([]arch.Word, len(g.init))
+		for i, v := range g.init {
+			init[i] = arch.Word(v)
+		}
+		p.Globals = append(p.Globals, asm.Global{Name: g.name, SizeWords: words, Init: init})
+	}
+
+	// Function signatures.
+	sigs := make(map[string]funcSig)
+	for _, f := range u.funcs {
+		if _, dup := sigs[f.name]; dup {
+			return nil, &Error{Line: f.line, Msg: fmt.Sprintf("duplicate function %q", f.name)}
+		}
+		if _, isB := builtins[f.name]; isB {
+			return nil, &Error{Line: f.line, Msg: fmt.Sprintf("%q is a builtin", f.name)}
+		}
+		if len(f.params) > maxArgs {
+			return nil, &Error{Line: f.line, Msg: fmt.Sprintf("%q has more than %d parameters", f.name, maxArgs)}
+		}
+		sigs[f.name] = funcSig{params: len(f.params)}
+	}
+	if _, ok := sigs["main"]; !ok {
+		return nil, &Error{Line: 1, Msg: "no main function"}
+	}
+
+	// _start: call main, exit with its result.
+	start := p.AddFunc("_start")
+	start.Emit(asm.Call("main"))
+	start.Emit(asm.I(isa.ADDI, kernel.RegArg0, regRV, 0))
+	start.Emit(asm.Sys(kernel.SysExit))
+
+	for i := range u.funcs {
+		if err := compileFunc(p, &u.funcs[i], globals, sigs); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+type cg struct {
+	p       *asm.Program
+	f       *asm.Func
+	fn      *funcDecl
+	globals map[string]*globalDecl
+	sigs    map[string]funcSig
+	locals  map[string]localInfo
+	statics map[string]string // local static name -> mangled global symbol
+
+	sp        int // expression-stack depth
+	labelN    int
+	spillBase int32 // fp-offset of spill slot 0
+	breakLbl  []string
+	contLbl   []string
+}
+
+func compileFunc(p *asm.Program, fn *funcDecl, globals map[string]*globalDecl, sigs map[string]funcSig) error {
+	c := &cg{
+		p: p, fn: fn, globals: globals, sigs: sigs,
+		locals:  make(map[string]localInfo),
+		statics: make(map[string]string),
+	}
+	c.f = p.AddFunc(fn.name)
+
+	// Frame layout: collect params and every local declaration in the
+	// body (flat function scope, C89 style).
+	localBytes := int32(0)
+	addLocal := func(name string, words int, line int) error {
+		if _, dup := c.locals[name]; dup {
+			return &Error{Line: line, Msg: fmt.Sprintf("duplicate local %q in %q", name, fn.name)}
+		}
+		if _, dup := c.statics[name]; dup {
+			return &Error{Line: line, Msg: fmt.Sprintf("duplicate local %q in %q", name, fn.name)}
+		}
+		localBytes += int32(4 * words)
+		c.locals[name] = localInfo{off: 8 + localBytes, words: words}
+		c.f.Locals = append(c.f.Locals, asm.Local{Name: name, Offset: 8 + localBytes, SizeWords: words})
+		return nil
+	}
+	for _, prm := range fn.params {
+		if err := addLocal(prm, 1, fn.line); err != nil {
+			return err
+		}
+	}
+	var collect func(stmts []stmt) error
+	collect = func(stmts []stmt) error {
+		for _, s := range stmts {
+			switch st := s.(type) {
+			case declStmt:
+				if st.static {
+					sym := fn.name + "$" + st.name
+					if _, dup := c.statics[st.name]; dup {
+						return &Error{Line: st.line, Msg: fmt.Sprintf("duplicate static %q", st.name)}
+					}
+					if _, dup := c.locals[st.name]; dup {
+						return &Error{Line: st.line, Msg: fmt.Sprintf("duplicate local %q", st.name)}
+					}
+					c.statics[st.name] = sym
+					words := st.size
+					if words == 0 {
+						words = 1
+					}
+					init := make([]arch.Word, len(st.sinit))
+					for i, v := range st.sinit {
+						init[i] = arch.Word(v)
+					}
+					p.Globals = append(p.Globals, asm.Global{Name: sym, SizeWords: words, Init: init})
+					c.f.Statics = append(c.f.Statics, sym)
+				} else {
+					words := st.size
+					if words == 0 {
+						words = 1
+					}
+					if err := addLocal(st.name, words, st.line); err != nil {
+						return err
+					}
+				}
+			case ifStmt:
+				if err := collect(st.then); err != nil {
+					return err
+				}
+				if err := collect(st.els); err != nil {
+					return err
+				}
+			case whileStmt:
+				if err := collect(st.body); err != nil {
+					return err
+				}
+			case forStmt:
+				if st.init != nil {
+					if err := collect([]stmt{st.init}); err != nil {
+						return err
+					}
+				}
+				if err := collect(st.body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := collect(fn.body); err != nil {
+		return err
+	}
+
+	// Spill area for caller-saved expression temporaries.
+	c.spillBase = 8 + localBytes + 4
+	frameBytes := arch.AlignUp(arch.Addr(8+localBytes+4*maxTmps), 8)
+	c.f.FrameWords = int(frameBytes) / 4
+
+	// Prologue. Saved RA/FP are implicit (register-spill) writes and do
+	// not appear in the event trace, per §6.
+	F := int32(frameBytes)
+	c.f.Emit(asm.I(isa.ADDI, isa.SP, isa.SP, -F))
+	c.f.Emit(asm.SwImplicit(isa.RA, isa.SP, F-4))
+	c.f.Emit(asm.SwImplicit(isa.FP, isa.SP, F-8))
+	c.f.Emit(asm.I(isa.ADDI, isa.FP, isa.SP, F))
+	// Parameter stores initialise user-visible variables and are traced.
+	for i, prm := range fn.params {
+		li := c.locals[prm]
+		c.f.Emit(asm.Sw(regArgBase+isa.Reg(i), isa.FP, -li.off))
+	}
+
+	// Body.
+	if err := c.genStmts(fn.body); err != nil {
+		return err
+	}
+
+	// Implicit `return 0` fall-through, then the epilogue.
+	c.f.Emit(asm.I(isa.ADDI, regRV, isa.R0, 0))
+	c.f.Mark("$ret")
+	c.f.Emit(asm.Lw(isa.RA, isa.FP, -4))
+	c.f.Emit(asm.Lw(isa.AT, isa.FP, -8))
+	c.f.Emit(asm.I(isa.ADDI, isa.SP, isa.FP, 0))
+	c.f.Emit(asm.I(isa.ADDI, isa.FP, isa.AT, 0))
+	c.f.Emit(asm.Ret())
+	return nil
+}
+
+// ---- expression-stack helpers ----
+
+func (c *cg) push() (isa.Reg, error) {
+	if c.sp >= maxTmps {
+		return 0, &Error{Line: c.fn.line, Msg: fmt.Sprintf("expression too complex in %q", c.fn.name)}
+	}
+	r := regTmpBase + isa.Reg(c.sp)
+	c.sp++
+	return r, nil
+}
+
+func (c *cg) top() isa.Reg { return regTmpBase + isa.Reg(c.sp-1) }
+
+func (c *cg) pop() { c.sp-- }
+
+func (c *cg) label(prefix string) string {
+	c.labelN++
+	return fmt.Sprintf("%s%d", prefix, c.labelN)
+}
+
+func (c *cg) spillSlot(i int) int32 { return c.spillBase + int32(4*i) }
+
+// ---- statements ----
+
+func (c *cg) genStmts(stmts []stmt) error {
+	for _, s := range stmts {
+		if err := c.genStmt(s); err != nil {
+			return err
+		}
+		if c.sp != 0 {
+			return &Error{Line: c.fn.line, Msg: fmt.Sprintf("internal: temp stack not empty (%d) after statement in %q", c.sp, c.fn.name)}
+		}
+	}
+	return nil
+}
+
+func (c *cg) genStmt(s stmt) error {
+	switch st := s.(type) {
+	case declStmt:
+		if st.static || st.init == nil {
+			return nil // storage handled at layout time
+		}
+		if err := c.genExpr(st.init); err != nil {
+			return err
+		}
+		li := c.locals[st.name]
+		c.f.Emit(asm.Sw(c.top(), isa.FP, -li.off))
+		c.pop()
+		return nil
+
+	case assignStmt:
+		return c.genAssign(st.lhs, st.rhs)
+
+	case exprStmt:
+		if err := c.genExpr(st.e); err != nil {
+			return err
+		}
+		c.pop()
+		return nil
+
+	case ifStmt:
+		els := c.label("$else")
+		end := c.label("$fi")
+		if err := c.genExpr(st.cond); err != nil {
+			return err
+		}
+		c.f.Emit(asm.Br(isa.BEQ, c.top(), isa.R0, els))
+		c.pop()
+		if err := c.genStmts(st.then); err != nil {
+			return err
+		}
+		if len(st.els) > 0 {
+			c.f.Emit(asm.Jmp(end))
+		}
+		c.f.Mark(els)
+		if len(st.els) > 0 {
+			if err := c.genStmts(st.els); err != nil {
+				return err
+			}
+			c.f.Mark(end)
+		}
+		return nil
+
+	case whileStmt:
+		head := c.label("$while")
+		end := c.label("$wend")
+		c.breakLbl = append(c.breakLbl, end)
+		c.contLbl = append(c.contLbl, head)
+		c.f.Mark(head)
+		if err := c.genExpr(st.cond); err != nil {
+			return err
+		}
+		c.f.Emit(asm.Br(isa.BEQ, c.top(), isa.R0, end))
+		c.pop()
+		if err := c.genStmts(st.body); err != nil {
+			return err
+		}
+		c.f.Emit(asm.Jmp(head))
+		c.f.Mark(end)
+		c.breakLbl = c.breakLbl[:len(c.breakLbl)-1]
+		c.contLbl = c.contLbl[:len(c.contLbl)-1]
+		return nil
+
+	case forStmt:
+		head := c.label("$for")
+		cont := c.label("$fcont")
+		end := c.label("$fend")
+		if st.init != nil {
+			if err := c.genStmt(st.init); err != nil {
+				return err
+			}
+		}
+		c.breakLbl = append(c.breakLbl, end)
+		c.contLbl = append(c.contLbl, cont)
+		c.f.Mark(head)
+		if st.cond != nil {
+			if err := c.genExpr(st.cond); err != nil {
+				return err
+			}
+			c.f.Emit(asm.Br(isa.BEQ, c.top(), isa.R0, end))
+			c.pop()
+		}
+		if err := c.genStmts(st.body); err != nil {
+			return err
+		}
+		c.f.Mark(cont)
+		if st.post != nil {
+			if err := c.genStmt(st.post); err != nil {
+				return err
+			}
+		}
+		c.f.Emit(asm.Jmp(head))
+		c.f.Mark(end)
+		c.breakLbl = c.breakLbl[:len(c.breakLbl)-1]
+		c.contLbl = c.contLbl[:len(c.contLbl)-1]
+		return nil
+
+	case returnStmt:
+		if st.e != nil {
+			if err := c.genExpr(st.e); err != nil {
+				return err
+			}
+			c.f.Emit(asm.I(isa.ADDI, regRV, c.top(), 0))
+			c.pop()
+		} else {
+			c.f.Emit(asm.I(isa.ADDI, regRV, isa.R0, 0))
+		}
+		c.f.Emit(asm.Jmp("$ret"))
+		return nil
+
+	case breakStmt:
+		if len(c.breakLbl) == 0 {
+			return &Error{Line: st.line, Msg: "break outside loop"}
+		}
+		c.f.Emit(asm.Jmp(c.breakLbl[len(c.breakLbl)-1]))
+		return nil
+
+	case continueStmt:
+		if len(c.contLbl) == 0 {
+			return &Error{Line: st.line, Msg: "continue outside loop"}
+		}
+		c.f.Emit(asm.Jmp(c.contLbl[len(c.contLbl)-1]))
+		return nil
+
+	default:
+		return &Error{Line: c.fn.line, Msg: fmt.Sprintf("internal: unknown statement %T", s)}
+	}
+}
+
+func (c *cg) genAssign(lhs lvalue, rhs expr) error {
+	switch lv := lhs.(type) {
+	case varLV:
+		if li, ok := c.locals[lv.name]; ok {
+			if li.words > 1 {
+				return &Error{Line: lv.line, Msg: fmt.Sprintf("cannot assign to array %q", lv.name)}
+			}
+			if err := c.genExpr(rhs); err != nil {
+				return err
+			}
+			c.f.Emit(asm.Sw(c.top(), isa.FP, -li.off))
+			c.pop()
+			return nil
+		}
+		sym, size, err := c.dataSymbol(lv.name, lv.line)
+		if err != nil {
+			return err
+		}
+		if size > 1 {
+			return &Error{Line: lv.line, Msg: fmt.Sprintf("cannot assign to array %q", lv.name)}
+		}
+		if err := c.genExpr(rhs); err != nil {
+			return err
+		}
+		c.f.Emit(asm.La(isa.AT, sym, 0))
+		c.f.Emit(asm.Sw(c.top(), isa.AT, 0))
+		c.pop()
+		return nil
+
+	default:
+		// Address-producing lvalues: compute the address, then the value.
+		if err := c.genLValueAddr(lhs); err != nil {
+			return err
+		}
+		if err := c.genExpr(rhs); err != nil {
+			return err
+		}
+		val := c.top()
+		c.pop()
+		addr := c.top()
+		c.pop()
+		c.f.Emit(asm.Sw(val, addr, 0))
+		return nil
+	}
+}
+
+// genLValueAddr pushes the address of an lvalue.
+func (c *cg) genLValueAddr(lv lvalue) error {
+	switch v := lv.(type) {
+	case varLV:
+		r, err := c.push()
+		if err != nil {
+			return err
+		}
+		if li, ok := c.locals[v.name]; ok {
+			c.f.Emit(asm.I(isa.ADDI, r, isa.FP, -li.off))
+			return nil
+		}
+		sym, _, err := c.dataSymbol(v.name, v.line)
+		if err != nil {
+			return err
+		}
+		c.f.Emit(asm.La(r, sym, 0))
+		return nil
+	case indexLV:
+		if err := c.genExpr(v.base); err != nil {
+			return err
+		}
+		if err := c.genExpr(v.idx); err != nil {
+			return err
+		}
+		idx := c.top()
+		c.pop()
+		base := c.top() // result stays in base's slot
+		c.f.Emit(asm.I(isa.SLLI, idx, idx, 2))
+		c.f.Emit(asm.R(isa.ADD, base, base, idx))
+		return nil
+	case derefLV:
+		return c.genExpr(v.e)
+	default:
+		return &Error{Line: c.fn.line, Msg: fmt.Sprintf("internal: unknown lvalue %T", lv)}
+	}
+}
+
+// dataSymbol resolves a non-local name: function static first, then
+// global. Returns the assembly symbol and its size in words.
+func (c *cg) dataSymbol(name string, line int) (string, int, error) {
+	if sym, ok := c.statics[name]; ok {
+		for _, g := range c.p.Globals {
+			if g.Name == sym {
+				return sym, g.SizeWords, nil
+			}
+		}
+		return sym, 1, nil
+	}
+	if g, ok := c.globals[name]; ok {
+		size := g.size
+		if size == 0 {
+			size = 1
+		}
+		return g.name, size, nil
+	}
+	return "", 0, &Error{Line: line, Msg: fmt.Sprintf("undefined variable %q", name)}
+}
+
+// ---- expressions ----
+
+func (c *cg) genExpr(e expr) error {
+	switch v := e.(type) {
+	case numExpr:
+		r, err := c.push()
+		if err != nil {
+			return err
+		}
+		c.f.Emit(asm.Li(r, v.val))
+		return nil
+
+	case varExpr:
+		r, err := c.push()
+		if err != nil {
+			return err
+		}
+		if li, ok := c.locals[v.name]; ok {
+			if li.words > 1 {
+				// Array decays to its base address.
+				c.f.Emit(asm.I(isa.ADDI, r, isa.FP, -li.off))
+			} else {
+				c.f.Emit(asm.Lw(r, isa.FP, -li.off))
+			}
+			return nil
+		}
+		sym, size, err := c.dataSymbol(v.name, v.line)
+		if err != nil {
+			return err
+		}
+		c.f.Emit(asm.La(r, sym, 0))
+		if size == 1 {
+			c.f.Emit(asm.Lw(r, r, 0))
+		}
+		return nil
+
+	case indexExpr:
+		if err := c.genLValueAddr(indexLV{base: v.base, idx: v.idx}); err != nil {
+			return err
+		}
+		c.f.Emit(asm.Lw(c.top(), c.top(), 0))
+		return nil
+
+	case derefExpr:
+		if err := c.genExpr(v.e); err != nil {
+			return err
+		}
+		c.f.Emit(asm.Lw(c.top(), c.top(), 0))
+		return nil
+
+	case addrExpr:
+		return c.genLValueAddr(v.lv)
+
+	case unaryExpr:
+		if err := c.genExpr(v.e); err != nil {
+			return err
+		}
+		r := c.top()
+		switch v.op {
+		case "-":
+			c.f.Emit(asm.R(isa.SUB, r, isa.R0, r))
+		case "!":
+			c.f.Emit(asm.R(isa.SLTU, r, isa.R0, r))
+			c.f.Emit(asm.I(isa.XORI, r, r, 1))
+		case "~":
+			c.f.Emit(asm.R(isa.SUB, r, isa.R0, r))
+			c.f.Emit(asm.I(isa.ADDI, r, r, -1))
+		default:
+			return &Error{Line: c.fn.line, Msg: fmt.Sprintf("internal: unary %q", v.op)}
+		}
+		return nil
+
+	case binExpr:
+		return c.genBinary(v)
+
+	case callExpr:
+		return c.genCall(v)
+
+	default:
+		return &Error{Line: c.fn.line, Msg: fmt.Sprintf("internal: unknown expression %T", e)}
+	}
+}
+
+func (c *cg) genBinary(v binExpr) error {
+	// Short-circuit forms first.
+	switch v.op {
+	case "&&":
+		skip := c.label("$and")
+		if err := c.genExpr(v.l); err != nil {
+			return err
+		}
+		a := c.top()
+		c.f.Emit(asm.Br(isa.BEQ, a, isa.R0, skip))
+		c.pop()
+		if err := c.genExpr(v.r); err != nil {
+			return err
+		}
+		c.f.Emit(asm.R(isa.SLTU, a, isa.R0, a))
+		c.f.Mark(skip)
+		return nil
+	case "||":
+		done := c.label("$or")
+		if err := c.genExpr(v.l); err != nil {
+			return err
+		}
+		a := c.top()
+		c.f.Emit(asm.R(isa.SLTU, a, isa.R0, a))
+		c.f.Emit(asm.Br(isa.BNE, a, isa.R0, done))
+		c.pop()
+		if err := c.genExpr(v.r); err != nil {
+			return err
+		}
+		c.f.Emit(asm.R(isa.SLTU, a, isa.R0, a))
+		c.f.Mark(done)
+		return nil
+	}
+
+	if err := c.genExpr(v.l); err != nil {
+		return err
+	}
+	if err := c.genExpr(v.r); err != nil {
+		return err
+	}
+	r := c.top()
+	c.pop()
+	l := c.top() // result lands in l's slot
+
+	simple := map[string]isa.Op{
+		"+": isa.ADD, "-": isa.SUB, "*": isa.MUL, "/": isa.DIV, "%": isa.REM,
+		"&": isa.AND, "|": isa.OR, "^": isa.XOR, "<<": isa.SLL, ">>": isa.SRA,
+	}
+	if op, ok := simple[v.op]; ok {
+		c.f.Emit(asm.R(op, l, l, r))
+		return nil
+	}
+	switch v.op {
+	case "<":
+		c.f.Emit(asm.R(isa.SLT, l, l, r))
+	case ">":
+		c.f.Emit(asm.R(isa.SLT, l, r, l))
+	case "<=":
+		c.f.Emit(asm.R(isa.SLT, l, r, l))
+		c.f.Emit(asm.I(isa.XORI, l, l, 1))
+	case ">=":
+		c.f.Emit(asm.R(isa.SLT, l, l, r))
+		c.f.Emit(asm.I(isa.XORI, l, l, 1))
+	case "==":
+		c.f.Emit(asm.R(isa.XOR, l, l, r))
+		c.f.Emit(asm.R(isa.SLTU, l, isa.R0, l))
+		c.f.Emit(asm.I(isa.XORI, l, l, 1))
+	case "!=":
+		c.f.Emit(asm.R(isa.XOR, l, l, r))
+		c.f.Emit(asm.R(isa.SLTU, l, isa.R0, l))
+	default:
+		return &Error{Line: c.fn.line, Msg: fmt.Sprintf("internal: binary %q", v.op)}
+	}
+	return nil
+}
+
+func (c *cg) genCall(v callExpr) error {
+	if arity, ok := builtins[v.name]; ok {
+		if len(v.args) != arity {
+			return &Error{Line: v.line, Msg: fmt.Sprintf("%s expects %d argument(s), got %d", v.name, arity, len(v.args))}
+		}
+		return c.genBuiltin(v)
+	}
+	sig, ok := c.sigs[v.name]
+	if !ok {
+		return &Error{Line: v.line, Msg: fmt.Sprintf("call to undefined function %q", v.name)}
+	}
+	if len(v.args) != sig.params {
+		return &Error{Line: v.line, Msg: fmt.Sprintf("%q expects %d argument(s), got %d", v.name, sig.params, len(v.args))}
+	}
+
+	base := c.sp
+	for _, a := range v.args {
+		if err := c.genExpr(a); err != nil {
+			return err
+		}
+	}
+	// Move argument values into the argument registers.
+	for i := range v.args {
+		c.f.Emit(asm.I(isa.ADDI, regArgBase+isa.Reg(i), regTmpBase+isa.Reg(base+i), 0))
+	}
+	c.sp = base
+	// Caller-save: spill live expression temporaries (implicit writes).
+	for i := 0; i < base; i++ {
+		c.f.Emit(asm.SwImplicit(regTmpBase+isa.Reg(i), isa.FP, -c.spillSlot(i)))
+	}
+	c.f.Emit(asm.Call(v.name))
+	for i := 0; i < base; i++ {
+		c.f.Emit(asm.Lw(regTmpBase+isa.Reg(i), isa.FP, -c.spillSlot(i)))
+	}
+	r, err := c.push()
+	if err != nil {
+		return err
+	}
+	c.f.Emit(asm.I(isa.ADDI, r, regRV, 0))
+	return nil
+}
+
+func (c *cg) genBuiltin(v callExpr) error {
+	// Evaluate arguments onto the temp stack, then move to arg regs.
+	base := c.sp
+	for _, a := range v.args {
+		if err := c.genExpr(a); err != nil {
+			return err
+		}
+	}
+	for i := range v.args {
+		c.f.Emit(asm.I(isa.ADDI, regArgBase+isa.Reg(i), regTmpBase+isa.Reg(base+i), 0))
+	}
+	c.sp = base
+	var sysno int32
+	hasResult := false
+	switch v.name {
+	case "print":
+		sysno = kernel.SysPrint
+	case "alloc":
+		sysno, hasResult = kernel.SysAlloc, true
+	case "free":
+		sysno = kernel.SysFree
+	case "realloc":
+		sysno, hasResult = kernel.SysRealloc, true
+	case "cycles":
+		sysno, hasResult = kernel.SysCycles, true
+	case "bzero":
+		sysno = kernel.SysBzero
+	}
+	c.f.Emit(asm.Sys(sysno))
+	r, err := c.push()
+	if err != nil {
+		return err
+	}
+	if hasResult {
+		c.f.Emit(asm.I(isa.ADDI, r, regRV, 0))
+	} else {
+		c.f.Emit(asm.I(isa.ADDI, r, isa.R0, 0))
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+// Package minic implements a small C-subset compiler targeting the
+// simulated RISC of internal/isa. It plays the role GCC 1.4 plays in the
+// paper: it compiles the benchmark programs whose stores the experiment
+// traces and the software WMS strategies instrument.
+//
+// Faithful to the paper's setup ("All programs were compiled ... with
+// the -g option. No variables were allocated to registers."), the code
+// generator keeps every variable memory-resident: each use loads from
+// the frame or the global segment and each assignment stores back, so
+// loop induction variables really are hot store targets, as in §8's
+// discussion of NativeHardware's expensive sessions.
+//
+// The language: `int` scalars, arrays, and word pointers; functions with
+// up to 8 parameters; globals and function statics with initialisers;
+// if/else, while, for, break, continue, return; short-circuit && and ||;
+// and the builtins alloc/free/realloc/print/cycles, which map to the
+// simulated kernel's services.
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNum
+	tokPunct   // operators and punctuation
+	tokKeyword // int, static, if, else, while, for, return, break, continue
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int32 // for tokNum
+	line int
+}
+
+var keywords = map[string]bool{
+	"int": true, "static": true, "if": true, "else": true,
+	"while": true, "for": true, "return": true, "break": true, "continue": true,
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{
+	"<<=", ">>=",
+	"<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+}
+
+// Error is a compile error with position information.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("minic: line %d: %s", e.Line, e.Msg) }
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, line: l.line})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			kind := tokIdent
+			if keywords[text] {
+				kind = tokKeyword
+			}
+			l.toks = append(l.toks, token{kind: kind, text: text, line: l.line})
+		case c >= '0' && c <= '9':
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.lexPunct(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	base := 10
+	if l.src[l.pos] == '0' && l.pos+1 < len(l.src) && (l.src[l.pos+1] == 'x' || l.src[l.pos+1] == 'X') {
+		base = 16
+		l.pos += 2
+		start = l.pos
+	}
+	for l.pos < len(l.src) && isNumPart(l.src[l.pos], base) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseInt(text, base, 64)
+	if err != nil || v > 0xffffffff {
+		return &Error{Line: l.line, Msg: fmt.Sprintf("bad number %q", text)}
+	}
+	l.toks = append(l.toks, token{kind: tokNum, text: text, val: int32(uint32(v)), line: l.line})
+	return nil
+}
+
+func (l *lexer) lexPunct() error {
+	for _, op := range multiOps {
+		if len(l.src)-l.pos >= len(op) && l.src[l.pos:l.pos+len(op)] == op {
+			l.toks = append(l.toks, token{kind: tokPunct, text: op, line: l.line})
+			l.pos += len(op)
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=',
+		'(', ')', '{', '}', '[', ']', ';', ',':
+		l.toks = append(l.toks, token{kind: tokPunct, text: string(c), line: l.line})
+		l.pos++
+		return nil
+	}
+	return &Error{Line: l.line, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isNumPart(c byte, base int) bool {
+	if c >= '0' && c <= '9' {
+		return true
+	}
+	if base == 16 {
+		return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return false
+}

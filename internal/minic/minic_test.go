@@ -1,0 +1,526 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/kernel"
+)
+
+// runProg compiles and runs src, returning the print output lines and
+// the exit code.
+func runProg(t *testing.T, src string) ([]string, int32) {
+	t.Helper()
+	img, err := CompileToImage(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(50_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := strings.Fields(m.Out.String())
+	return out, m.CPU.ExitCode
+}
+
+func wantOut(t *testing.T, src string, want ...string) {
+	t.Helper()
+	got, _ := runProg(t, src)
+	if len(got) != len(want) {
+		t.Fatalf("output = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestReturnValue(t *testing.T) {
+	_, code := runProg(t, `int main() { return 42; }`)
+	if code != 42 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestImplicitReturnZero(t *testing.T) {
+	_, code := runProg(t, `int main() { print(1); }`)
+	if code != 0 {
+		t.Errorf("exit = %d", code)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	wantOut(t, `int main() {
+		print(2+3*4);      // 14
+		print((2+3)*4);    // 20
+		print(7/2);        // 3
+		print(7%3);        // 1
+		print(-7/2);       // -3
+		print(10-3-2);     // 5 (left assoc)
+		print(1 << 4);     // 16
+		print(-16 >> 2);   // -4 (arithmetic)
+		print(6 & 3);      // 2
+		print(6 | 3);      // 7
+		print(6 ^ 3);      // 5
+		print(~0);         // -1
+		return 0;
+	}`, "14", "20", "3", "1", "-3", "5", "16", "-4", "2", "7", "5", "-1")
+}
+
+func TestComparisons(t *testing.T) {
+	wantOut(t, `int main() {
+		print(1 < 2); print(2 < 1); print(2 <= 2);
+		print(3 > 2); print(2 > 3); print(2 >= 3);
+		print(5 == 5); print(5 == 6); print(5 != 6);
+		print(-1 < 1);
+		return 0;
+	}`, "1", "0", "1", "1", "0", "0", "1", "0", "1", "1")
+}
+
+func TestLogicalOps(t *testing.T) {
+	wantOut(t, `int main() {
+		print(1 && 2);  // 1
+		print(1 && 0);  // 0
+		print(0 && 1);  // 0
+		print(0 || 0);  // 0
+		print(0 || 7);  // 1
+		print(3 || 0);  // 1
+		print(!0); print(!5);
+		return 0;
+	}`, "1", "0", "0", "0", "1", "1", "1", "0")
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	// The right side of && must not execute when the left is false.
+	wantOut(t, `
+	int g = 0;
+	int bump() { g = g + 1; return 1; }
+	int main() {
+		int x;
+		x = 0 && bump();
+		print(g);            // 0 - bump not called
+		x = 1 && bump();
+		print(g);            // 1
+		x = 1 || bump();
+		print(g);            // 1 - bump not called
+		x = 0 || bump();
+		print(g);            // 2
+		return 0;
+	}`, "0", "1", "1", "2")
+}
+
+func TestLocalsAndAssignment(t *testing.T) {
+	wantOut(t, `int main() {
+		int a = 5;
+		int b;
+		b = a * 2;
+		a = a + b;
+		print(a); print(b);
+		return 0;
+	}`, "15", "10")
+}
+
+func TestGlobals(t *testing.T) {
+	wantOut(t, `
+	int counter = 100;
+	int table[4] = {10, 20, 30, 40};
+	int main() {
+		counter = counter + 1;
+		print(counter);
+		print(table[0] + table[3]);
+		table[2] = 99;
+		print(table[2]);
+		return 0;
+	}`, "101", "50", "99")
+}
+
+func TestLocalArrays(t *testing.T) {
+	wantOut(t, `int main() {
+		int a[5];
+		int i;
+		for (i = 0; i < 5; i = i + 1) { a[i] = i * i; }
+		int s = 0;
+		for (i = 0; i < 5; i = i + 1) { s = s + a[i]; }
+		print(s);
+		return 0;
+	}`, "30")
+}
+
+func TestWhileLoop(t *testing.T) {
+	wantOut(t, `int main() {
+		int n = 10;
+		int f = 1;
+		while (n > 1) { f = f * n; n = n - 1; }
+		print(f);
+		return 0;
+	}`, "3628800")
+}
+
+func TestForBreakContinue(t *testing.T) {
+	wantOut(t, `int main() {
+		int i; int s = 0;
+		for (i = 0; i < 100; i = i + 1) {
+			if (i % 2 == 0) { continue; }
+			if (i > 10) { break; }
+			s = s + i;
+		}
+		print(s); // 1+3+5+7+9 = 25
+		return 0;
+	}`, "25")
+}
+
+func TestNestedLoops(t *testing.T) {
+	wantOut(t, `int main() {
+		int i; int j; int c = 0;
+		for (i = 0; i < 4; i = i + 1) {
+			for (j = 0; j < 4; j = j + 1) {
+				if (j == 2) { break; }
+				c = c + 1;
+			}
+		}
+		print(c); // 4 * 2
+		return 0;
+	}`, "8")
+}
+
+func TestIfElseChain(t *testing.T) {
+	wantOut(t, `
+	int classify(int x) {
+		if (x < 0) { return -1; }
+		else if (x == 0) { return 0; }
+		else { return 1; }
+	}
+	int main() {
+		print(classify(-5)); print(classify(0)); print(classify(7));
+		return 0;
+	}`, "-1", "0", "1")
+}
+
+func TestFunctionCalls(t *testing.T) {
+	wantOut(t, `
+	int add3(int a, int b, int c) { return a + b + c; }
+	int twice(int x) { return x * 2; }
+	int main() {
+		print(add3(1, 2, 3));
+		print(twice(add3(10, 20, 30)));
+		print(add3(twice(1), twice(2), twice(3)));
+		return 0;
+	}`, "6", "120", "12")
+}
+
+func TestRecursion(t *testing.T) {
+	wantOut(t, `
+	int fib(int n) {
+		if (n < 2) { return n; }
+		return fib(n-1) + fib(n-2);
+	}
+	int main() { print(fib(15)); return 0; }`, "610")
+}
+
+func TestMutualRecursion(t *testing.T) {
+	wantOut(t, `
+	int isOdd(int n);
+	int isEven(int n) { if (n == 0) { return 1; } return isOdd(n - 1); }
+	int isOdd(int n) { if (n == 0) { return 0; } return isEven(n - 1); }
+	int main() { print(isEven(10)); print(isOdd(10)); return 0; }`, "1", "0")
+}
+
+func TestTempsSurviveCalls(t *testing.T) {
+	// A call in the middle of an expression must not clobber the
+	// partially evaluated expression (caller-save spilling).
+	wantOut(t, `
+	int id(int x) { return x; }
+	int main() {
+		print(1000 + id(1) + 100 * id(2) + id(3));
+		return 0;
+	}`, "1204")
+}
+
+func TestStatics(t *testing.T) {
+	wantOut(t, `
+	int tick() {
+		static int n = 0;
+		n = n + 1;
+		return n;
+	}
+	int main() {
+		print(tick()); print(tick()); print(tick());
+		return 0;
+	}`, "1", "2", "3")
+}
+
+func TestStaticArray(t *testing.T) {
+	wantOut(t, `
+	int memo(int i) {
+		static int cache[8] = {1, 1, 2, 3, 5, 8, 13, 21};
+		return cache[i];
+	}
+	int main() { print(memo(6)); return 0; }`, "13")
+}
+
+func TestHeapBuiltins(t *testing.T) {
+	wantOut(t, `int main() {
+		int p = alloc(16);
+		p[0] = 11; p[1] = 22; p[2] = 33; p[3] = 44;
+		print(p[0] + p[3]);
+		int q = realloc(p, 32);
+		print(q[1]);       // contents preserved in place
+		q[7] = 77;
+		print(q[7]);
+		free(q);
+		return 0;
+	}`, "55", "22", "77")
+}
+
+func TestPointers(t *testing.T) {
+	wantOut(t, `
+	int setVia(int p, int v) { *p = v; return 0; }
+	int main() {
+		int x = 1;
+		int px = &x;
+		*px = 42;
+		print(x);
+		setVia(&x, 7);
+		print(x);
+		int a[3];
+		a[0] = 5; a[1] = 6; a[2] = 7;
+		int pa = a;        // array decays
+		print(*pa); print(pa[2]);
+		return 0;
+	}`, "42", "7", "5", "7")
+}
+
+func TestLinkedListOnHeap(t *testing.T) {
+	wantOut(t, `
+	// node layout: [0]=value, [1]=next
+	int push(int head, int v) {
+		int n = alloc(8);
+		n[0] = v;
+		n[1] = head;
+		return n;
+	}
+	int sum(int head) {
+		int s = 0;
+		while (head != 0) { s = s + head[0]; head = head[1]; }
+		return s;
+	}
+	int main() {
+		int list = 0;
+		int i;
+		for (i = 1; i <= 10; i = i + 1) { list = push(list, i); }
+		print(sum(list));
+		return 0;
+	}`, "55")
+}
+
+func TestCyclesBuiltin(t *testing.T) {
+	out, _ := runProg(t, `int main() {
+		int c0 = cycles();
+		int i; int s = 0;
+		for (i = 0; i < 100; i = i + 1) { s = s + i; }
+		int c1 = cycles();
+		print(c1 > c0);
+		return 0;
+	}`)
+	if len(out) != 1 || out[0] != "1" {
+		t.Errorf("cycles monotonicity: %v", out)
+	}
+}
+
+func TestHexLiteralsAndComments(t *testing.T) {
+	wantOut(t, `
+	/* block comment
+	   over lines */
+	int main() {
+		// line comment
+		print(0x10 + 0xff);
+		return 0;
+	}`, "271")
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"no main", `int f() { return 0; }`},
+		{"undefined var", `int main() { return x; }`},
+		{"undefined func", `int main() { return nope(); }`},
+		{"arity", `int f(int a) { return a; } int main() { return f(1,2); }`},
+		{"builtin arity", `int main() { print(1,2); return 0; }`},
+		{"dup local", `int main() { int x; int x; return 0; }`},
+		{"dup global", `int g; int g; int main() { return 0; }`},
+		{"dup func", `int f() { return 0; } int f() { return 0; } int main() { return 0; }`},
+		{"assign to array", `int main() { int a[3]; a = 5; return 0; }`},
+		{"assign to literal", `int main() { 5 = 6; return 0; }`},
+		{"break outside loop", `int main() { break; return 0; }`},
+		{"continue outside loop", `int main() { continue; return 0; }`},
+		{"bad token", "int main() { return 1 @ 2; }"},
+		{"unterminated block", `int main() { return 0;`},
+		{"redefine builtin", `int print(int x) { return x; } int main() { return 0; }`},
+		{"too many params", `int f(int a,int b,int c,int d,int e,int f2,int g,int h,int i2) { return 0; } int main() { return 0; }`},
+		{"negative array", `int main() { int a[0]; return 0; }`},
+		{"local array init", `int main() { int a[2] = 5; return 0; }`},
+		{"amp of literal", `int main() { return &5; }`},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.src); err == nil {
+			t.Errorf("%s: expected compile error", c.name)
+		}
+	}
+}
+
+func TestDebugInfo(t *testing.T) {
+	img, err := CompileToImage(`
+	int g;
+	int f(int a, int b) {
+		int x;
+		int arr[4];
+		static int s;
+		x = a + b;
+		arr[0] = x;
+		s = x;
+		return x;
+	}
+	int main() { return f(1, 2); }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := img.Funcs[img.FuncBySym["f"]]
+	if len(fi.Locals) != 4 { // a, b, x, arr
+		t.Fatalf("locals = %+v", fi.Locals)
+	}
+	names := map[string]int{}
+	for _, l := range fi.Locals {
+		names[l.Name] = l.SizeWords
+	}
+	if names["a"] != 1 || names["b"] != 1 || names["x"] != 1 || names["arr"] != 4 {
+		t.Errorf("local sizes = %v", names)
+	}
+	if len(fi.Statics) != 1 || fi.Statics[0] != "f$s" {
+		t.Errorf("statics = %v", fi.Statics)
+	}
+	if _, ok := img.Data["f$s"]; !ok {
+		t.Error("static storage missing")
+	}
+	if _, ok := img.Data["g"]; !ok {
+		t.Error("global storage missing")
+	}
+	// Locals must not overlap.
+	type span struct{ lo, hi int32 }
+	var spans []span
+	for _, l := range fi.Locals {
+		spans = append(spans, span{l.Offset - int32(4*l.SizeWords) + 4, l.Offset + 4})
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.lo < b.hi && b.lo < a.hi {
+				t.Errorf("locals overlap: %+v %+v (%+v)", a, b, fi.Locals)
+			}
+		}
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	src := `
+	int rngState = 12345;
+	int rng() {
+		rngState = rngState * 1103515245 + 12345;
+		return (rngState >> 16) & 0x7fff;
+	}
+	int main() {
+		int i; int s = 0;
+		for (i = 0; i < 1000; i = i + 1) { s = s ^ rng(); }
+		print(s);
+		return 0;
+	}`
+	out1, _ := runProg(t, src)
+	out2, _ := runProg(t, src)
+	if out1[0] != out2[0] {
+		t.Errorf("nondeterministic: %v vs %v", out1, out2)
+	}
+}
+
+func TestImplicitStoresMarked(t *testing.T) {
+	img, err := CompileToImage(`
+	int id(int x) { return x; }
+	int main() {
+		int a = 1;
+		return a + id(2) + id(3);
+	}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.ImplicitStores) == 0 {
+		t.Error("prologue/spill stores should be marked implicit")
+	}
+	stores, total := img.CountStores()
+	if stores == 0 || total == 0 || stores >= total {
+		t.Errorf("stores=%d total=%d", stores, total)
+	}
+	if len(img.ImplicitStores) >= stores {
+		t.Errorf("all %d stores implicit out of %d?", len(img.ImplicitStores), stores)
+	}
+}
+
+func TestCompoundAssignment(t *testing.T) {
+	wantOut(t, `int main() {
+		int a = 10;
+		a += 5;  print(a);   // 15
+		a -= 3;  print(a);   // 12
+		a *= 4;  print(a);   // 48
+		a /= 5;  print(a);   // 9
+		a %= 4;  print(a);   // 1
+		a |= 6;  print(a);   // 7
+		a &= 5;  print(a);   // 5
+		a ^= 3;  print(a);   // 6
+		a <<= 2; print(a);   // 24
+		a >>= 1; print(a);   // 12
+		return 0;
+	}`, "15", "12", "48", "9", "1", "7", "5", "6", "24", "12")
+}
+
+func TestIncrementDecrement(t *testing.T) {
+	wantOut(t, `
+	int g = 0;
+	int arr[3];
+	int main() {
+		int i;
+		for (i = 0; i < 6; i++) { g++; }
+		print(g);
+		g--;
+		print(g);
+		arr[1]++;
+		arr[1] += 2;
+		print(arr[1]);
+		return 0;
+	}`, "6", "5", "3")
+}
+
+func TestCompoundOnIndexAndDeref(t *testing.T) {
+	wantOut(t, `int main() {
+		int p = alloc(16);
+		p[2] = 10;
+		p[2] += 5;
+		print(p[2]);
+		*p = 3;
+		*p *= 7;
+		print(*p);
+		free(p);
+		return 0;
+	}`, "15", "21")
+}
+
+func TestCompoundErrors(t *testing.T) {
+	if _, err := Compile(`int main() { 5 += 1; return 0; }`); err == nil {
+		t.Error("compound assign to literal should fail")
+	}
+	if _, err := Compile(`int main() { int a; a ++ 1; return 0; }`); err == nil {
+		t.Error("a ++ 1 should be a syntax error")
+	}
+}

@@ -1,0 +1,626 @@
+package minic
+
+import "fmt"
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*unit, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	u := &unit{}
+	for !p.at(tokEOF, "") {
+		if err := p.topLevel(u); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	t := p.cur()
+	want := text
+	if want == "" {
+		want = fmt.Sprintf("token kind %d", kind)
+	}
+	return token{}, &Error{Line: t.line, Msg: fmt.Sprintf("expected %q, found %q", want, t.text)}
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	return &Error{Line: p.cur().line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// topLevel parses one global declaration or function definition.
+func (p *parser) topLevel(u *unit) error {
+	if _, err := p.expect(tokKeyword, "int"); err != nil {
+		return err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return err
+	}
+	if p.at(tokPunct, "(") {
+		f, err := p.funcRest(name)
+		if err != nil {
+			return err
+		}
+		if f != nil { // nil for prototypes, which only forward-declare
+			u.funcs = append(u.funcs, *f)
+		}
+		return nil
+	}
+	g, err := p.globalRest(name)
+	if err != nil {
+		return err
+	}
+	u.globals = append(u.globals, *g)
+	return nil
+}
+
+// globalRest parses the remainder of `int name ...;`.
+func (p *parser) globalRest(name token) (*globalDecl, error) {
+	g := &globalDecl{name: name.text, line: name.line}
+	if p.accept(tokPunct, "[") {
+		n, err := p.expect(tokNum, "")
+		if err != nil {
+			return nil, err
+		}
+		if n.val <= 0 {
+			return nil, &Error{Line: n.line, Msg: "array size must be positive"}
+		}
+		g.size = int(n.val)
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokPunct, "=") {
+		vals, err := p.constInit()
+		if err != nil {
+			return nil, err
+		}
+		if g.size == 0 && len(vals) != 1 {
+			return nil, &Error{Line: name.line, Msg: "scalar initialiser must be a single value"}
+		}
+		if g.size > 0 && len(vals) > g.size {
+			return nil, &Error{Line: name.line, Msg: "too many initialisers"}
+		}
+		g.init = vals
+	}
+	_, err := p.expect(tokPunct, ";")
+	return g, err
+}
+
+// constInit parses a constant initialiser: a number, a negated number,
+// or a {list}.
+func (p *parser) constInit() ([]int32, error) {
+	if p.accept(tokPunct, "{") {
+		var vals []int32
+		for {
+			v, err := p.constVal()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if p.accept(tokPunct, "}") {
+				return vals, nil
+			}
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	v, err := p.constVal()
+	if err != nil {
+		return nil, err
+	}
+	return []int32{v}, nil
+}
+
+func (p *parser) constVal() (int32, error) {
+	neg := p.accept(tokPunct, "-")
+	n, err := p.expect(tokNum, "")
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -n.val, nil
+	}
+	return n.val, nil
+}
+
+// funcRest parses the remainder of `int name(...) {...}`.
+func (p *parser) funcRest(name token) (*funcDecl, error) {
+	f := &funcDecl{name: name.text, line: name.line}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	if !p.accept(tokPunct, ")") {
+		for {
+			if _, err := p.expect(tokKeyword, "int"); err != nil {
+				return nil, err
+			}
+			id, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			f.params = append(f.params, id.text)
+			if p.accept(tokPunct, ")") {
+				break
+			}
+			if _, err := p.expect(tokPunct, ","); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.accept(tokPunct, ";") {
+		return nil, nil // prototype: definitions are collected in a pre-pass
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+// block parses `{ stmt* }`.
+func (p *parser) block() ([]stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.accept(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errHere("unexpected end of input in block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+	}
+	return stmts, nil
+}
+
+// blockOrStmt parses either a braced block or a single statement.
+func (p *parser) blockOrStmt() ([]stmt, error) {
+	if p.at(tokPunct, "{") {
+		return p.block()
+	}
+	s, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if s == nil {
+		return nil, nil
+	}
+	return []stmt{s}, nil
+}
+
+func (p *parser) statement() (stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokKeyword && (t.text == "int" || t.text == "static"):
+		return p.declStatement()
+	case t.kind == tokKeyword && t.text == "if":
+		return p.ifStatement()
+	case t.kind == tokKeyword && t.text == "while":
+		return p.whileStatement()
+	case t.kind == tokKeyword && t.text == "for":
+		return p.forStatement()
+	case t.kind == tokKeyword && t.text == "return":
+		p.next()
+		var e expr
+		if !p.at(tokPunct, ";") {
+			var err error
+			if e, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		_, err := p.expect(tokPunct, ";")
+		return returnStmt{e: e}, err
+	case t.kind == tokKeyword && t.text == "break":
+		p.next()
+		_, err := p.expect(tokPunct, ";")
+		return breakStmt{line: t.line}, err
+	case t.kind == tokKeyword && t.text == "continue":
+		p.next()
+		_, err := p.expect(tokPunct, ";")
+		return continueStmt{line: t.line}, err
+	case t.kind == tokPunct && t.text == ";":
+		p.next()
+		return nil, nil
+	default:
+		s, err := p.simpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokPunct, ";")
+		return s, err
+	}
+}
+
+func (p *parser) declStatement() (stmt, error) {
+	static := p.accept(tokKeyword, "static")
+	if _, err := p.expect(tokKeyword, "int"); err != nil {
+		return nil, err
+	}
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	d := declStmt{name: id.text, static: static, line: id.line}
+	if p.accept(tokPunct, "[") {
+		n, err := p.expect(tokNum, "")
+		if err != nil {
+			return nil, err
+		}
+		if n.val <= 0 {
+			return nil, &Error{Line: n.line, Msg: "array size must be positive"}
+		}
+		d.size = int(n.val)
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokPunct, "=") {
+		if static {
+			vals, err := p.constInit()
+			if err != nil {
+				return nil, err
+			}
+			d.sinit = vals
+		} else {
+			if d.size > 0 {
+				return nil, &Error{Line: id.line, Msg: "array initialisers are only supported for globals and statics"}
+			}
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			d.init = e
+		}
+	}
+	_, err = p.expect(tokPunct, ";")
+	return d, err
+}
+
+func (p *parser) ifStatement() (stmt, error) {
+	p.next() // if
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	var els []stmt
+	if p.accept(tokKeyword, "else") {
+		els, err = p.blockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ifStmt{cond: cond, then: then, els: els}, nil
+}
+
+func (p *parser) whileStatement() (stmt, error) {
+	p.next() // while
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	return whileStmt{cond: cond, body: body}, nil
+}
+
+func (p *parser) forStatement() (stmt, error) {
+	p.next() // for
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var f forStmt
+	if !p.at(tokPunct, ";") {
+		s, err := p.simpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		f.init = s
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ";") {
+		c, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		f.cond = c
+	}
+	if _, err := p.expect(tokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.at(tokPunct, ")") {
+		s, err := p.simpleStatement()
+		if err != nil {
+			return nil, err
+		}
+		f.post = s
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.blockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	f.body = body
+	return f, nil
+}
+
+// simpleStatement parses an assignment, compound assignment,
+// increment/decrement, or expression statement (no trailing semicolon).
+//
+// Compound forms desugar: `x op= e` becomes `x = x op e` and `x++`
+// becomes `x = x + 1`. The lvalue expression is therefore evaluated
+// twice; this differs from C only when the lvalue itself has side
+// effects (e.g. a function call in a subscript), which the benchmark
+// workloads never do.
+func (p *parser) simpleStatement() (stmt, error) {
+	// Parse an expression; if an assignment operator follows,
+	// reinterpret it as an lvalue.
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "=") {
+		lv, err := exprToLValue(e, p.cur().line)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{lhs: lv, rhs: rhs}, nil
+	}
+	compound := map[string]string{
+		"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+		"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+	}
+	for tok, op := range compound {
+		if p.accept(tokPunct, tok) {
+			lv, err := exprToLValue(e, p.cur().line)
+			if err != nil {
+				return nil, err
+			}
+			rhs, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			return assignStmt{lhs: lv, rhs: binExpr{op: op, l: e, r: rhs}}, nil
+		}
+	}
+	if p.accept(tokPunct, "++") {
+		lv, err := exprToLValue(e, p.cur().line)
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{lhs: lv, rhs: binExpr{op: "+", l: e, r: numExpr{val: 1}}}, nil
+	}
+	if p.accept(tokPunct, "--") {
+		lv, err := exprToLValue(e, p.cur().line)
+		if err != nil {
+			return nil, err
+		}
+		return assignStmt{lhs: lv, rhs: binExpr{op: "-", l: e, r: numExpr{val: 1}}}, nil
+	}
+	return exprStmt{e: e}, nil
+}
+
+func exprToLValue(e expr, line int) (lvalue, error) {
+	switch v := e.(type) {
+	case varExpr:
+		return varLV{name: v.name, line: v.line}, nil
+	case indexExpr:
+		return indexLV{base: v.base, idx: v.idx}, nil
+	case derefExpr:
+		return derefLV{e: v.e}, nil
+	default:
+		return nil, &Error{Line: line, Msg: "left side of assignment is not assignable"}
+	}
+}
+
+// Expression grammar, lowest precedence first:
+//
+//	or   := and ("||" and)*
+//	and  := bitor ("&&" bitor)*
+//	bitor:= bitxor ("|" bitxor)*
+//	bitxor := bitand ("^" bitand)*
+//	bitand := equality ("&" equality)*
+//	equality := rel (("=="|"!=") rel)*
+//	rel  := shift (("<"|">"|"<="|">=") shift)*
+//	shift:= add (("<<"|">>") add)*
+//	add  := mul (("+"|"-") mul)*
+//	mul  := unary (("*"|"/"|"%") unary)*
+//	unary:= ("-"|"!"|"~"|"*"|"&") unary | postfix
+//	postfix := primary ("[" expr "]")*
+//	primary := num | ident | ident "(" args ")" | "(" expr ")"
+func (p *parser) expr() (expr, error) { return p.binary(0) }
+
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", ">", "<=", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) binary(level int) (expr, error) {
+	if level >= len(precLevels) {
+		return p.unary()
+	}
+	l, err := p.binary(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.at(tokPunct, op) {
+				p.next()
+				r, err := p.binary(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				l = binExpr{op: op, l: l, r: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unary() (expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "-", "!", "~":
+			p.next()
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return unaryExpr{op: t.text, e: e}, nil
+		case "*":
+			p.next()
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return derefExpr{e: e}, nil
+		case "&":
+			p.next()
+			e, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			lv, err := exprToLValue(e, t.line)
+			if err != nil {
+				return nil, &Error{Line: t.line, Msg: "'&' requires an lvalue"}
+			}
+			return addrExpr{lv: lv}, nil
+		}
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokPunct, "[") {
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		e = indexExpr{base: e, idx: idx}
+	}
+	return e, nil
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNum:
+		p.next()
+		return numExpr{val: t.val}, nil
+	case t.kind == tokIdent:
+		p.next()
+		if p.accept(tokPunct, "(") {
+			call := callExpr{name: t.text, line: t.line}
+			if !p.accept(tokPunct, ")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.args = append(call.args, a)
+					if p.accept(tokPunct, ")") {
+						break
+					}
+					if _, err := p.expect(tokPunct, ","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		return varExpr{name: t.text, line: t.line}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokPunct, ")")
+		return e, err
+	default:
+		return nil, &Error{Line: t.line, Msg: fmt.Sprintf("unexpected token %q in expression", t.text)}
+	}
+}

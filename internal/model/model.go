@@ -1,0 +1,252 @@
+// Package model implements the analytical models of §7 of the paper
+// (Figures 3–6): given a monitor session's counting variables and a
+// timing profile, it estimates the overhead each WMS strategy imposes,
+// split into the four components the paper reports:
+//
+//	MonitorHit_ov + MonitorMiss_ov + InstallMonitor_ov + RemoveMonitor_ov
+//
+// The canonical timing profile is the paper's Table 2, measured on a
+// 40 MHz SPARCstation 2 under SunOS 4.1.1; internal/calib can produce a
+// host-measured profile instead.
+package model
+
+import "fmt"
+
+// Timings holds the timing variables of Table 2, in microseconds.
+type Timings struct {
+	SoftwareUpdate float64 // SoftwareUpdate_τ: mapping update on install/remove
+	SoftwareLookup float64 // SoftwareLookup_τ: per-write range lookup
+	NHFaultHandler float64 // NHFaultHandler_τ: monitor-register fault
+	VMFaultHandler float64 // VMFaultHandler_τ: write fault + emulate + continue
+	VMProtect      float64 // VMProtect_τ: protect one page
+	VMUnprotect    float64 // VMUnprotect_τ: unprotect one page
+	TPFaultHandler float64 // TPFaultHandler_τ: trap fault + emulate + continue
+}
+
+// Paper is the published Table 2 profile.
+var Paper = Timings{
+	SoftwareUpdate: 22,
+	SoftwareLookup: 2.75,
+	NHFaultHandler: 131,
+	VMFaultHandler: 561,
+	VMProtect:      80,
+	VMUnprotect:    299,
+	TPFaultHandler: 102,
+}
+
+// Strategy identifies a WMS implementation strategy.
+type Strategy int
+
+// The four strategies of §7.1; VirtualMemory is evaluated at two page
+// sizes, giving the paper's five result columns.
+const (
+	NH   Strategy = iota // NativeHardware
+	VM4K                 // VirtualMemory, 4 KiB pages
+	VM8K                 // VirtualMemory, 8 KiB pages
+	TP                   // TrapPatch
+	CP                   // CodePatch
+	NumStrategies
+)
+
+// String names the strategy with the paper's abbreviations.
+func (s Strategy) String() string {
+	switch s {
+	case NH:
+		return "NH"
+	case VM4K:
+		return "VM-4K"
+	case VM8K:
+		return "VM-8K"
+	case TP:
+		return "TP"
+	case CP:
+		return "CP"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// FullName returns the long strategy name.
+func (s Strategy) FullName() string {
+	switch s {
+	case NH:
+		return "NativeHardware"
+	case VM4K:
+		return "VirtualMemory-4K"
+	case VM8K:
+		return "VirtualMemory-8K"
+	case TP:
+		return "TrapPatch"
+	case CP:
+		return "CodePatch"
+	default:
+		return s.String()
+	}
+}
+
+// Strategies lists all five result columns in paper order.
+var Strategies = [NumStrategies]Strategy{NH, VM4K, VM8K, TP, CP}
+
+// Counting is the counting-variable input to the models. It mirrors
+// sim.Counting but is defined here so the model layer has no dependency
+// on the simulator (timing-only clients, e.g. the debugger's overhead
+// estimator, construct it directly).
+type Counting struct {
+	Installs uint64 // InstallMonitor_σ
+	Removes  uint64 // RemoveMonitor_σ
+	Hits     uint64 // MonitorHit_σ
+	Misses   uint64 // MonitorMiss_σ
+
+	// Page-granularity variables for the VirtualMemory model, one set
+	// per page size.
+	Protects       [2]uint64 // VMProtect_σ   [0]=4K, [1]=8K
+	Unprotects     [2]uint64 // VMUnprotect_σ
+	ActivePageMiss [2]uint64 // VMActivePageMiss_σ
+}
+
+// Overheads is a per-component overhead estimate in seconds.
+type Overheads struct {
+	MonitorHit     float64
+	MonitorMiss    float64
+	InstallMonitor float64
+	RemoveMonitor  float64
+}
+
+// Total returns the summed overhead in seconds.
+func (o Overheads) Total() float64 {
+	return o.MonitorHit + o.MonitorMiss + o.InstallMonitor + o.RemoveMonitor
+}
+
+// Relative normalises the overhead to the base execution time, giving
+// the paper's "relative overhead".
+func (o Overheads) Relative(baseSeconds float64) float64 {
+	if baseSeconds <= 0 {
+		return 0
+	}
+	return o.Total() / baseSeconds
+}
+
+const usToS = 1e-6
+
+// Estimate evaluates the analytical model for one strategy.
+func Estimate(s Strategy, c Counting, t Timings) Overheads {
+	switch s {
+	case NH:
+		return estimateNH(c, t)
+	case VM4K:
+		return estimateVM(c, t, 0)
+	case VM8K:
+		return estimateVM(c, t, 1)
+	case TP:
+		return estimateTP(c, t)
+	case CP:
+		return estimateCP(c, t)
+	default:
+		panic(fmt.Sprintf("model: unknown strategy %d", s))
+	}
+}
+
+// estimateNH implements Figure 3: all overhead comes from monitor-
+// register faults on hits; installs, removes and misses are free.
+func estimateNH(c Counting, t Timings) Overheads {
+	return Overheads{
+		MonitorHit: float64(c.Hits) * t.NHFaultHandler * usToS,
+	}
+}
+
+// estimateVM implements Figure 4.
+func estimateVM(c Counting, t Timings, psi int) Overheads {
+	perFault := (t.VMFaultHandler + t.SoftwareLookup) * usToS
+	perUpdate := (t.VMUnprotect + t.SoftwareUpdate + t.VMProtect) * usToS
+	return Overheads{
+		MonitorHit:  float64(c.Hits) * perFault,
+		MonitorMiss: float64(c.ActivePageMiss[psi]) * perFault,
+		InstallMonitor: float64(c.Installs)*perUpdate +
+			float64(c.Protects[psi])*t.VMProtect*usToS,
+		RemoveMonitor: float64(c.Removes)*perUpdate +
+			float64(c.Unprotects[psi])*t.VMUnprotect*usToS,
+	}
+}
+
+// estimateTP implements Figure 5: every write (hit or miss) traps.
+func estimateTP(c Counting, t Timings) Overheads {
+	perTrap := (t.TPFaultHandler + t.SoftwareLookup) * usToS
+	return Overheads{
+		MonitorHit:     float64(c.Hits) * perTrap,
+		MonitorMiss:    float64(c.Misses) * perTrap,
+		InstallMonitor: float64(c.Installs) * t.SoftwareUpdate * usToS,
+		RemoveMonitor:  float64(c.Removes) * t.SoftwareUpdate * usToS,
+	}
+}
+
+// estimateCP implements Figure 6: every write pays one software lookup.
+func estimateCP(c Counting, t Timings) Overheads {
+	return Overheads{
+		MonitorHit:     float64(c.Hits) * t.SoftwareLookup * usToS,
+		MonitorMiss:    float64(c.Misses) * t.SoftwareLookup * usToS,
+		InstallMonitor: float64(c.Installs) * t.SoftwareUpdate * usToS,
+		RemoveMonitor:  float64(c.Removes) * t.SoftwareUpdate * usToS,
+	}
+}
+
+// Component identifies a timing-variable contribution in a breakdown.
+type Component struct {
+	Name    string
+	Seconds float64
+}
+
+// Breakdown attributes a strategy's total overhead to the underlying
+// timing variables (the paper's §8 "where the time was spent" analysis).
+func Breakdown(s Strategy, c Counting, t Timings) []Component {
+	switch s {
+	case NH:
+		return []Component{
+			{"NHFaultHandler", float64(c.Hits) * t.NHFaultHandler * usToS},
+		}
+	case VM4K, VM8K:
+		psi := 0
+		if s == VM8K {
+			psi = 1
+		}
+		faults := float64(c.Hits + c.ActivePageMiss[psi])
+		return []Component{
+			{"VMFaultHandler", faults * t.VMFaultHandler * usToS},
+			{"SoftwareLookup", faults * t.SoftwareLookup * usToS},
+			{"SoftwareUpdate", float64(c.Installs+c.Removes) * t.SoftwareUpdate * usToS},
+			{"VMProtect", (float64(c.Installs+c.Removes) + float64(c.Protects[psi])) * t.VMProtect * usToS},
+			{"VMUnprotect", (float64(c.Installs+c.Removes) + float64(c.Unprotects[psi])) * t.VMUnprotect * usToS},
+		}
+	case TP:
+		writes := float64(c.Hits + c.Misses)
+		return []Component{
+			{"TPFaultHandler", writes * t.TPFaultHandler * usToS},
+			{"SoftwareLookup", writes * t.SoftwareLookup * usToS},
+			{"SoftwareUpdate", float64(c.Installs+c.Removes) * t.SoftwareUpdate * usToS},
+		}
+	case CP:
+		writes := float64(c.Hits + c.Misses)
+		return []Component{
+			{"SoftwareLookup", writes * t.SoftwareLookup * usToS},
+			{"SoftwareUpdate", float64(c.Installs+c.Removes) * t.SoftwareUpdate * usToS},
+		}
+	default:
+		return nil
+	}
+}
+
+// BreakdownFractions converts a breakdown to fractions of the total.
+func BreakdownFractions(comps []Component) map[string]float64 {
+	total := 0.0
+	for _, c := range comps {
+		total += c.Seconds
+	}
+	out := make(map[string]float64, len(comps))
+	for _, c := range comps {
+		if total > 0 {
+			out[c.Name] = c.Seconds / total
+		} else {
+			out[c.Name] = 0
+		}
+	}
+	return out
+}

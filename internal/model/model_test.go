@@ -1,0 +1,197 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNHModel(t *testing.T) {
+	c := Counting{Hits: 1000, Misses: 1_000_000, Installs: 50, Removes: 50}
+	o := Estimate(NH, c, Paper)
+	// Figure 3: only hits cost anything.
+	want := 1000 * 131e-6
+	if !almost(o.Total(), want) {
+		t.Errorf("NH total = %v, want %v", o.Total(), want)
+	}
+	if o.MonitorMiss != 0 || o.InstallMonitor != 0 || o.RemoveMonitor != 0 {
+		t.Error("NH should only charge hits")
+	}
+}
+
+func TestCPModel(t *testing.T) {
+	c := Counting{Hits: 10, Misses: 999_990, Installs: 100, Removes: 100}
+	o := Estimate(CP, c, Paper)
+	// Figure 6: every write pays a lookup; updates pay SoftwareUpdate.
+	wantWrites := 1_000_000 * 2.75e-6
+	wantUpdates := 200 * 22e-6
+	if !almost(o.MonitorHit+o.MonitorMiss, wantWrites) {
+		t.Errorf("CP write cost = %v, want %v", o.MonitorHit+o.MonitorMiss, wantWrites)
+	}
+	if !almost(o.InstallMonitor+o.RemoveMonitor, wantUpdates) {
+		t.Errorf("CP update cost = %v, want %v", o.InstallMonitor+o.RemoveMonitor, wantUpdates)
+	}
+}
+
+func TestTPModel(t *testing.T) {
+	c := Counting{Hits: 10, Misses: 999_990}
+	o := Estimate(TP, c, Paper)
+	want := 1_000_000 * (102 + 2.75) * 1e-6
+	if !almost(o.Total(), want) {
+		t.Errorf("TP total = %v, want %v", o.Total(), want)
+	}
+}
+
+func TestVMModel(t *testing.T) {
+	c := Counting{
+		Hits: 100, Misses: 1_000_000, Installs: 10, Removes: 10,
+		Protects:       [2]uint64{5, 4},
+		Unprotects:     [2]uint64{5, 4},
+		ActivePageMiss: [2]uint64{2000, 3000},
+	}
+	o4 := Estimate(VM4K, c, Paper)
+	perFault := (561 + 2.75) * 1e-6
+	perUpdate := (299 + 22 + 80) * 1e-6
+	wantHit := 100 * perFault
+	wantMiss := 2000 * perFault
+	wantInstall := 10*perUpdate + 5*80e-6
+	wantRemove := 10*perUpdate + 5*299e-6
+	if !almost(o4.MonitorHit, wantHit) {
+		t.Errorf("VM hit = %v, want %v", o4.MonitorHit, wantHit)
+	}
+	if !almost(o4.MonitorMiss, wantMiss) {
+		t.Errorf("VM miss = %v, want %v", o4.MonitorMiss, wantMiss)
+	}
+	if !almost(o4.InstallMonitor, wantInstall) {
+		t.Errorf("VM install = %v, want %v", o4.InstallMonitor, wantInstall)
+	}
+	if !almost(o4.RemoveMonitor, wantRemove) {
+		t.Errorf("VM remove = %v, want %v", o4.RemoveMonitor, wantRemove)
+	}
+	// 8K uses its own page stats.
+	o8 := Estimate(VM8K, c, Paper)
+	if !almost(o8.MonitorMiss, 3000*perFault) {
+		t.Errorf("VM8K miss = %v", o8.MonitorMiss)
+	}
+}
+
+func TestRelative(t *testing.T) {
+	o := Overheads{MonitorHit: 1, MonitorMiss: 2, InstallMonitor: 3, RemoveMonitor: 4}
+	if o.Total() != 10 {
+		t.Errorf("Total = %v", o.Total())
+	}
+	if o.Relative(5) != 2 {
+		t.Errorf("Relative = %v", o.Relative(5))
+	}
+	if o.Relative(0) != 0 {
+		t.Error("Relative with zero base should be 0")
+	}
+}
+
+func TestStrategyOrderingMatchesPaper(t *testing.T) {
+	// For a typical session (few hits, millions of misses, modest
+	// installs) the paper's qualitative ordering must hold:
+	// NH << CP << TP, and CP << VM when pages are shared heavily.
+	c := Counting{
+		Hits: 500, Misses: 3_000_000, Installs: 900, Removes: 900,
+		Protects: [2]uint64{400, 400}, Unprotects: [2]uint64{400, 400},
+		ActivePageMiss: [2]uint64{30_000, 50_000},
+	}
+	nh := Estimate(NH, c, Paper).Total()
+	cp := Estimate(CP, c, Paper).Total()
+	tp := Estimate(TP, c, Paper).Total()
+	vm4 := Estimate(VM4K, c, Paper).Total()
+	vm8 := Estimate(VM8K, c, Paper).Total()
+	if !(nh < cp && cp < tp) {
+		t.Errorf("ordering violated: nh=%v cp=%v tp=%v", nh, cp, tp)
+	}
+	if !(cp < vm4 && vm4 <= vm8) {
+		t.Errorf("ordering violated: cp=%v vm4=%v vm8=%v", cp, vm4, vm8)
+	}
+	// TP/CP ratio is the ratio of per-write costs: (102+2.75)/2.75 ≈ 38.
+	ratio := tp / cp
+	if ratio < 30 || ratio > 45 {
+		t.Errorf("TP/CP ratio = %v, expect ~38", ratio)
+	}
+}
+
+func TestBreakdownNH(t *testing.T) {
+	c := Counting{Hits: 10}
+	fr := BreakdownFractions(Breakdown(NH, c, Paper))
+	if !almost(fr["NHFaultHandler"], 1.0) {
+		t.Errorf("NH breakdown = %v, want 100%% fault handler", fr)
+	}
+}
+
+func TestBreakdownTPDominatedByFaults(t *testing.T) {
+	// §8: TPFaultHandler consistently ~97% of TP overhead.
+	c := Counting{Hits: 100, Misses: 1_000_000, Installs: 500, Removes: 500}
+	fr := BreakdownFractions(Breakdown(TP, c, Paper))
+	if fr["TPFaultHandler"] < 0.95 {
+		t.Errorf("TPFaultHandler fraction = %v, want ≥0.95", fr["TPFaultHandler"])
+	}
+}
+
+func TestBreakdownCPDominatedByLookup(t *testing.T) {
+	// §8: SoftwareLookup is 98-99% of CP overhead.
+	c := Counting{Hits: 100, Misses: 1_000_000, Installs: 500, Removes: 500}
+	fr := BreakdownFractions(Breakdown(CP, c, Paper))
+	if fr["SoftwareLookup"] < 0.97 {
+		t.Errorf("SoftwareLookup fraction = %v, want ≥0.97", fr["SoftwareLookup"])
+	}
+}
+
+func TestBreakdownVMDominatedByFaultHandler(t *testing.T) {
+	// §8: VMFaultHandler contributed 86-97% of VM overhead.
+	c := Counting{
+		Hits: 2000, Misses: 3_000_000, Installs: 900, Removes: 900,
+		Protects: [2]uint64{400, 400}, Unprotects: [2]uint64{400, 400},
+		ActivePageMiss: [2]uint64{32_000, 53_000},
+	}
+	fr := BreakdownFractions(Breakdown(VM4K, c, Paper))
+	if fr["VMFaultHandler"] < 0.85 {
+		t.Errorf("VMFaultHandler fraction = %v, want ≥0.85", fr["VMFaultHandler"])
+	}
+}
+
+func TestBreakdownSumsToEstimate(t *testing.T) {
+	c := Counting{
+		Hits: 123, Misses: 456_789, Installs: 42, Removes: 42,
+		Protects: [2]uint64{7, 6}, Unprotects: [2]uint64{7, 6},
+		ActivePageMiss: [2]uint64{1000, 1500},
+	}
+	for _, s := range Strategies {
+		total := Estimate(s, c, Paper).Total()
+		sum := 0.0
+		for _, comp := range Breakdown(s, c, Paper) {
+			sum += comp.Seconds
+		}
+		if !almost(total, sum) {
+			t.Errorf("%v: breakdown sum %v != estimate %v", s, sum, total)
+		}
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	names := map[Strategy]string{NH: "NH", VM4K: "VM-4K", VM8K: "VM-8K", TP: "TP", CP: "CP"}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+		if s.FullName() == "" {
+			t.Errorf("%v.FullName() empty", s)
+		}
+	}
+}
+
+func TestZeroCountingZeroOverhead(t *testing.T) {
+	var c Counting
+	for _, s := range Strategies {
+		if got := Estimate(s, c, Paper).Total(); got != 0 {
+			t.Errorf("%v: zero counting gives overhead %v", s, got)
+		}
+	}
+}

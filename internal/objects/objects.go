@@ -1,0 +1,133 @@
+// Package objects models the debuggee's program objects — the entities
+// monitor sessions are defined over: local automatic variables, local
+// statics, global statics, and heap objects.
+//
+// Each object has a stable identity across the whole run. For locals
+// that identity covers *every instantiation* of the variable (the paper:
+// "All instantiations of the variable belong to the same monitor
+// session"); for heap objects it survives realloc (§5, footnote 4).
+package objects
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies a program object.
+type Kind uint8
+
+// Object kinds.
+const (
+	KindLocalAuto Kind = iota
+	KindLocalStatic
+	KindGlobal
+	KindHeap
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLocalAuto:
+		return "local-auto"
+	case KindLocalStatic:
+		return "local-static"
+	case KindGlobal:
+		return "global"
+	case KindHeap:
+		return "heap"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ID identifies an object within one trace.
+type ID uint32
+
+// NoID is the zero, invalid object ID. Valid IDs start at 1.
+const NoID ID = 0
+
+// Object describes one program object.
+type Object struct {
+	ID   ID
+	Kind Kind
+	// Func is the declaring function for locals and statics ("" for
+	// globals and heap objects).
+	Func string
+	// Name is the variable name, or a synthetic "heap#N" for heap
+	// objects.
+	Name string
+	// SizeBytes is the object's (initial) size.
+	SizeBytes int
+	// AllocCtx lists, for heap objects, the distinct functions that were
+	// on the call stack when the object was allocated — the objects that
+	// belong to each of those functions' AllHeapInFunc sessions.
+	AllocCtx []string
+}
+
+// Table is the object table of one trace.
+type Table struct {
+	objs []Object // objs[i] has ID i+1
+}
+
+// NewTable returns an empty object table.
+func NewTable() *Table { return &Table{} }
+
+// Add registers a new object and assigns its ID.
+func (t *Table) Add(o Object) ID {
+	o.ID = ID(len(t.objs) + 1)
+	t.objs = append(t.objs, o)
+	return o.ID
+}
+
+// Get returns the object with the given ID.
+func (t *Table) Get(id ID) (Object, bool) {
+	if id == NoID || int(id) > len(t.objs) {
+		return Object{}, false
+	}
+	return t.objs[id-1], true
+}
+
+// MustGet returns the object or panics; for internal consistency paths.
+func (t *Table) MustGet(id ID) Object {
+	o, ok := t.Get(id)
+	if !ok {
+		panic(fmt.Sprintf("objects: no object %d", id))
+	}
+	return o
+}
+
+// Len returns the number of objects.
+func (t *Table) Len() int { return len(t.objs) }
+
+// All returns the objects in ID order. The slice is shared; callers must
+// not mutate it.
+func (t *Table) All() []Object { return t.objs }
+
+// Funcs returns the sorted set of distinct function names that appear as
+// declarers or allocation contexts.
+func (t *Table) Funcs() []string {
+	set := make(map[string]bool)
+	for _, o := range t.objs {
+		if o.Func != "" {
+			set[o.Func] = true
+		}
+		for _, f := range o.AllocCtx {
+			set[f] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CountByKind tallies objects per kind.
+func (t *Table) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, o := range t.objs {
+		m[o.Kind]++
+	}
+	return m
+}

@@ -1,0 +1,81 @@
+package objects
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddGet(t *testing.T) {
+	tab := NewTable()
+	id1 := tab.Add(Object{Kind: KindGlobal, Name: "g"})
+	id2 := tab.Add(Object{Kind: KindLocalAuto, Func: "f", Name: "x"})
+	if id1 != 1 || id2 != 2 {
+		t.Errorf("ids = %d, %d", id1, id2)
+	}
+	o, ok := tab.Get(id2)
+	if !ok || o.Name != "x" || o.Func != "f" || o.ID != id2 {
+		t.Errorf("Get(2) = %+v, %v", o, ok)
+	}
+	if tab.Len() != 2 {
+		t.Errorf("Len = %d", tab.Len())
+	}
+}
+
+func TestGetInvalid(t *testing.T) {
+	tab := NewTable()
+	if _, ok := tab.Get(NoID); ok {
+		t.Error("Get(NoID) should fail")
+	}
+	if _, ok := tab.Get(5); ok {
+		t.Error("Get(out of range) should fail")
+	}
+}
+
+func TestMustGetPanics(t *testing.T) {
+	tab := NewTable()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet on empty table should panic")
+		}
+	}()
+	tab.MustGet(1)
+}
+
+func TestFuncs(t *testing.T) {
+	tab := NewTable()
+	tab.Add(Object{Kind: KindLocalAuto, Func: "zeta", Name: "x"})
+	tab.Add(Object{Kind: KindGlobal, Name: "g"})
+	tab.Add(Object{Kind: KindHeap, Name: "heap#1", AllocCtx: []string{"main", "alpha"}})
+	got := tab.Funcs()
+	want := []string{"alpha", "main", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Funcs() = %v, want %v", got, want)
+	}
+}
+
+func TestCountByKind(t *testing.T) {
+	tab := NewTable()
+	tab.Add(Object{Kind: KindGlobal})
+	tab.Add(Object{Kind: KindGlobal})
+	tab.Add(Object{Kind: KindHeap})
+	tab.Add(Object{Kind: KindLocalAuto})
+	tab.Add(Object{Kind: KindLocalStatic})
+	got := tab.CountByKind()
+	if got[KindGlobal] != 2 || got[KindHeap] != 1 || got[KindLocalAuto] != 1 || got[KindLocalStatic] != 1 {
+		t.Errorf("CountByKind = %v", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindLocalAuto: "local-auto", KindLocalStatic: "local-static",
+		KindGlobal: "global", KindHeap: "heap",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

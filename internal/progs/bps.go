@@ -1,0 +1,281 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BPS synthesises the Bayesian problem solver workload: best-first
+// search arranging 8 numbers on a 3x3 grid into ascending order by
+// sliding them in Manhattan directions through the empty cell (the
+// paper's §6 description). The search allocates one small heap node per
+// explored state — thousands of them, giving BPS by far the largest
+// OneHeap population in Table 1 — while spending most of its cycles in
+// read-only work: Zobrist-hash duplicate probing, heuristic evaluation,
+// and priority-queue comparisons. That read dominance is what makes BPS
+// the least write-dense program of the suite.
+func BPS(scale int) Program {
+	const (
+		pqCap    = 4096
+		visCap   = 16384
+		maxExp   = 2600
+		scramble = 60
+	)
+	restarts := 3 * scale
+
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+	raw := func(code string) { b.WriteString(code) }
+
+	w("// bps: best-first 8-puzzle search (synthesised BPS analogue)\n")
+	w("int rs = 192837465;\n")
+	w("int buckets[%d];\n", pqCap)
+	w("int pqn = 0;\n")
+	w("int minb = %d;\n", pqCap-1)
+	w("int vis[%d];\n", visCap)
+	w("int zob[90];\n")     // Zobrist keys: tile (0..8) x position (0..8)
+	w("int mdtab[81];\n")   // Manhattan distance: tile x position
+	w("int movetab[36];\n") // blank position x direction -> new blank or -1
+	w("int expanded = 0;\n")
+	w("int generated = 0;\n")
+	w("int dup_hits = 0;\n")
+	w("int dropped = 0;\n")
+	w("int solved = 0;\n")
+	w("int best_h = 999;\n")
+	w("int evsum = 0;\n")
+
+	raw(`
+int rnd() {
+	rs = rs * 1103515245 + 12345;
+	return (rs >> 16) & 0x7fff;
+}
+
+// Node layout (16 words): [0..8] board, [9] g, [10] h, [11] f,
+// [12] hash, [13] blank position.
+
+int abs_diff(int a, int b) {
+	if (a < b) { return b - a; }
+	return a - b;
+}
+
+int init_tables() {
+	int t;
+	int p;
+	int d;
+	for (t = 0; t < 9; t = t + 1) {
+		for (p = 0; p < 9; p = p + 1) {
+			if (t == 0) { mdtab[t * 9 + p] = 0; }
+			else { mdtab[t * 9 + p] = abs_diff(t / 3, p / 3) + abs_diff(t % 3, p % 3); }
+			zob[t * 9 + p] = (rnd() * 977 + rnd()) & 0x3fffff;
+		}
+	}
+	// Legal blank moves: directions 0=up 1=down 2=left 3=right.
+	for (p = 0; p < 9; p = p + 1) {
+		for (d = 0; d < 4; d = d + 1) { movetab[p * 4 + d] = 0 - 1; }
+		if (p / 3 > 0) { movetab[p * 4 + 0] = p - 3; }
+		if (p / 3 < 2) { movetab[p * 4 + 1] = p + 3; }
+		if (p % 3 > 0) { movetab[p * 4 + 2] = p - 1; }
+		if (p % 3 < 2) { movetab[p * 4 + 3] = p + 1; }
+	}
+	return 0;
+}
+
+// Heuristic: Manhattan distance of every tile, as one read-only
+// reduction over the board.
+int heuristic(int n) {
+	return mdtab[n[0] * 9 + 0] + mdtab[n[1] * 9 + 1] + mdtab[n[2] * 9 + 2]
+		+ mdtab[n[3] * 9 + 3] + mdtab[n[4] * 9 + 4] + mdtab[n[5] * 9 + 5]
+		+ mdtab[n[6] * 9 + 6] + mdtab[n[7] * 9 + 7] + mdtab[n[8] * 9 + 8];
+}
+
+// Zobrist hash of a full board (used only for root nodes; children are
+// hashed incrementally from the parent, without touching memory).
+int hash_board(int n) {
+	return (zob[n[0] * 9 + 0] ^ zob[n[1] * 9 + 1] ^ zob[n[2] * 9 + 2]
+		^ zob[n[3] * 9 + 3] ^ zob[n[4] * 9 + 4] ^ zob[n[5] * 9 + 5]
+		^ zob[n[6] * 9 + 6] ^ zob[n[7] * 9 + 7] ^ zob[n[8] * 9 + 8]) & 0x3fffff;
+}
+
+// Duplicate table: open-addressed linear probing over hashes. The probe
+// loop is pure reads; only a genuinely new state writes one slot.
+int vis_seen(int h) {
+	int i = h & 16383;
+	while (vis[i] != 0) {
+		if (vis[i] == h) { return 1; }
+		i = (i + 1) & 16383;
+	}
+	return 0;
+}
+int vis_insert(int h) {
+	int i = h & 16383;
+	while (vis[i] != 0) { i = (i + 1) & 16383; }
+	vis[i] = h;
+	return i;
+}
+
+// Priority queue: a bucket queue over the (small, integral) f values —
+// Dial's algorithm, the classic choice for best-first search with unit
+// edge costs. Nodes chain through their [14] field; a push is two
+// stores, a pop is a read-only scan for the first occupied bucket plus
+// one unlink store.
+int pq_push(int n) {
+	int f = n[11] & 4095;
+	n[14] = buckets[f];
+	buckets[f] = n;
+	pqn = pqn + 1;
+	if (f < minb) { minb = f; }
+	return 1;
+}
+int pq_pop() {
+	int n;
+	while (buckets[minb] == 0) { minb = minb + 1; }
+	n = buckets[minb];
+	buckets[minb] = n[14];
+	pqn = pqn - 1;
+	return n;
+}
+
+// Child construction: allocate, copy the parent board, slide the tile,
+// and fill in the cost fields. The hash comes in precomputed (Zobrist
+// incremental update at the call site).
+int mk_child(int par, int nb, int h2) {
+	int n = alloc(64);
+	int tile;
+	int blank = par[13];
+	n[0] = par[0]; n[1] = par[1]; n[2] = par[2];
+	n[3] = par[3]; n[4] = par[4]; n[5] = par[5];
+	n[6] = par[6]; n[7] = par[7]; n[8] = par[8];
+	tile = n[nb];
+	n[blank] = tile;
+	n[nb] = 0;
+	n[9] = par[9] + 1;
+	n[10] = heuristic(n);
+	n[11] = n[9] * 2 + n[10] * 3;
+	n[12] = h2;
+	n[13] = nb;
+	generated = generated + 1;
+	return n;
+}
+
+`)
+
+	// belief evaluates the Bayesian evidence for all four candidate
+	// moves of a state in one pass: a long read-only reduction over the
+	// board, the distance table, and the Zobrist factors (the
+	// "evidential reasoning" of Hanson & Mayer's solver).
+	raw("int belief(int n) {\n\treturn (0\n")
+	for d := 0; d < 4; d++ {
+		for c := 0; c < 9; c++ {
+			w("\t\t+ mdtab[n[%d] * 9 + %d] * (zob[n[%d] * 9 + %d] & 63)\n", c, (c+d)%9, (c+d*2)%9, (c+d)%9)
+		}
+	}
+	raw("\t) & 0xffffff;\n}\n")
+
+	raw(`
+// Expand one node: for each legal slide, compute the child's hash
+// incrementally (pure expression over parent fields and the Zobrist
+// table), skip duplicates, and only then materialise the child node.
+int expand(int cur) {
+	int d;
+	int nb;
+	int h2;
+	int kid;
+	evsum = (evsum + belief(cur)) & 0xffffff;
+	for (d = 0; d < 4; d = d + 1) {
+		nb = movetab[cur[13] * 4 + d];
+		if (nb >= 0) {
+			h2 = (cur[12] ^ zob[cur[nb] * 9 + nb] ^ zob[cur[nb] * 9 + cur[13]]
+				^ zob[0 * 9 + cur[13]] ^ zob[0 * 9 + nb]) & 0x3fffff;
+			if (vis_seen(h2)) {
+				dup_hits = dup_hits + 1;
+			} else {
+				vis_insert(h2);
+				kid = mk_child(cur, nb, h2);
+				if (kid[10] < best_h) { best_h = kid[10]; }
+				pq_push(kid);
+			}
+		}
+	}
+	return 0;
+}
+
+int solve(int root) {
+	int cur;
+	int steps = 0;
+	pq_push(root);
+	while (pqn > 0 && expanded < 2600) {
+		cur = pq_pop();
+		if (cur[10] == 0) { solved = solved + 1; free(cur); return steps; }
+		expanded = expanded + 1;
+		steps = steps + 1;
+		expand(cur);
+		free(cur);
+	}
+	return steps;
+}
+
+// Build a solvable start state: scramble the goal by a random walk.
+int make_root(int salt) {
+	int n = alloc(64);
+	int i;
+	int d;
+	int nb;
+	int tile;
+	for (i = 0; i < 9; i = i + 1) { n[i] = i; }
+	n[13] = 0;
+	for (i = 0; i < 140; i = i + 1) {
+		d = (rnd() + salt) % 4;
+		nb = movetab[n[13] * 4 + d];
+		if (nb >= 0) {
+			tile = n[nb];
+			n[nb] = 0;
+			n[n[13]] = tile;
+			n[13] = nb;
+		}
+	}
+	n[9] = 0;
+	n[10] = heuristic(n);
+	n[11] = n[10] * 3;
+	n[12] = hash_board(n);
+	return n;
+}
+
+int drain_pq() {
+	while (pqn > 0) { free(pq_pop()); }
+	minb = 4095;
+	return 0;
+}
+int clear_vis() {
+	bzero(vis, 65536);
+	return 0;
+}
+`)
+
+	w(`
+int main() {
+	int r;
+	int cs = 0;
+	init_tables();
+	for (r = 0; r < %d; r = r + 1) {
+		expanded = 0;
+		clear_vis();
+		cs = (cs + solve(make_root(r)) * 17) & 0xffffff;
+		drain_pq();
+	}
+	print(cs);
+	print(generated);
+	print(dup_hits);
+	print(solved);
+	print(best_h);
+	print(evsum);
+	return 0;
+}
+`, restarts)
+
+	return Program{
+		Name:        "bps",
+		Source:      b.String(),
+		Fuel:        uint64(400_000_000) * uint64(scale),
+		Description: "best-first 8-puzzle search: Zobrist duplicate detection, heap nodes, priority queue",
+	}
+}

@@ -1,0 +1,189 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CTEX synthesises the document-processing workload: a box-and-glue
+// paragraph breaker in the style of TeX. Like CommonTeX it is built
+// around large static tables and a crowd of global registers (TeX's
+// eqtb), it runs a dynamic-programming line-break pass per paragraph
+// with a division-rich badness formula (standing in for the original's
+// fixed-point arithmetic), and — matching Table 1 of the paper, where
+// CTEX has zero OneHeap and AllHeapInFunc sessions — it never touches
+// the heap.
+//
+// A generated family of "macro" functions (one per control-sequence
+// class) each owns a couple of globals and a function static, giving the
+// program its characteristically large OneGlobalStatic population.
+func CTEX(scale int) Program {
+	const nmacros = 30
+	paragraphs := 42 * scale
+
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("// ctex: box-and-glue paragraph breaking (synthesised CommonTeX analogue)\n")
+	w("int rs = 987654321;\n")
+	w("int words[200];\n")  // word widths of the current paragraph
+	w("int prefix[201];\n") // prefix sums of widths+glue
+	w("int nwords = 0;\n")
+	w("int best[201];\n") // DP cost table
+	w("int brk[201];\n")  // DP backpointers
+	w("int line_buf[240];\n")
+	w("int kern_tab[64];\n")
+	w("int pages_out = 0;\n")
+	w("int lines_out = 0;\n")
+	w("int total_badness = 0;\n")
+	w("int hyphens = 0;\n")
+	w("int underfull = 0;\n")
+	w("int overfull = 0;\n")
+	w("int line_width = 72;\n")
+	w("int glue_stretch = 4;\n")
+	w("int glue_shrink = 2;\n")
+	for k := 0; k < nmacros; k++ {
+		w("int reg_param_%d = %d;\n", k, (k*13)%29+1)
+		w("int reg_count_%d = 0;\n", k)
+	}
+
+	w(`
+int rnd() {
+	rs = rs * 1103515245 + 12345;
+	return (rs >> 16) & 0x7fff;
+}
+`)
+
+	for k := 0; k < nmacros; k++ {
+		w(`
+int macro_%d(int arg) {
+	static int acc = %d;
+	int v;
+	v = ((arg * reg_param_%d + %d) * 37) / (reg_param_%d + 2) %% 3001;
+	acc = (acc + v) & 0xffff;
+	reg_count_%d = reg_count_%d + 1;
+	if ((v & %d) == 0) { hyphens = hyphens + 1; }
+	return (v + acc) & 0x7fff;
+}
+`, k, k*7, k, k*17+3, k, k, k, (k%4)+1)
+	}
+	w("int expand(int cs, int arg) {\n")
+	for k := 0; k < nmacros; k++ {
+		w("\tif (cs == %d) { return macro_%d(arg); }\n", k, k)
+	}
+	w("\treturn arg;\n}\n")
+
+	w(`
+int init_tables() {
+	int i;
+	for (i = 0; i < 64; i = i + 1) {
+		kern_tab[i] = ((i * i * 7) / (i + 3)) & 0x3f;
+	}
+	return 0;
+}
+
+// Build the next paragraph's word widths and prefix sums from the input
+// stream (the PRNG plays the role of the source document).
+int next_paragraph(int pnum) {
+	int i;
+	int n;
+	n = 28 + rnd() %% 150;
+	prefix[0] = 0;
+	for (i = 0; i < n; i = i + 1) {
+		words[i] = 2 + (expand(rnd() %% %d, pnum + i) %% 11);
+		prefix[i + 1] = prefix[i] + words[i] + 1;
+	}
+	nwords = n;
+	return n;
+}
+
+// Dynamic-programming optimal line breaking (Knuth-Plass flavoured):
+// best[j] = min over i of best[i] + badness(width(i,j)), where badness
+// is the cubic fixed-point formula. Widths come from the prefix table,
+// so the inner loop is computation over reads, as in the original.
+int break_paragraph() {
+	int j;
+	int i;
+	int c;
+	int d;
+	int wn;
+	int lines = 0;
+	best[0] = 0;
+	brk[0] = 0;
+	for (j = 1; j <= nwords; j = j + 1) {
+		best[j] = 0x7ffffff;
+		i = j - 1;
+		while (i >= 0 && j - i < 34) {
+			wn = prefix[j] - prefix[i] - 1;
+			d = line_width - wn;
+			if (d < 0) {
+				c = best[i] + 9600 + ((0 - d) * 83) / glue_shrink;
+			} else {
+				c = best[i] + (d * d * d) / (glue_stretch * glue_stretch * glue_stretch + 49);
+				c = c + (c * c) / 28561;
+			}
+			if (c < best[j]) {
+				best[j] = c;
+				brk[j] = i;
+			}
+			i = i - 1;
+		}
+	}
+	j = nwords;
+	while (j > 0) {
+		lines = lines + 1;
+		wn = prefix[j] - prefix[brk[j]] - 1;
+		if (wn < line_width - glue_stretch * 6) { underfull = underfull + 1; }
+		if (wn > line_width) { overfull = overfull + 1; }
+		j = brk[j];
+	}
+	total_badness = (total_badness + best[nwords]) & 0xffffff;
+	return lines;
+}
+
+// Ship a paragraph's lines to the output page: each glyph cell costs a
+// kerning-table computation; writes land in the line buffer.
+int ship_out(int lines, int pnum) {
+	int li;
+	int ci;
+	int cw;
+	int kv;
+	for (li = 0; li < lines; li = li + 1) {
+		cw = 0;
+		for (ci = 0; ci < line_width; ci = ci + 4) {
+			kv = kern_tab[(pnum + li + ci) & 63];
+			cw = cw + ((kv * kv + ci * 3) / (kv + 5)) + kern_tab[(cw + kv) & 63];
+			line_buf[ci] = (pnum * 31 + li * 7 + cw) & 0xff;
+		}
+		lines_out = lines_out + 1;
+		if (lines_out %% 40 == 0) { pages_out = pages_out + 1; }
+	}
+	return lines;
+}
+
+int main() {
+	int p;
+	int lines;
+	int cs = 0;
+	init_tables();
+	for (p = 0; p < %d; p = p + 1) {
+		next_paragraph(p);
+		lines = break_paragraph();
+		cs = (cs ^ (total_badness + lines)) & 0xffffff;
+		ship_out(lines, p);
+	}
+	print(cs);
+	print(lines_out);
+	print(pages_out);
+	print(hyphens);
+	return 0;
+}
+`, nmacros, paragraphs)
+
+	return Program{
+		Name:        "ctex",
+		Source:      b.String(),
+		Fuel:        uint64(400_000_000) * uint64(scale),
+		Description: "box-and-glue paragraph breaking over static tables; heap-free",
+	}
+}

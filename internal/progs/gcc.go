@@ -1,0 +1,281 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GCC synthesises the compiler workload: a toy middle-end working over a
+// heap-allocated IR tree (the analogue of GCC's rtl). Each of the 36 IR
+// operators has its own generated evaluator and constant folder — the
+// population of small per-op handler functions with short-lived locals
+// that makes real compilers such rich sources of OneLocalAuto sessions.
+// Trees are built by a family of mutually recursive builder functions
+// (so heap objects carry deep dynamic allocation contexts), repeatedly
+// evaluated, folded, annotated, hashed, and emitted into a
+// realloc-growing code buffer.
+func GCC(scale int) Program {
+	const nops = 36
+	iters := 160 * scale
+	rebuild := 40
+	depth := 8
+
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("// gcc: toy IR middle-end (synthesised analogue of GCC 1.4 on rtl.c)\n")
+	w("int rs = 123456789;\n")
+	w("int nodes_made = 0;\n")
+	w("int folds_done = 0;\n")
+	w("int evals_done = 0;\n")
+	w("int embuf = 0;\n")
+	w("int emlen = 0;\n")
+	w("int emcap = 0;\n")
+	w("int peak_depth = 0;\n")
+	w("int leaf_sum = 0;\n")
+	// Per-op statistics globals (written from the generated handlers).
+	for k := 1; k <= nops; k++ {
+		w("int evcnt_%d = 0;\n", k)
+	}
+	for k := 1; k <= nops; k++ {
+		w("int fdcnt_%d = 0;\n", k)
+	}
+
+	w(`
+int rnd() {
+	rs = rs * 1103515245 + 12345;
+	return (rs >> 16) & 0x7fff;
+}
+
+// IR node: [0]=op (0 = leaf), [1]=left, [2]=right, [3]=value
+int mk_leaf(int v) {
+	int n = alloc(16);
+	n[0] = 0; n[1] = 0; n[2] = 0; n[3] = v;
+	nodes_made = nodes_made + 1;
+	return n;
+}
+int mk_node(int op, int l, int r) {
+	int n = alloc(16);
+	n[0] = op; n[1] = l; n[2] = r; n[3] = 0;
+	nodes_made = nodes_made + 1;
+	return n;
+}
+`)
+
+	// Mutually recursive builder family: expression grammar productions.
+	builders := []string{"build_expr", "build_term", "build_factor", "build_cond",
+		"build_shift", "build_bitop", "build_cmp", "build_arith"}
+	for _, name := range builders {
+		w("int %s(int d);\n", name)
+	}
+	for i, name := range builders {
+		next := builders[(i+1)%len(builders)]
+		alt := builders[(i+3)%len(builders)]
+		w(`
+int %s(int d) {
+	static int calls = 0;
+	int l; int r; int op;
+	calls = calls + 1;
+	if (d <= 0) { return mk_leaf(rnd() %% 997 + 1); }
+	op = 1 + rnd() %% %d;
+	l = %s(d - 1);
+	r = %s(d - 1 - rnd() %% 2);
+	return mk_node(op, l, r);
+}
+`, name, nops, next, alt)
+	}
+
+	// Generated per-op evaluators: distinct small functions with their
+	// own locals, as a compiler's per-opcode handlers would be.
+	w("int eval(int n);\n")
+	for k := 1; k <= nops; k++ {
+		var expr string
+		switch k % 6 {
+		case 0:
+			expr = fmt.Sprintf("(a + b * %d) %% 9973", k+2)
+		case 1:
+			expr = fmt.Sprintf("(a ^ (b + %d)) & 0xffff", k*7)
+		case 2:
+			expr = fmt.Sprintf("(a - b + %d) %% 8191", k*11)
+		case 3:
+			expr = fmt.Sprintf("((a & 0x7fff) * %d + (b & 0xff)) %% 7919", k+1)
+		case 4:
+			expr = fmt.Sprintf("(a + (b >> %d)) & 0x3fff", k%13+1)
+		default:
+			expr = fmt.Sprintf("((a | %d) + b) %% 6007", k*5)
+		}
+		w(`
+int eval_op%d(int n) {
+	int a = eval(n[1]);
+	int b = eval(n[2]);
+	int t;
+	t = %s;
+	evcnt_%d = evcnt_%d + 1;
+	return t;
+}
+`, k, expr, k, k)
+	}
+	w("int eval(int n) {\n")
+	w("\tint op = n[0];\n")
+	w("\tevals_done = evals_done + 1;\n")
+	w("\tif (op == 0) { return n[3]; }\n")
+	for k := 1; k <= nops; k++ {
+		w("\tif (op == %d) { return eval_op%d(n); }\n", k, k)
+	}
+	w("\treturn 0;\n}\n")
+
+	// Generated per-op constant folders.
+	w("int fold(int n);\n")
+	for k := 1; k <= nops; k++ {
+		w(`
+int fold_op%d(int n) {
+	int l = n[1];
+	int r = n[2];
+	if (l != 0 && r != 0 && l[0] == 0 && r[0] == 0) {
+		n[3] = (l[3] * %d + r[3] + %d) %% 9199;
+		if (((l[3] ^ r[3]) & 7) == %d) {
+			n[0] = 0;
+			fdcnt_%d = fdcnt_%d + 1;
+			folds_done = folds_done + 1;
+		}
+	}
+	return n[3];
+}
+`, k, k%9+1, k*3, k%8, k, k)
+	}
+	w("int fold(int n) {\n")
+	w("\tint op;\n")
+	w("\tif (n == 0) { return 0; }\n")
+	w("\tif (n[0] == 0) { return n[3]; }\n")
+	w("\tfold(n[1]);\n\tfold(n[2]);\n")
+	w("\top = n[0];\n")
+	for k := 1; k <= nops; k++ {
+		w("\tif (op == %d) { return fold_op%d(n); }\n", k, k)
+	}
+	w("\treturn 0;\n}\n")
+
+	w(`
+// Read-heavy passes: results accumulate through return values, so these
+// walks touch every node but store almost nothing.
+int height(int n) {
+	int hl;
+	if (n == 0) { return 0; }
+	if (n[0] == 0) { return 1; }
+	hl = height(n[1]);
+	if (hl < height(n[2])) { return 1 + height(n[2]); }
+	return 1 + hl;
+}
+int hashtree(int n) {
+	if (n == 0) { return 7; }
+	if (n[0] == 0) { return (n[3] * 31 + 17) & 0xffff; }
+	return (hashtree(n[1]) * 33 + hashtree(n[2]) * 5 + n[0]) & 0xffff;
+}
+int count_leaves(int n) {
+	if (n == 0) { return 0; }
+	if (n[0] == 0) { return 1; }
+	return count_leaves(n[1]) + count_leaves(n[2]);
+}
+
+// Annotation pass: writes a synthesis attribute into every node.
+int annotate(int n, int salt) {
+	int h;
+	if (n == 0) { return salt; }
+	if (n[0] == 0) {
+		leaf_sum = (leaf_sum + n[3]) & 0xffffff;
+		return (salt + n[3]) & 0xffff;
+	}
+	h = annotate(n[1], salt + 1);
+	h = annotate(n[2], (h * 3 + 1) & 0xffff);
+	n[3] = (n[3] + h) & 0xffff;
+	return (h + n[0]) & 0xffff;
+}
+
+// Code emission into a realloc-growing buffer (the "object file").
+int em_append(int v) {
+	int nc;
+	if (emlen == emcap) {
+		nc = emcap * 2;
+		if (nc == 0) { nc = 256; }
+		embuf = realloc(embuf, nc * 4);
+		emcap = nc;
+	}
+	embuf[emlen] = v;
+	emlen = emlen + 1;
+	return emlen;
+}
+int emit_tree(int n) {
+	if (n == 0) { return 0; }
+	if (n[0] == 0) { em_append(n[3]); return 1; }
+	emit_tree(n[1]);
+	emit_tree(n[2]);
+	em_append(n[0] + 4096);
+	return 2;
+}
+int buf_checksum() {
+	int i;
+	int m = 0;
+	for (i = 0; i < emlen; i = i + 1) {
+		if (embuf[i] > m) { m = embuf[i]; }
+	}
+	return (m + emlen) & 0xffff;
+}
+
+int free_tree(int n) {
+	if (n == 0) { return 0; }
+	free_tree(n[1]);
+	free_tree(n[2]);
+	free(n);
+	return 0;
+}
+
+int run_pass(int t, int iter) {
+	int v = 0;
+	int h;
+	emlen = 0;
+	v = v ^ eval(t);
+	fold(t);
+	v = v ^ annotate(t, iter);
+	v = v ^ hashtree(t);
+	v = v ^ (hashtree(t) >> 1);
+	v = v + count_leaves(t) * 3;
+	h = height(t);
+	if (h > peak_depth) { peak_depth = h; }
+	emit_tree(t);
+	v = v ^ buf_checksum();
+	v = v ^ count_leaves(t);
+	return v & 0xffffff;
+}
+`)
+
+	w(`
+int main() {
+	int iter;
+	int t;
+	int cs = 0;
+	embuf = alloc(256 * 4);
+	emcap = 256;
+	t = build_expr(%d);
+	for (iter = 0; iter < %d; iter = iter + 1) {
+		cs = cs ^ run_pass(t, iter);
+		if (iter %% %d == %d) {
+			free_tree(t);
+			t = build_expr(%d);
+		}
+	}
+	print(cs);
+	print(nodes_made);
+	print(folds_done);
+	print(peak_depth);
+	free_tree(t);
+	free(embuf);
+	return 0;
+}
+`, depth, iters, rebuild, rebuild-1, depth)
+
+	return Program{
+		Name:        "gcc",
+		Source:      b.String(),
+		Fuel:        uint64(600_000_000) * uint64(scale),
+		Description: "toy IR middle-end: build/eval/fold/annotate/emit over heap-allocated trees",
+	}
+}

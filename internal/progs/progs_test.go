@@ -1,0 +1,245 @@
+package progs
+
+import (
+	"strings"
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+	"edb/internal/objects"
+	"edb/internal/trace"
+	"edb/internal/tracer"
+)
+
+// runTraced compiles and traces a benchmark once, caching per test run.
+var traceCache = map[string]*trace.Trace{}
+var outputCache = map[string]string{}
+
+func traced(t *testing.T, name string) *trace.Trace {
+	t.Helper()
+	if tr, ok := traceCache[name]; ok {
+		return tr
+	}
+	p, err := ByName(name, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := minic.CompileToImage(p.Source)
+	if err != nil {
+		t.Fatalf("%s does not compile: %v", name, err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tracer.New(m, name).Run(p.Fuel)
+	if err != nil {
+		t.Fatalf("%s failed to run: %v", name, err)
+	}
+	if m.CPU.ExitCode != 0 {
+		t.Fatalf("%s exited with %d", name, m.CPU.ExitCode)
+	}
+	traceCache[name] = tr
+	outputCache[name] = m.Out.String()
+	return tr
+}
+
+func TestAllCompileAndRun(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr := traced(t, name)
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s trace invalid: %v", name, err)
+			}
+			if err := tr.ValidateExclusive(); err != nil {
+				t.Errorf("%s violates the exclusivity invariant: %v", name, err)
+			}
+			if tr.BaseCycles == 0 {
+				t.Error("no cycles recorded")
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Two independent runs must produce identical traces.
+	for _, name := range []string{"ctex", "bps"} {
+		p, _ := ByName(name, 1)
+		run := func() (string, uint64, int) {
+			img, err := minic.CompileToImage(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, _ := kernel.NewMachine(img, arch.PageSize4K)
+			tr, err := tracer.New(m, name).Run(p.Fuel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return m.Out.String(), tr.BaseCycles, len(tr.Events)
+		}
+		o1, c1, e1 := run()
+		o2, c2, e2 := run()
+		if o1 != o2 || c1 != c2 || e1 != e2 {
+			t.Errorf("%s is nondeterministic: (%q,%d,%d) vs (%q,%d,%d)", name, o1, c1, e1, o2, c2, e2)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("gcc", 1); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown program should error")
+	}
+	if got := len(All(1)); got != 5 {
+		t.Errorf("All returned %d programs", got)
+	}
+	if got := len(Names()); got != 5 {
+		t.Errorf("Names returned %d", got)
+	}
+}
+
+func TestScaleExtendsRun(t *testing.T) {
+	p1, _ := ByName("bps", 1)
+	p2, _ := ByName("bps", 2)
+	if p1.Source == p2.Source {
+		t.Error("scale should change the generated source")
+	}
+	// Negative/zero scales clamp.
+	if got := len(All(0)); got != 5 {
+		t.Error("All(0) should clamp to scale 1")
+	}
+}
+
+// TestWorkloadSignatures checks the structural properties of Table 1
+// the synthesised programs must reproduce.
+func TestWorkloadSignatures(t *testing.T) {
+	counts := map[string]map[objects.Kind]int{}
+	for _, name := range Names() {
+		counts[name] = traced(t, name).Objects.CountByKind()
+	}
+
+	// CTEX and QCD allocate no heap objects at all.
+	for _, name := range []string{"ctex", "qcd"} {
+		if n := counts[name][objects.KindHeap]; n != 0 {
+			t.Errorf("%s allocated %d heap objects; the paper's has none", name, n)
+		}
+	}
+	// BPS has by far the most heap objects; GCC is second.
+	bps := counts["bps"][objects.KindHeap]
+	gcc := counts["gcc"][objects.KindHeap]
+	spice := counts["spice"][objects.KindHeap]
+	if !(bps > gcc && gcc > spice && spice > 0) {
+		t.Errorf("heap population order wrong: bps=%d gcc=%d spice=%d", bps, gcc, spice)
+	}
+	if bps < 1000 {
+		t.Errorf("bps heap population %d, want thousands", bps)
+	}
+	// GCC has the largest local-variable population (its per-op handler
+	// families), QCD the smallest.
+	gccLoc := counts["gcc"][objects.KindLocalAuto]
+	qcdLoc := counts["qcd"][objects.KindLocalAuto]
+	if !(gccLoc > 200 && qcdLoc < 60 && gccLoc > qcdLoc*4) {
+		t.Errorf("local populations: gcc=%d qcd=%d", gccLoc, qcdLoc)
+	}
+	// CTEX has a large global/static population (its register file).
+	ctexGlob := counts["ctex"][objects.KindGlobal]
+	if ctexGlob < 40 {
+		t.Errorf("ctex globals = %d, want its register-file population", ctexGlob)
+	}
+}
+
+// TestWriteDensities pins each program's traced-write density to the
+// band that reproduces the paper's per-program TP/CP overheads: the
+// paper's programs run one traced store per 29 (CTEX) to 79 (BPS)
+// cycles.
+func TestWriteDensities(t *testing.T) {
+	bands := map[string][2]float64{
+		"gcc":   {30, 60},
+		"ctex":  {20, 40},
+		"spice": {40, 75},
+		"qcd":   {32, 62},
+		"bps":   {55, 95},
+	}
+	density := map[string]float64{}
+	for _, name := range Names() {
+		tr := traced(t, name)
+		_, _, writes := tr.Counts()
+		density[name] = float64(tr.BaseCycles) / float64(writes)
+		band := bands[name]
+		if density[name] < band[0] || density[name] > band[1] {
+			t.Errorf("%s: cycles/write = %.1f, want within [%v, %v]", name, density[name], band[0], band[1])
+		}
+	}
+	// CTEX must be the densest and BPS the sparsest, as in the paper.
+	for _, name := range Names() {
+		if name != "ctex" && density[name] < density["ctex"] {
+			t.Errorf("ctex should have the highest write density; %s is denser", name)
+		}
+		if name != "bps" && density[name] > density["bps"] {
+			t.Errorf("bps should have the lowest write density; %s is sparser", name)
+		}
+	}
+}
+
+// TestHeavyTailHits verifies the hit distributions are heavy-tailed:
+// §8 attributes NativeHardware's expensive sessions to induction
+// variables and allocation-heavy functions.
+func TestHeavyTailHits(t *testing.T) {
+	tr := traced(t, "gcc")
+	// Count per-object hits.
+	perObj := map[objects.ID]int{}
+	active := map[arch.Addr]objects.ID{}
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvInstall:
+			for a := e.BA; a < e.EA; a += 4 {
+				active[a] = e.Obj
+			}
+		case trace.EvRemove:
+			for a := e.BA; a < e.EA; a += 4 {
+				delete(active, a)
+			}
+		case trace.EvWrite:
+			if id, ok := active[e.BA]; ok {
+				perObj[id]++
+			}
+		}
+	}
+	max, total := 0, 0
+	for _, n := range perObj {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		t.Fatal("no object hits at all")
+	}
+	// The hottest single object should take a large share of all hits —
+	// a hot counter or induction variable.
+	if float64(max)/float64(total) < 0.02 {
+		t.Errorf("hit distribution too flat: max object has %d of %d hits", max, total)
+	}
+}
+
+func TestOutputsNonEmpty(t *testing.T) {
+	for _, name := range Names() {
+		traced(t, name)
+		out := outputCache[name]
+		if len(strings.Fields(out)) < 3 {
+			t.Errorf("%s printed %q; want several checksum lines", name, out)
+		}
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	for _, p := range All(1) {
+		if p.Description == "" || p.Fuel == 0 {
+			t.Errorf("%s missing metadata", p.Name)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// QCD synthesises the lattice-gauge-theory workload (the Perfect Club
+// QCD benchmark): heat-bath sweeps over a 4-dimensional periodic
+// lattice stored in large global arrays, with plaquette measurements
+// between sweeps. Matching Table 1 of the paper, the program has a
+// small function population, no heap objects at all, and the highest
+// write rate of the suite — every sweep stores to every site, and its
+// monitored globals share pages with the hot arrays, which is what makes
+// QCD the worst case for the VirtualMemory strategy (Table 4).
+func QCD(scale int) Program {
+	const (
+		dim   = 6                     // lattice extent per dimension
+		sites = dim * dim * dim * dim // 1296 sites
+	)
+	sweeps := 30 * scale
+
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+	raw := func(code string) { b.WriteString(code) }
+
+	w("// qcd: 4-D lattice heat-bath sweeps (synthesised Perfect-Club QCD analogue)\n")
+	w("int rs = 246813579;\n")
+	w("int DIM = %d;\n", dim)
+	w("int SITES = %d;\n", sites)
+	// The gauge field: one link variable per site and direction.
+	w("int links0[%d];\n", sites)
+	w("int links1[%d];\n", sites)
+	w("int links2[%d];\n", sites)
+	w("int links3[%d];\n", sites)
+	// Neighbour tables (precomputed once, read every sweep).
+	w("int nbrp[%d];\n", sites*4)
+	w("int nbrm[%d];\n", sites*4)
+	w("int mom[%d];\n", sites)
+	w("int accept_count = 0;\n")
+	w("int reject_count = 0;\n")
+	w("int plaq_sum = 0;\n")
+	w("int beta = 57;\n")
+	w("int sweeps_done = 0;\n")
+
+	raw(`
+int rnd() {
+	rs = rs * 1103515245 + 12345;
+	return (rs >> 16) & 0x7fff;
+}
+
+// Site index arithmetic for the periodic 4-torus.
+int wrap(int c) {
+	if (c < 0) { return c + DIM; }
+	if (c >= DIM) { return c - DIM; }
+	return c;
+}
+int site_of(int x, int y, int z, int t) {
+	return ((x * DIM + y) * DIM + z) * DIM + t;
+}
+
+int build_neighbours() {
+	int x; int y; int z; int t;
+	int s;
+	for (x = 0; x < DIM; x = x + 1) {
+		for (y = 0; y < DIM; y = y + 1) {
+			for (z = 0; z < DIM; z = z + 1) {
+				for (t = 0; t < DIM; t = t + 1) {
+					s = site_of(x, y, z, t);
+					nbrp[s * 4 + 0] = site_of(wrap(x + 1), y, z, t);
+					nbrp[s * 4 + 1] = site_of(x, wrap(y + 1), z, t);
+					nbrp[s * 4 + 2] = site_of(x, y, wrap(z + 1), t);
+					nbrp[s * 4 + 3] = site_of(x, y, z, wrap(t + 1));
+					nbrm[s * 4 + 0] = site_of(wrap(x - 1), y, z, t);
+					nbrm[s * 4 + 1] = site_of(x, wrap(y - 1), z, t);
+					nbrm[s * 4 + 2] = site_of(x, y, wrap(z - 1), t);
+					nbrm[s * 4 + 3] = site_of(x, y, z, wrap(t - 1));
+				}
+			}
+		}
+	}
+	return 0;
+}
+
+int init_links() {
+	int s;
+	for (s = 0; s < SITES; s = s + 1) {
+		links0[s] = 1 + rnd() % 255;
+		links1[s] = 1 + rnd() % 255;
+		links2[s] = 1 + rnd() % 255;
+		links3[s] = 1 + rnd() % 255;
+	}
+	return 0;
+}
+
+
+`)
+
+	emitSweep(&b)
+
+	raw(`
+
+// Plaquette measurement: a pure-read reduction over the lattice,
+// unrolled over the four directions.
+int measure() {
+	int s;
+	int acc = 0;
+	for (s = 0; s < SITES; s = s + 1) {
+		acc = (acc
+			+ links0[s] * links1[nbrp[s*4+0]] % 251
+			+ links1[s] * links2[nbrp[s*4+1]] % 241
+			+ links2[s] * links3[nbrp[s*4+2]] % 239
+			+ links3[s] * links0[nbrp[s*4+3]] % 233) & 0xffffff;
+	}
+	return acc;
+}
+`)
+
+	w(`
+int main() {
+	int sw;
+	int cs = 0;
+	build_neighbours();
+	init_links();
+	for (sw = 0; sw < %d; sw = sw + 1) {
+		sweep(sw);
+		if (sw %% 4 == 3) {
+			plaq_sum = (plaq_sum + measure()) & 0xffffff;
+		}
+	}
+	cs = (plaq_sum ^ accept_count ^ (reject_count * 3)) & 0xffffff;
+	print(cs);
+	print(accept_count);
+	print(reject_count);
+	print(sweeps_done);
+	return 0;
+}
+`, sweeps)
+
+	return Program{
+		Name:        "qcd",
+		Source:      b.String(),
+		Fuel:        uint64(800_000_000) * uint64(scale),
+		Description: "4-D lattice heat-bath sweeps over global gauge arrays; heap-free",
+	}
+}
+
+// emitSweep writes the heat-bath sweep with the staple computation
+// inlined per direction: one long read-only expression feeds each link
+// update, as the original's unrolled SU(2) multiplies do.
+func emitSweep(b *strings.Builder) {
+	b.WriteString(`
+// One heat-bath sweep: propose a new value for every link of every
+// site; the staple is computed inline as a pure expression and the
+// update stores the new link value.
+int sweep(int parity) {
+	int s;
+	int stp;
+	int cand;
+	int act;
+	for (s = parity & 1; s < SITES; s = s + 2) {
+`)
+	for d := 0; d < 4; d++ {
+		o1, o2 := (d+1)%4, (d+2)%4
+		fmt.Fprintf(b, `		stp = ((links%d[nbrp[s*4+%d]] * links%d[nbrp[s*4+%d]] >> 3)
+			+ (links%d[nbrp[s*4+%d]] + links%d[nbrp[s*4+%d]] >> 4)
+			+ (links%d[nbrm[s*4+%d]] * links%d[nbrm[s*4+%d]] >> 5)) & 0xffff;
+		cand = (links%d[s] * 167 + stp + %d) & 0xffff;
+		act = (stp * beta + cand * %d) / (links%d[s] + 9);
+		mom[s] = (mom[s] + act) & 0xffff;
+		if ((act & 127) < 96) { links%d[s] = 1 + cand %% 255; accept_count = accept_count + 1; }
+		else { reject_count = reject_count + 1; }
+
+`, o1, d, d, o1, o2, d, d, o2, o1, o1, d, o1, d, 13+d*16, 11-2*d, d, d)
+	}
+	b.WriteString(`	}
+	sweeps_done = sweeps_done + 1;
+	return 0;
+}
+`)
+}

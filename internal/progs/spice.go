@@ -1,0 +1,365 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Spice synthesises the circuit-simulation workload: transient analysis
+// of a lumped circuit by repeated sparse-matrix assembly, LU
+// refactorisation, and forward/backward substitution, in fixed-point
+// arithmetic (standing in for spice3's doubles).
+//
+// Like the real Spice sparse package, the sparsity pattern is fixed by a
+// one-time symbolic factorisation that precomputes the exact sequence of
+// numeric operations (divide-by-pivot and multiply-subtract updates) as
+// a flat op list; every Newton iteration replays that list. The value
+// arrays, op lists, and solution vectors are heap-allocated at setup,
+// giving the paper's large OneHeap population; a generated family of
+// device-model functions supplies the suite's largest OneLocalAuto
+// population, as in Table 1.
+func Spice(scale int) Program {
+	const (
+		nNodes   = 36 // matrix dimension
+		nDevFns  = 36 // generated device-model functions
+		nDevices = 80 // device instances
+	)
+	steps := 30 * scale
+
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("// spice: fixed-point sparse transient analysis (synthesised Spice 3c1 analogue)\n")
+	w("int rs = 555555555;\n")
+	w("int N = %d;\n", nNodes)
+	w("int pat[%d];\n", nNodes*nNodes)  // sparsity pattern (with fill-in)
+	w("int posm[%d];\n", nNodes*nNodes) // dense (i,j) -> sparse value index
+	w("int nnz = 0;\n")
+	w("int nops = 0;\n")
+	w("int valbase = 0;\n") // heap: stamped values per entry
+	w("int val = 0;\n")     // heap: working values during factorisation
+	w("int op_t = 0;\n")    // heap: op type (0=div, 1=update, 2=pad)
+	w("int op_d = 0;\n")    // heap: destination value index
+	w("int op_a = 0;\n")    // heap: first operand value index
+	w("int op_b = 0;\n")    // heap: second operand value index
+	w("int rhs = 0;\n")
+	w("int x = 0;\n")
+	w("int xprev = 0;\n")
+	w("int devnode[%d];\n", nDevices)
+	w("int devnode2[%d];\n", nDevices)
+	w("int devkind[%d];\n", nDevices)
+	w("int devval[%d];\n", nDevices)
+	w("int devpos[%d];\n", nDevices)   // value index of (n,n)
+	w("int devpos2[%d];\n", nDevices)  // value index of (n,n2)
+	w("int devstate[%d];\n", nDevices) // heap-allocated per-device state
+	w("int lstart[%d];\n", nNodes+1)
+	w("int lcol[%d];\n", nNodes*nNodes/2)
+	w("int lpos[%d];\n", nNodes*nNodes/2)
+	w("int ustart[%d];\n", nNodes+1)
+	w("int ucol[%d];\n", nNodes*nNodes/2)
+	w("int upos[%d];\n", nNodes*nNodes/2)
+	w("int iters_total = 0;\n")
+	w("int nonconv = 0;\n")
+	w("int gmin = 3;\n")
+
+	w(`
+int rnd() {
+	rs = rs * 1103515245 + 12345;
+	return (rs >> 16) & 0x7fff;
+}
+`)
+
+	// Generated device-model evaluators: expression-heavy fixed-point
+	// conductance computations with a couple of locals each.
+	for k := 0; k < nDevFns; k++ {
+		w(`
+int model_%d(int v, int par) {
+	static int evals = 0;
+	int g;
+	int t;
+	t = (v * v) / (par + %d) + ((v * %d) / (par + 7)) - (v * par) / %d;
+	g = ((t + par * %d) %% 4093) + ((t * t) / (par * %d + 29)) %% 257 + gmin;
+	evals = evals + 1;
+	return (g & 0x7fff) * 65536 + (((g * v) / (par + %d) + t / %d) & 0xffff);
+}
+`, k, k*3+11, k+2, k*5+17, k%7+1, k+1, k+13, k%5+3)
+	}
+	w("int eval_device(int kind, int v, int par) {\n")
+	for k := 0; k < nDevFns; k++ {
+		w("\tif (kind == %d) { return model_%d(v, par); }\n", k, k)
+	}
+	w("\treturn gmin * 65536;\n}\n")
+
+	w(`
+int build_solve_lists();
+
+// Symbolic factorisation: compute fill-in on the boolean pattern and
+// record the exact numeric op sequence. One-time setup work.
+int symbolic() {
+	int k2;
+	int i;
+	int j;
+	int count = 0;
+	// First pass: fill-in on the pattern, counting ops.
+	for (k2 = 0; k2 < N; k2 = k2 + 1) {
+		for (i = k2 + 1; i < N; i = i + 1) {
+			if (pat[i * N + k2] != 0) {
+				count = count + 1;
+				for (j = k2 + 1; j < N; j = j + 1) {
+					if (pat[k2 * N + j] != 0) {
+						pat[i * N + j] = 1;
+						count = count + 1;
+					}
+				}
+			}
+		}
+	}
+	// Index the nonzeros.
+	nnz = 0;
+	for (i = 0; i < N; i = i + 1) {
+		for (j = 0; j < N; j = j + 1) {
+			if (pat[i * N + j] != 0) {
+				posm[i * N + j] = nnz;
+				nnz = nnz + 1;
+			}
+		}
+	}
+	// Second pass: record the ops (padded to a multiple of 4).
+	op_t = alloc((count + 4) * 4);
+	op_d = alloc((count + 4) * 4);
+	op_a = alloc((count + 4) * 4);
+	op_b = alloc((count + 4) * 4);
+	nops = 0;
+	for (k2 = 0; k2 < N; k2 = k2 + 1) {
+		for (i = k2 + 1; i < N; i = i + 1) {
+			if (pat[i * N + k2] != 0) {
+				op_t[nops] = 0;
+				op_d[nops] = posm[i * N + k2];
+				op_a[nops] = posm[k2 * N + k2];
+				op_b[nops] = 0;
+				nops = nops + 1;
+				for (j = k2 + 1; j < N; j = j + 1) {
+					if (pat[k2 * N + j] != 0) {
+						op_t[nops] = 1;
+						op_d[nops] = posm[i * N + j];
+						op_a[nops] = posm[i * N + k2];
+						op_b[nops] = posm[k2 * N + j];
+						nops = nops + 1;
+					}
+				}
+			}
+		}
+	}
+	while (nops %% 4 != 0) {
+		op_t[nops] = 2;
+		op_d[nops] = 0; op_a[nops] = 0; op_b[nops] = 0;
+		nops = nops + 1;
+	}
+	return nops;
+}
+
+int setup() {
+	int i;
+	int d;
+	int n1;
+	int n2;
+	for (i = 0; i < N; i = i + 1) { pat[i * N + i] = 1; }
+	for (d = 0; d < %d; d = d + 1) {
+		n1 = rnd() %% N;
+		n2 = (n1 + 1 + rnd() %% 6) %% N;
+		devnode[d] = n1;
+		devnode2[d] = n2;
+		devkind[d] = rnd() %% %d;
+		devval[d] = 1 + rnd() %% 500;
+		pat[n1 * N + n2] = 1;
+		pat[n2 * N + n1] = 1;
+	}
+	symbolic();
+	build_solve_lists();
+	valbase = alloc(nnz * 4);
+	val = alloc(nnz * 4);
+	rhs = alloc(N * 4);
+	x = alloc(N * 4);
+	xprev = alloc(N * 4);
+	for (d = 0; d < %d; d = d + 1) {
+		devpos[d] = posm[devnode[d] * N + devnode[d]];
+		devpos2[d] = posm[devnode[d] * N + devnode2[d]];
+		devstate[d] = alloc(16);
+	}
+	for (i = 0; i < nnz; i = i + 1) { valbase[i] = 0; }
+	for (i = 0; i < N; i = i + 1) {
+		valbase[posm[i * N + i]] = gmin * 16;
+		x[i] = 100;
+		xprev[i] = 100;
+	}
+	return 0;
+}
+
+// Stamp one Newton iteration: reset the working values from the base
+// pattern (unrolled copy), then add each device's conductance.
+int stamp(int t) {
+	int d;
+	int gi;
+	int g;
+	int i;
+	for (i = 0; i + 4 <= nnz; i = i + 4) {
+		val[i] = valbase[i]; val[i+1] = valbase[i+1];
+		val[i+2] = valbase[i+2]; val[i+3] = valbase[i+3];
+	}
+	while (i < nnz) { val[i] = valbase[i]; i = i + 1; }
+	for (i = 0; i < N; i = i + 1) { rhs[i] = (i * 3 + t) & 31; }
+	for (d = 0; d < %d; d = d + 1) {
+		gi = eval_device(devkind[d], x[devnode[d]] + (t & 15), devval[d]);
+		g = (gi / 65536) & 0x7fff;
+		val[devpos[d]] = val[devpos[d]] + g + 1;
+		val[devpos2[d]] = val[devpos2[d]] - g / 2;
+		rhs[devnode[d]] = rhs[devnode[d]] + (gi & 0xffff);
+		devstate[d][0] = gi;
+		devstate[d][1] = (devstate[d][1] + g) & 0xffffff;
+	}
+	return 0;
+}
+
+// Numeric refactorisation: replay the precomputed op list, unrolled by
+// four with no temporaries; each op is a handful of loads, a multiply,
+// and a divide around a single store — the fixed-point analogue of
+// spice's inner loop. The "| (pivot == 0)" idiom guards the divide
+// without a branch or a spill.
+int factor() {
+	int o;
+	for (o = 0; o < nops; o = o + 4) {
+		if (op_t[o] == 1) {
+			val[op_d[o]] = val[op_d[o]] - (val[op_a[o]] * val[op_b[o]]) / 4096;
+		} else if (op_t[o] == 0) {
+			val[op_d[o]] = (val[op_d[o]] * 4096) / (val[op_a[o]] | (val[op_a[o]] == 0));
+		}
+		if (op_t[o + 1] == 1) {
+			val[op_d[o + 1]] = val[op_d[o + 1]] - (val[op_a[o + 1]] * val[op_b[o + 1]]) / 4096;
+		} else if (op_t[o + 1] == 0) {
+			val[op_d[o + 1]] = (val[op_d[o + 1]] * 4096) / (val[op_a[o + 1]] | (val[op_a[o + 1]] == 0));
+		}
+		if (op_t[o + 2] == 1) {
+			val[op_d[o + 2]] = val[op_d[o + 2]] - (val[op_a[o + 2]] * val[op_b[o + 2]]) / 4096;
+		} else if (op_t[o + 2] == 0) {
+			val[op_d[o + 2]] = (val[op_d[o + 2]] * 4096) / (val[op_a[o + 2]] | (val[op_a[o + 2]] == 0));
+		}
+		if (op_t[o + 3] == 1) {
+			val[op_d[o + 3]] = val[op_d[o + 3]] - (val[op_a[o + 3]] * val[op_b[o + 3]]) / 4096;
+		} else if (op_t[o + 3] == 0) {
+			val[op_d[o + 3]] = (val[op_d[o + 3]] * 4096) / (val[op_a[o + 3]] | (val[op_a[o + 3]] == 0));
+		}
+	}
+	return 0;
+}
+
+// Forward/backward substitution over precomputed per-row column lists
+// (built once by build_solve_lists); accumulation happens in expression
+// registers, one store per matrix entry touched.
+int build_solve_lists() {
+	int i;
+	int j;
+	int c = 0;
+	for (i = 0; i < N; i = i + 1) {
+		lstart[i] = c;
+		for (j = 0; j < i; j = j + 1) {
+			if (pat[i * N + j] != 0) {
+				lcol[c] = j;
+				lpos[c] = posm[i * N + j];
+				c = c + 1;
+			}
+		}
+	}
+	lstart[N] = c;
+	c = 0;
+	for (i = 0; i < N; i = i + 1) {
+		ustart[i] = c;
+		for (j = i + 1; j < N; j = j + 1) {
+			if (pat[i * N + j] != 0) {
+				ucol[c] = j;
+				upos[c] = posm[i * N + j];
+				c = c + 1;
+			}
+		}
+	}
+	ustart[N] = c;
+	return c;
+}
+int solve() {
+	int i;
+	int e;
+	int acc;
+	for (i = 0; i < N; i = i + 1) {
+		acc = rhs[i];
+		for (e = lstart[i]; e < lstart[i + 1]; e = e + 1) {
+			acc = acc - (val[lpos[e]] * x[lcol[e]]) / 4096;
+		}
+		x[i] = acc;
+	}
+	i = N - 1;
+	while (i >= 0) {
+		acc = x[i];
+		for (e = ustart[i]; e < ustart[i + 1]; e = e + 1) {
+			acc = acc - (val[upos[e]] * x[ucol[e]]) / 4096;
+		}
+		x[i] = (acc * 4096) / ((val[posm[i * N + i]] * 16 + 1) | (val[posm[i * N + i]] == 0));
+		i = i - 1;
+	}
+	return 0;
+}
+
+// Convergence check and state save: unrolled read-dominated sweeps.
+int converged() {
+	int i;
+	int delta = 0;
+	for (i = 0; i + 4 <= N; i = i + 4) {
+		delta = delta + (x[i]-xprev[i])*(x[i]-xprev[i]) + (x[i+1]-xprev[i+1])*(x[i+1]-xprev[i+1])
+			+ (x[i+2]-xprev[i+2])*(x[i+2]-xprev[i+2]) + (x[i+3]-xprev[i+3])*(x[i+3]-xprev[i+3]);
+	}
+	return delta < 120000;
+}
+int save_prev() {
+	int i;
+	for (i = 0; i + 4 <= N; i = i + 4) {
+		xprev[i] = x[i]; xprev[i+1] = x[i+1]; xprev[i+2] = x[i+2]; xprev[i+3] = x[i+3];
+	}
+	return 0;
+}
+
+int timestep(int t) {
+	int it = 0;
+	int done = 0;
+	while (done == 0 && it < 5) {
+		save_prev();
+		stamp(t);
+		factor();
+		solve();
+		it = it + 1;
+		iters_total = iters_total + 1;
+		if (converged()) { done = 1; }
+	}
+	if (done == 0) { nonconv = nonconv + 1; }
+	return it;
+}
+
+int main() {
+	int t;
+	int cs = 0;
+	setup();
+	for (t = 0; t < %d; t = t + 1) {
+		cs = (cs + timestep(t) * 31 + x[t %% N]) & 0xffffff;
+	}
+	print(cs);
+	print(iters_total);
+	print(nonconv);
+	print(nops);
+	return 0;
+}
+`, nDevices, nDevFns, nDevices, nDevices, steps)
+
+	return Program{
+		Name:        "spice",
+		Source:      b.String(),
+		Fuel:        uint64(500_000_000) * uint64(scale),
+		Description: "fixed-point sparse transient analysis: symbolic setup, stamp/refactor/solve per timestep",
+	}
+}

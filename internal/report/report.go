@@ -1,0 +1,284 @@
+// Package report renders the paper's evaluation artifacts — Tables 1–4
+// and Figures 7–9 of §8 — from experiment results, as aligned text
+// tables, ASCII bar charts (log scale, matching the figures' axes), and
+// CSV for external plotting.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"edb/internal/exp"
+	"edb/internal/model"
+	"edb/internal/sessions"
+	"edb/internal/stats"
+)
+
+// paperName maps internal program names to the paper's display names.
+func paperName(p string) string {
+	switch p {
+	case "gcc":
+		return "GCC"
+	case "ctex":
+		return "CTEX"
+	case "spice":
+		return "Spice"
+	case "qcd":
+		return "QCD"
+	case "bps":
+		return "BPS"
+	default:
+		return p
+	}
+}
+
+// Table1 renders the session-population table: per-program counts of
+// monitor sessions studied (zero-hit sessions discarded) and base
+// execution time in milliseconds.
+func Table1(w io.Writer, results []*exp.ProgramResult) {
+	fmt.Fprintln(w, "Table 1: Base program execution time (ms) and monitor sessions studied")
+	fmt.Fprintln(w, "(sessions with no monitor hits discarded)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %10s %12s %12s\n",
+		"Program", "OneLocal", "AllLocal", "OneGlobal", "OneHeap", "AllHeap", "Exec")
+	fmt.Fprintf(w, "%-8s %12s %12s %12s %10s %12s %12s\n",
+		"", "Auto", "InFunc", "Static", "", "InFunc", "Time(ms)")
+	for _, r := range results {
+		sc := r.SessionCounts
+		fmt.Fprintf(w, "%-8s %12d %12d %12d %10d %12d %12.0f\n",
+			paperName(r.Program),
+			sc[sessions.OneLocalAuto], sc[sessions.AllLocalInFunc],
+			sc[sessions.OneGlobalStatic], sc[sessions.OneHeap],
+			sc[sessions.AllHeapInFunc], r.BaseSeconds*1000)
+	}
+}
+
+// Table2 renders the timing-variable table (µs).
+func Table2(w io.Writer, t model.Timings) {
+	fmt.Fprintln(w, "Table 2: Timing variable data (microseconds)")
+	fmt.Fprintln(w)
+	rows := []struct {
+		name string
+		v    float64
+	}{
+		{"SoftwareUpdate", t.SoftwareUpdate},
+		{"SoftwareLookup", t.SoftwareLookup},
+		{"NHFaultHandler", t.NHFaultHandler},
+		{"VMFaultHandler", t.VMFaultHandler},
+		{"VMProtectPage", t.VMProtect},
+		{"VMUnprotectPage", t.VMUnprotect},
+		{"TPFaultHandler", t.TPFaultHandler},
+	}
+	fmt.Fprintf(w, "%-18s %10s\n", "Timing Variable", "Time (us)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %10.2f\n", r.name, r.v)
+	}
+}
+
+// Table3 renders the mean counting-variable table over all kept
+// sessions per program.
+func Table3(w io.Writer, results []*exp.ProgramResult) {
+	fmt.Fprintln(w, "Table 3: Mean counting variable data over all monitor sessions studied")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %10s %10s %12s | %10s %12s | %10s %12s\n",
+		"Program", "Install/", "Monitor", "Monitor",
+		"VM-4K", "VM-4K", "VM-8K", "VM-8K")
+	fmt.Fprintf(w, "%-8s %10s %10s %12s | %10s %12s | %10s %12s\n",
+		"", "Remove", "Hit", "Miss",
+		"Prot/Unprot", "ActPgMiss", "Prot/Unprot", "ActPgMiss")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8s %10.0f %10.0f %12.0f | %10.0f %12.0f | %10.0f %12.0f\n",
+			paperName(r.Program), r.MeanInstalls, r.MeanHits, r.MeanMisses,
+			r.MeanProtects[0], r.MeanActivePageMiss[0],
+			r.MeanProtects[1], r.MeanActivePageMiss[1])
+	}
+}
+
+// Table4 renders the relative-overhead statistics table: Min/Max,
+// T-Mean/Mean, and 90th/98th percentiles for all five strategies.
+func Table4(w io.Writer, results []*exp.ProgramResult) {
+	fmt.Fprintln(w, "Table 4: Relative overhead statistics")
+	fmt.Fprintln(w, "(T-Mean = mean of sessions between the 10th and 90th percentiles)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %-13s", "Program", "Statistic")
+	for _, s := range model.Strategies {
+		fmt.Fprintf(w, " %16s", s)
+	}
+	fmt.Fprintln(w)
+	for _, r := range results {
+		rows := []struct {
+			label string
+			get   func(stats.Summary) (float64, float64)
+		}{
+			{"Min    Max", func(s stats.Summary) (float64, float64) { return s.Min, s.Max }},
+			{"T-Mean Mean", func(s stats.Summary) (float64, float64) { return s.TMean, s.Mean }},
+			{"90%    98%", func(s stats.Summary) (float64, float64) { return s.P90, s.P98 }},
+		}
+		for i, row := range rows {
+			name := ""
+			if i == 0 {
+				name = paperName(r.Program)
+			}
+			fmt.Fprintf(w, "%-8s %-13s", name, row.label)
+			for _, s := range model.Strategies {
+				a, b := row.get(r.Summaries[s])
+				fmt.Fprintf(w, " %7s %8s", stats.Format(a), stats.Format(b))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// figure renders one grouped ASCII bar chart on a log10 axis.
+func figure(w io.Writer, title string, results []*exp.ProgramResult,
+	get func(stats.Summary) float64) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w)
+	const width = 50
+	maxVal := 0.0
+	for _, r := range results {
+		for _, s := range model.Strategies {
+			if v := get(r.Summaries[s]); v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	// Log axis floored at 0.01x relative overhead.
+	const floor = 0.01
+	scale := func(v float64) int {
+		if v <= floor {
+			return 0
+		}
+		return int(math.Round(width * math.Log10(v/floor) / math.Log10(maxVal/floor)))
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "%s\n", paperName(r.Program))
+		for _, s := range model.Strategies {
+			v := get(r.Summaries[s])
+			fmt.Fprintf(w, "  %-6s |%-*s %s\n", s, width, strings.Repeat("#", scale(v)), stats.Format(v))
+		}
+	}
+	fmt.Fprintf(w, "(log scale; bar full width = %.2fx relative overhead)\n", maxVal)
+}
+
+// Figure7 renders the maximum relative overhead over all sessions.
+func Figure7(w io.Writer, results []*exp.ProgramResult) {
+	figure(w, "Figure 7: Maximum relative overhead over all monitor sessions",
+		results, func(s stats.Summary) float64 { return s.Max })
+}
+
+// Figure8 renders the 90th-percentile relative overhead.
+func Figure8(w io.Writer, results []*exp.ProgramResult) {
+	figure(w, "Figure 8: 90th percentile relative overhead over all monitor sessions",
+		results, func(s stats.Summary) float64 { return s.P90 })
+}
+
+// Figure9 renders the 10-90% trimmed mean relative overhead.
+func Figure9(w io.Writer, results []*exp.ProgramResult) {
+	figure(w, "Figure 9: Mean relative overhead over sessions between the 10th and 90th percentiles",
+		results, func(s stats.Summary) float64 { return s.TMean })
+}
+
+// Breakdown renders the §8 where-the-time-went analysis: the mean
+// fraction of each strategy's overhead attributable to each timing
+// variable.
+func Breakdown(w io.Writer, results []*exp.ProgramResult) {
+	fmt.Fprintln(w, "Overhead breakdown: mean fraction of total overhead per timing variable")
+	fmt.Fprintln(w)
+	for _, s := range model.Strategies {
+		fmt.Fprintf(w, "%s (%s)\n", s, s.FullName())
+		// Collect the component names across programs.
+		names := map[string]bool{}
+		for _, r := range results {
+			for n := range r.BreakdownMean[s] {
+				names[n] = true
+			}
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		fmt.Fprintf(w, "  %-16s", "component")
+		for _, r := range results {
+			fmt.Fprintf(w, " %8s", paperName(r.Program))
+		}
+		fmt.Fprintln(w)
+		for _, n := range sorted {
+			fmt.Fprintf(w, "  %-16s", n)
+			for _, r := range results {
+				fmt.Fprintf(w, " %7.1f%%", 100*r.BreakdownMean[s][n])
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Expansion renders the CodePatch space-cost estimate (§8).
+func Expansion(w io.Writer, results []*exp.ProgramResult) {
+	fmt.Fprintln(w, "CodePatch space requirements: code expansion from 2 extra instructions per write")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-8s %16s %14s\n", "Program", "Write-instr frac", "Expansion")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-8s %15.1f%% %13.1f%%\n", paperName(r.Program),
+			100*r.StoreFraction, 100*r.Expansion)
+	}
+}
+
+// All renders every table and figure in paper order.
+func All(w io.Writer, results []*exp.ProgramResult, t model.Timings) {
+	sections := []func(){
+		func() { Table1(w, results) },
+		func() { Table2(w, t) },
+		func() { Table3(w, results) },
+		func() { Table4(w, results) },
+		func() { Figure7(w, results) },
+		func() { Figure8(w, results) },
+		func() { Figure9(w, results) },
+		func() { Breakdown(w, results) },
+		func() { Expansion(w, results) },
+	}
+	for i, s := range sections {
+		if i > 0 {
+			fmt.Fprintln(w)
+			fmt.Fprintln(w, strings.Repeat("=", 100))
+			fmt.Fprintln(w)
+		}
+		s()
+	}
+}
+
+// CSV writes the Table 4 data in machine-readable form.
+func CSV(w io.Writer, results []*exp.ProgramResult) {
+	fmt.Fprintln(w, "program,strategy,n,min,max,mean,tmean,p90,p98")
+	for _, r := range results {
+		for _, s := range model.Strategies {
+			sm := r.Summaries[s]
+			fmt.Fprintf(w, "%s,%s,%d,%g,%g,%g,%g,%g,%g\n",
+				r.Program, s, sm.N, sm.Min, sm.Max, sm.Mean, sm.TMean, sm.P90, sm.P98)
+		}
+	}
+}
+
+// SessionsCSV writes per-session relative overheads for external
+// analysis.
+func SessionsCSV(w io.Writer, results []*exp.ProgramResult) {
+	fmt.Fprintln(w, "program,session,type,hits,misses,installs,nh,vm4k,vm8k,tp,cp")
+	for _, r := range results {
+		for i := range r.Kept {
+			k := &r.Kept[i]
+			fmt.Fprintf(w, "%s,%q,%s,%d,%d,%d,%g,%g,%g,%g,%g\n",
+				r.Program, k.Session.Label(), k.Session.Type,
+				k.Counting.Hits, k.Counting.Misses, k.Counting.Installs,
+				k.Relative[model.NH], k.Relative[model.VM4K], k.Relative[model.VM8K],
+				k.Relative[model.TP], k.Relative[model.CP])
+		}
+	}
+}

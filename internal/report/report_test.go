@@ -1,0 +1,174 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"edb/internal/exp"
+	"edb/internal/model"
+	"edb/internal/sessions"
+	"edb/internal/sim"
+	"edb/internal/stats"
+)
+
+// fakeResults builds a deterministic result set without running the
+// whole experiment.
+func fakeResults() []*exp.ProgramResult {
+	mk := func(name string, base float64) *exp.ProgramResult {
+		r := &exp.ProgramResult{
+			Program:     name,
+			BaseSeconds: base,
+			TotalWrites: 1000,
+		}
+		r.SessionCounts[sessions.OneLocalAuto] = 10
+		r.SessionCounts[sessions.OneGlobalStatic] = 3
+		sess := &sessions.Session{Type: sessions.OneGlobalStatic, Name: "g"}
+		for i := 0; i < 10; i++ {
+			oc := exp.SessionOutcome{
+				Session:  sess,
+				Counting: sim.Counting{Hits: uint64(i + 1), Misses: 999},
+			}
+			for j := range oc.Relative {
+				oc.Relative[j] = float64(i+1) * float64(j+1)
+			}
+			r.Kept = append(r.Kept, oc)
+		}
+		for _, s := range model.Strategies {
+			r.Summaries[s] = stats.Summarize(r.RelativeSamples(s))
+			r.BreakdownMean[s] = map[string]float64{"SoftwareLookup": 1}
+		}
+		r.Expansion = 0.13
+		r.StoreFraction = 0.065
+		return r
+	}
+	return []*exp.ProgramResult{mk("gcc", 1.0), mk("bps", 0.5)}
+}
+
+func render(f func(*bytes.Buffer)) string {
+	var b bytes.Buffer
+	f(&b)
+	return b.String()
+}
+
+func TestTable1(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { Table1(b, fakeResults()) })
+	for _, want := range []string{"Table 1", "GCC", "BPS", "1000", "500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { Table2(b, model.Paper) })
+	for _, want := range []string{"SoftwareLookup", "2.75", "VMFaultHandler", "561.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { Table3(b, fakeResults()) })
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "ActPgMiss") {
+		t.Errorf("Table3 output:\n%s", out)
+	}
+}
+
+func TestTable4(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { Table4(b, fakeResults()) })
+	for _, want := range []string{"Table 4", "NH", "VM-4K", "VM-8K", "TP", "CP", "T-Mean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 missing %q", want)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	for _, f := range []func(*bytes.Buffer){
+		func(b *bytes.Buffer) { Figure7(b, fakeResults()) },
+		func(b *bytes.Buffer) { Figure8(b, fakeResults()) },
+		func(b *bytes.Buffer) { Figure9(b, fakeResults()) },
+	} {
+		out := render(f)
+		if !strings.Contains(out, "#") || !strings.Contains(out, "log scale") {
+			t.Errorf("figure lacks bars:\n%s", out)
+		}
+	}
+}
+
+func TestFigureEmptyResults(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { Figure7(b, nil) })
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty figure should say so:\n%s", out)
+	}
+}
+
+func TestBreakdownAndExpansion(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { Breakdown(b, fakeResults()) })
+	if !strings.Contains(out, "SoftwareLookup") || !strings.Contains(out, "100.0%") {
+		t.Errorf("breakdown:\n%s", out)
+	}
+	out = render(func(b *bytes.Buffer) { Expansion(b, fakeResults()) })
+	if !strings.Contains(out, "13.0%") {
+		t.Errorf("expansion:\n%s", out)
+	}
+}
+
+func TestAllSections(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { All(b, fakeResults(), model.Paper) })
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Table 4",
+		"Figure 7", "Figure 8", "Figure 9", "breakdown", "expansion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("All missing %q", want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { CSV(b, fakeResults()) })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 2 programs x 5 strategies.
+	if len(lines) != 1+2*5 {
+		t.Errorf("CSV lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "program,strategy") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+func TestSessionsCSV(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { SessionsCSV(b, fakeResults()) })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+2*10 {
+		t.Errorf("SessionsCSV lines = %d", len(lines))
+	}
+}
+
+func TestFigureSVGs(t *testing.T) {
+	for _, f := range []func(*bytes.Buffer){
+		func(b *bytes.Buffer) { Figure7SVG(b, fakeResults()) },
+		func(b *bytes.Buffer) { Figure8SVG(b, fakeResults()) },
+		func(b *bytes.Buffer) { Figure9SVG(b, fakeResults()) },
+	} {
+		out := render(f)
+		for _, want := range []string{"<svg", "</svg>", "<rect", "GCC", "BPS", "relative overhead"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("SVG missing %q", want)
+			}
+		}
+		// One bar per program per strategy, plus background and legend.
+		bars := strings.Count(out, "<rect")
+		if bars < 2*5 {
+			t.Errorf("only %d rects", bars)
+		}
+	}
+}
+
+func TestFigureSVGEmpty(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { Figure7SVG(b, nil) })
+	if !strings.Contains(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Error("empty SVG malformed")
+	}
+}

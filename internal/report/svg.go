@@ -1,0 +1,127 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"edb/internal/exp"
+	"edb/internal/model"
+	"edb/internal/stats"
+)
+
+// SVG renderers for Figures 7-9: grouped bar charts on a logarithmic
+// axis, matching the layout of the paper's figures (programs across the
+// x-axis, one bar per strategy). Self-contained vector output for
+// embedding in documents.
+
+var strategyColors = map[model.Strategy]string{
+	model.NH:   "#4477aa",
+	model.VM4K: "#ee6677",
+	model.VM8K: "#aa3377",
+	model.TP:   "#ccbb44",
+	model.CP:   "#228833",
+}
+
+// FigureSVG renders one grouped bar chart to w.
+func FigureSVG(w io.Writer, title string, results []*exp.ProgramResult,
+	get func(stats.Summary) float64) {
+	const (
+		width   = 720
+		height  = 420
+		left    = 70
+		right   = 20
+		top     = 50
+		bottom  = 60
+		minVal  = 0.01
+		barGap  = 2
+		grpGap  = 18
+		legendY = 26
+	)
+	plotW := width - left - right
+	plotH := height - top - bottom
+
+	maxVal := minVal
+	for _, r := range results {
+		for _, s := range model.Strategies {
+			if v := get(r.Summaries[s]); v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	logMin, logMax := math.Log10(minVal), math.Log10(maxVal*1.2)
+	yOf := func(v float64) float64 {
+		if v < minVal {
+			v = minVal
+		}
+		frac := (math.Log10(v) - logMin) / (logMax - logMin)
+		return float64(top) + float64(plotH)*(1-frac)
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", width, height)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(w, `<text x="%d" y="18" font-size="14" font-weight="bold">%s</text>`+"\n", left, title)
+
+	// Legend.
+	lx := left
+	for _, s := range model.Strategies {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, legendY, strategyColors[s])
+		fmt.Fprintf(w, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n", lx+14, legendY+9, s)
+		lx += 90
+	}
+
+	// Log-decade gridlines and labels.
+	for d := math.Ceil(logMin); d <= math.Floor(logMax); d++ {
+		v := math.Pow(10, d)
+		y := yOf(v)
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", left, y, width-right, y)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" font-size="10" text-anchor="end">%gx</text>`+"\n", left-6, y+3, v)
+	}
+	fmt.Fprintf(w, `<text x="14" y="%d" font-size="11" transform="rotate(-90 14 %d)">relative overhead (log)</text>`+"\n",
+		top+plotH/2, top+plotH/2)
+
+	// Bars, grouped by program.
+	n := len(results)
+	if n > 0 {
+		grpW := float64(plotW) / float64(n)
+		barW := (grpW - grpGap) / float64(len(model.Strategies))
+		for gi, r := range results {
+			gx := float64(left) + grpW*float64(gi) + grpGap/2
+			for si, s := range model.Strategies {
+				v := get(r.Summaries[s])
+				x := gx + float64(si)*barW
+				y := yOf(v)
+				h := float64(top+plotH) - y
+				if h < 0 {
+					h = 0
+				}
+				fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.2fx</title></rect>`+"\n",
+					x, y, barW-barGap, h, strategyColors[s], paperName(r.Program), s, v)
+			}
+			fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+				gx+(grpW-grpGap)/2, top+plotH+20, paperName(r.Program))
+		}
+	}
+	// Axis line.
+	fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		left, top+plotH, width-right, top+plotH)
+	fmt.Fprintln(w, `</svg>`)
+}
+
+// Figure7SVG renders the maximum relative overhead as SVG.
+func Figure7SVG(w io.Writer, results []*exp.ProgramResult) {
+	FigureSVG(w, "Figure 7: Maximum relative overhead over all monitor sessions",
+		results, func(s stats.Summary) float64 { return s.Max })
+}
+
+// Figure8SVG renders the 90th-percentile relative overhead as SVG.
+func Figure8SVG(w io.Writer, results []*exp.ProgramResult) {
+	FigureSVG(w, "Figure 8: 90th percentile relative overhead",
+		results, func(s stats.Summary) float64 { return s.P90 })
+}
+
+// Figure9SVG renders the 10-90% trimmed-mean relative overhead as SVG.
+func Figure9SVG(w io.Writer, results []*exp.ProgramResult) {
+	FigureSVG(w, "Figure 9: Mean relative overhead (10th-90th percentile sessions)",
+		results, func(s stats.Summary) float64 { return s.TMean })
+}

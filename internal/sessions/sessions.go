@@ -1,0 +1,165 @@
+// Package sessions discovers monitor sessions from a program event
+// trace — the five program-independent session types of §5 of the
+// paper:
+//
+//	OneLocalAuto     one local automatic variable (all instantiations)
+//	AllLocalInFunc   all locals of one function, including its statics
+//	OneGlobalStatic  one global static variable
+//	OneHeap          one heap object (identity survives realloc)
+//	AllHeapInFunc    all heap objects allocated by f or by functions
+//	                 executing in f's dynamic context
+//
+// A session is a set of program objects; phase 2 (internal/sim) replays
+// the trace against every session at once. Sessions with no monitor
+// hits are discarded afterwards, as in the paper (§8).
+package sessions
+
+import (
+	"fmt"
+	"sort"
+
+	"edb/internal/objects"
+	"edb/internal/trace"
+)
+
+// Type enumerates the session types of §5.
+type Type int
+
+// Session types.
+const (
+	OneLocalAuto Type = iota
+	AllLocalInFunc
+	OneGlobalStatic
+	OneHeap
+	AllHeapInFunc
+	NumTypes
+)
+
+// String names the session type exactly as the paper does.
+func (t Type) String() string {
+	switch t {
+	case OneLocalAuto:
+		return "OneLocalAuto"
+	case AllLocalInFunc:
+		return "AllLocalInFunc"
+	case OneGlobalStatic:
+		return "OneGlobalStatic"
+	case OneHeap:
+		return "OneHeap"
+	case AllHeapInFunc:
+		return "AllHeapInFunc"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Session is one monitor session: a named set of program objects whose
+// install/remove events define the session's monitors.
+type Session struct {
+	// Index is the session's position in the discovery output; the
+	// simulator uses it as a dense identifier.
+	Index int
+	Type  Type
+	// Func qualifies function-scoped sessions (OneLocalAuto,
+	// AllLocalInFunc, AllHeapInFunc).
+	Func string
+	// Name qualifies object-scoped sessions (the variable, global, or
+	// heap object name).
+	Name string
+	// Objects lists the member object IDs.
+	Objects []objects.ID
+}
+
+// Label renders a human-readable session identifier.
+func (s *Session) Label() string {
+	switch s.Type {
+	case OneLocalAuto:
+		return fmt.Sprintf("%s(%s.%s)", s.Type, s.Func, s.Name)
+	case AllLocalInFunc, AllHeapInFunc:
+		return fmt.Sprintf("%s(%s)", s.Type, s.Func)
+	default:
+		return fmt.Sprintf("%s(%s)", s.Type, s.Name)
+	}
+}
+
+// Set is the full collection of sessions discovered for one trace,
+// along with the object → sessions membership index the simulator needs.
+type Set struct {
+	Sessions []Session
+	// Membership[objID] lists the indices of sessions containing that
+	// object. Index 0 of the slice is unused (object IDs start at 1).
+	Membership [][]int32
+}
+
+// CountByType tallies sessions per type.
+func (s *Set) CountByType() [NumTypes]int {
+	var out [NumTypes]int
+	for i := range s.Sessions {
+		out[s.Sessions[i].Type]++
+	}
+	return out
+}
+
+// Discover enumerates every instance of the five session types present
+// in the trace.
+func Discover(tr *trace.Trace) *Set {
+	set := &Set{}
+	objs := tr.Objects.All()
+
+	add := func(s Session) int {
+		s.Index = len(set.Sessions)
+		set.Sessions = append(set.Sessions, s)
+		return s.Index
+	}
+
+	// OneLocalAuto: one session per local automatic variable.
+	// AllLocalInFunc: group locals + statics by declaring function.
+	// OneGlobalStatic / OneHeap: one per object.
+	byFunc := make(map[string][]objects.ID)
+	var funcOrder []string
+	heapByFunc := make(map[string][]objects.ID)
+	var heapFuncOrder []string
+
+	for _, o := range objs {
+		switch o.Kind {
+		case objects.KindLocalAuto:
+			add(Session{Type: OneLocalAuto, Func: o.Func, Name: o.Name, Objects: []objects.ID{o.ID}})
+			if _, seen := byFunc[o.Func]; !seen {
+				funcOrder = append(funcOrder, o.Func)
+			}
+			byFunc[o.Func] = append(byFunc[o.Func], o.ID)
+		case objects.KindLocalStatic:
+			if _, seen := byFunc[o.Func]; !seen {
+				funcOrder = append(funcOrder, o.Func)
+			}
+			byFunc[o.Func] = append(byFunc[o.Func], o.ID)
+		case objects.KindGlobal:
+			add(Session{Type: OneGlobalStatic, Name: o.Name, Objects: []objects.ID{o.ID}})
+		case objects.KindHeap:
+			add(Session{Type: OneHeap, Name: o.Name, Objects: []objects.ID{o.ID}})
+			for _, f := range o.AllocCtx {
+				if _, seen := heapByFunc[f]; !seen {
+					heapFuncOrder = append(heapFuncOrder, f)
+				}
+				heapByFunc[f] = append(heapByFunc[f], o.ID)
+			}
+		}
+	}
+	sort.Strings(funcOrder)
+	for _, f := range funcOrder {
+		add(Session{Type: AllLocalInFunc, Func: f, Objects: byFunc[f]})
+	}
+	sort.Strings(heapFuncOrder)
+	for _, f := range heapFuncOrder {
+		add(Session{Type: AllHeapInFunc, Func: f, Objects: heapByFunc[f]})
+	}
+
+	// Build the membership index.
+	set.Membership = make([][]int32, len(objs)+1)
+	for i := range set.Sessions {
+		for _, id := range set.Sessions[i].Objects {
+			set.Membership[id] = append(set.Membership[id], int32(i))
+		}
+	}
+	return set
+}

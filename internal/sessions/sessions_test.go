@@ -1,0 +1,172 @@
+package sessions
+
+import (
+	"testing"
+
+	"edb/internal/objects"
+	"edb/internal/trace"
+)
+
+func buildTrace() *trace.Trace {
+	tab := objects.NewTable()
+	tab.Add(objects.Object{Kind: objects.KindLocalAuto, Func: "f", Name: "x"})   // 1
+	tab.Add(objects.Object{Kind: objects.KindLocalAuto, Func: "f", Name: "y"})   // 2
+	tab.Add(objects.Object{Kind: objects.KindLocalStatic, Func: "f", Name: "s"}) // 3
+	tab.Add(objects.Object{Kind: objects.KindLocalAuto, Func: "g", Name: "z"})   // 4
+	tab.Add(objects.Object{Kind: objects.KindGlobal, Name: "glob"})              // 5
+	tab.Add(objects.Object{Kind: objects.KindHeap, Name: "heap#1",
+		AllocCtx: []string{"main", "f"}}) // 6
+	tab.Add(objects.Object{Kind: objects.KindHeap, Name: "heap#2",
+		AllocCtx: []string{"main"}}) // 7
+	return &trace.Trace{Program: "t", Objects: tab}
+}
+
+func TestDiscoverCounts(t *testing.T) {
+	set := Discover(buildTrace())
+	counts := set.CountByType()
+	if counts[OneLocalAuto] != 3 {
+		t.Errorf("OneLocalAuto = %d, want 3", counts[OneLocalAuto])
+	}
+	if counts[AllLocalInFunc] != 2 { // f, g
+		t.Errorf("AllLocalInFunc = %d, want 2", counts[AllLocalInFunc])
+	}
+	if counts[OneGlobalStatic] != 1 {
+		t.Errorf("OneGlobalStatic = %d, want 1", counts[OneGlobalStatic])
+	}
+	if counts[OneHeap] != 2 {
+		t.Errorf("OneHeap = %d, want 2", counts[OneHeap])
+	}
+	if counts[AllHeapInFunc] != 2 { // main, f
+		t.Errorf("AllHeapInFunc = %d, want 2", counts[AllHeapInFunc])
+	}
+}
+
+func TestAllLocalIncludesStatics(t *testing.T) {
+	set := Discover(buildTrace())
+	for i := range set.Sessions {
+		s := &set.Sessions[i]
+		if s.Type == AllLocalInFunc && s.Func == "f" {
+			if len(s.Objects) != 3 { // x, y, static s
+				t.Errorf("AllLocalInFunc(f) objects = %v", s.Objects)
+			}
+			return
+		}
+	}
+	t.Fatal("AllLocalInFunc(f) not found")
+}
+
+func TestStaticNotOneLocalAuto(t *testing.T) {
+	set := Discover(buildTrace())
+	for i := range set.Sessions {
+		s := &set.Sessions[i]
+		if s.Type == OneLocalAuto && s.Name == "s" {
+			t.Error("static variable must not form a OneLocalAuto session")
+		}
+		if s.Type == OneGlobalStatic && s.Name == "s" {
+			t.Error("function static must not form a OneGlobalStatic session")
+		}
+	}
+}
+
+func TestAllHeapInFuncMembership(t *testing.T) {
+	set := Discover(buildTrace())
+	var mainS, fS *Session
+	for i := range set.Sessions {
+		s := &set.Sessions[i]
+		if s.Type == AllHeapInFunc {
+			switch s.Func {
+			case "main":
+				mainS = s
+			case "f":
+				fS = s
+			}
+		}
+	}
+	if mainS == nil || fS == nil {
+		t.Fatal("AllHeapInFunc sessions missing")
+	}
+	if len(mainS.Objects) != 2 {
+		t.Errorf("AllHeapInFunc(main) = %v, want both heap objects", mainS.Objects)
+	}
+	if len(fS.Objects) != 1 || fS.Objects[0] != 6 {
+		t.Errorf("AllHeapInFunc(f) = %v, want [6]", fS.Objects)
+	}
+}
+
+func TestMembershipIndex(t *testing.T) {
+	set := Discover(buildTrace())
+	// Object 1 (f.x) belongs to OneLocalAuto(f.x) and AllLocalInFunc(f).
+	if got := len(set.Membership[1]); got != 2 {
+		t.Errorf("object 1 memberships = %d, want 2", got)
+	}
+	// Object 6 (heap#1) belongs to OneHeap + AllHeapInFunc(main) + AllHeapInFunc(f).
+	if got := len(set.Membership[6]); got != 3 {
+		t.Errorf("object 6 memberships = %d, want 3", got)
+	}
+	// Object 3 (static) belongs only to AllLocalInFunc(f).
+	if got := len(set.Membership[3]); got != 1 {
+		t.Errorf("object 3 memberships = %d, want 1", got)
+	}
+	// Every membership refers to a session containing the object.
+	for id := 1; id < len(set.Membership); id++ {
+		for _, si := range set.Membership[id] {
+			found := false
+			for _, o := range set.Sessions[si].Objects {
+				if int(o) == id {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("membership inconsistency: object %d not in session %d", id, si)
+			}
+		}
+	}
+}
+
+func TestSessionIndices(t *testing.T) {
+	set := Discover(buildTrace())
+	for i := range set.Sessions {
+		if set.Sessions[i].Index != i {
+			t.Errorf("session %d has Index %d", i, set.Sessions[i].Index)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	set := Discover(buildTrace())
+	seen := make(map[string]bool)
+	for i := range set.Sessions {
+		l := set.Sessions[i].Label()
+		if l == "" {
+			t.Error("empty label")
+		}
+		if seen[l] {
+			t.Errorf("duplicate label %q", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	want := map[Type]string{
+		OneLocalAuto: "OneLocalAuto", AllLocalInFunc: "AllLocalInFunc",
+		OneGlobalStatic: "OneGlobalStatic", OneHeap: "OneHeap",
+		AllHeapInFunc: "AllHeapInFunc",
+	}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("%d.String() = %q", ty, ty.String())
+		}
+	}
+	if Type(42).String() == "" {
+		t.Error("unknown type renders empty")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &trace.Trace{Program: "empty", Objects: objects.NewTable()}
+	set := Discover(tr)
+	if len(set.Sessions) != 0 {
+		t.Errorf("sessions from empty trace: %d", len(set.Sessions))
+	}
+}

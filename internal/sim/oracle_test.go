@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/objects"
+	"edb/internal/sessions"
+	"edb/internal/trace"
+)
+
+// naiveReplay computes one session's counting variables the obvious way:
+// replay the whole trace for that single session, tracking its active
+// monitors directly. This is the |sessions| × |trace| algorithm the
+// one-pass simulator exists to avoid; here it is the oracle.
+func naiveReplay(tr *trace.Trace, s *sessions.Session) Counting {
+	member := make(map[objects.ID]bool)
+	for _, id := range s.Objects {
+		member[id] = true
+	}
+	var c Counting
+	type pageCount map[uint32]int
+	pages := [2]pageCount{{}, {}}
+	var active []arch.Range
+	totalWrites := uint64(0)
+
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.EvInstall:
+			if !member[e.Obj] {
+				continue
+			}
+			c.Installs++
+			active = append(active, arch.Range{BA: e.BA, EA: e.EA})
+			for psi, psz := range PageSizes {
+				first, last := arch.PagesSpanned(e.BA, e.EA, psz)
+				for pn := first; pn <= last; pn++ {
+					pages[psi][pn]++
+					if pages[psi][pn] == 1 {
+						c.VM[psi].Protects++
+					}
+				}
+			}
+		case trace.EvRemove:
+			if !member[e.Obj] {
+				continue
+			}
+			c.Removes++
+			want := arch.Range{BA: e.BA, EA: e.EA}
+			for i := range active {
+				if active[i] == want {
+					active = append(active[:i], active[i+1:]...)
+					break
+				}
+			}
+			for psi, psz := range PageSizes {
+				first, last := arch.PagesSpanned(e.BA, e.EA, psz)
+				for pn := first; pn <= last; pn++ {
+					pages[psi][pn]--
+					if pages[psi][pn] == 0 {
+						c.VM[psi].Unprotects++
+					}
+				}
+			}
+		case trace.EvWrite:
+			totalWrites++
+			hit := false
+			for _, r := range active {
+				if r.Overlaps(arch.Range{BA: e.BA, EA: e.EA}) {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				c.Hits++
+				continue
+			}
+			for psi, psz := range PageSizes {
+				if pages[psi][arch.PageNum(e.BA, psz)] > 0 {
+					c.VM[psi].ActivePageMiss++
+				}
+			}
+		}
+	}
+	c.Misses = totalWrites - c.Hits
+	return c
+}
+
+// randomTrace builds a small random—but structurally valid—trace:
+// locals come and go in stack fashion, heap objects allocate and free,
+// globals live forever, and writes target live objects or random
+// addresses.
+func randomTrace(seed int64, events int) *trace.Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tab := objects.NewTable()
+	tr := &trace.Trace{Program: "random", Objects: tab, BaseCycles: 40_000_000}
+
+	type liveObj struct {
+		id objects.ID
+		r  arch.Range
+	}
+	var live []liveObj
+	var frames [][]liveObj // stack discipline for locals
+	sp := arch.StackBase
+	emit := func(e trace.Event) { tr.Events = append(tr.Events, e) }
+
+	// A few globals, installed up front.
+	for i := 0; i < 4; i++ {
+		ba := arch.GlobalBase + arch.Addr(i*4096) + arch.Addr(rng.Intn(256)*4)
+		r := arch.Range{BA: ba, EA: ba + arch.Addr(4*(1+rng.Intn(8)))}
+		id := tab.Add(objects.Object{Kind: objects.KindGlobal, Name: "g", SizeBytes: r.Len()})
+		live = append(live, liveObj{id, r})
+		emit(trace.Event{Kind: trace.EvInstall, Obj: id, BA: r.BA, EA: r.EA})
+	}
+	funcs := []string{"f1", "f2", "f3"}
+	heapNext := arch.HeapBase
+
+	for len(tr.Events) < events {
+		switch rng.Intn(10) {
+		case 0, 1: // push a frame: 1-3 locals below the current stack top
+			fn := funcs[rng.Intn(len(funcs))]
+			var frame []liveObj
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				sp -= arch.Addr(4 + 4*rng.Intn(3))
+				r := arch.Range{BA: sp, EA: sp + 4}
+				id := tab.Add(objects.Object{Kind: objects.KindLocalAuto, Func: fn, Name: "v", SizeBytes: 4})
+				frame = append(frame, liveObj{id, r})
+				live = append(live, liveObj{id, r})
+				emit(trace.Event{Kind: trace.EvInstall, Obj: id, BA: r.BA, EA: r.EA})
+			}
+			frames = append(frames, frame)
+		case 2: // heap allocation with a random context
+			size := arch.Addr(8 * (1 + rng.Intn(6)))
+			r := arch.Range{BA: heapNext, EA: heapNext + size}
+			heapNext += size + 8
+			ctx := []string{"main", funcs[rng.Intn(len(funcs))]}
+			id := tab.Add(objects.Object{Kind: objects.KindHeap, Name: "h", SizeBytes: r.Len(), AllocCtx: ctx})
+			live = append(live, liveObj{id, r})
+			emit(trace.Event{Kind: trace.EvInstall, Obj: id, BA: r.BA, EA: r.EA})
+		case 3: // pop the innermost frame (stack discipline)
+			if len(frames) > 0 {
+				frame := frames[len(frames)-1]
+				frames = frames[:len(frames)-1]
+				for i := len(frame) - 1; i >= 0; i-- {
+					o := frame[i]
+					sp = o.r.EA
+					for j := range live {
+						if live[j].id == o.id {
+							live = append(live[:j], live[j+1:]...)
+							break
+						}
+					}
+					emit(trace.Event{Kind: trace.EvRemove, Obj: o.id, BA: o.r.BA, EA: o.r.EA})
+				}
+			}
+		default: // write: half aimed at live objects, half random
+			var ba arch.Addr
+			if rng.Intn(2) == 0 && len(live) > 0 {
+				o := live[rng.Intn(len(live))]
+				ba = o.r.BA + arch.Addr(4*rng.Intn(o.r.Words()))
+			} else {
+				switch rng.Intn(3) {
+				case 0:
+					ba = arch.GlobalBase + arch.Addr(rng.Intn(3000)*4)
+				case 1:
+					ba = arch.HeapBase + arch.Addr(rng.Intn(3000)*4)
+				default:
+					ba = arch.StackBase - arch.Addr(rng.Intn(2000)*4) - 4
+				}
+			}
+			emit(trace.Event{Kind: trace.EvWrite, BA: ba, EA: ba + 4, PC: arch.TextBase + arch.Addr(rng.Intn(100)*4)})
+		}
+	}
+	// Tear down everything still live: frames innermost-first, then the
+	// heap objects and globals.
+	for len(frames) > 0 {
+		frame := frames[len(frames)-1]
+		frames = frames[:len(frames)-1]
+		for i := len(frame) - 1; i >= 0; i-- {
+			o := frame[i]
+			for j := range live {
+				if live[j].id == o.id {
+					live = append(live[:j], live[j+1:]...)
+					break
+				}
+			}
+			emit(trace.Event{Kind: trace.EvRemove, Obj: o.id, BA: o.r.BA, EA: o.r.EA})
+		}
+	}
+	for i := len(live) - 1; i >= 0; i-- {
+		o := live[i]
+		emit(trace.Event{Kind: trace.EvRemove, Obj: o.id, BA: o.r.BA, EA: o.r.EA})
+	}
+	return tr
+}
+
+// TestOnePassMatchesNaiveOracle is the central correctness property of
+// phase 2: for random traces, the one-pass simulator's counting
+// variables equal a per-session naive replay, for every session.
+func TestOnePassMatchesNaiveOracle(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		tr := randomTrace(seed, 1500)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid trace: %v", seed, err)
+		}
+		if err := tr.ValidateExclusive(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		set := sessions.Discover(tr)
+		out, err := Run(tr, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range set.Sessions {
+			s := &set.Sessions[i]
+			want := naiveReplay(tr, s)
+			got := out.PerSession[i]
+			if got != want {
+				t.Errorf("seed %d session %s:\n  one-pass %+v\n  oracle   %+v",
+					seed, s.Label(), got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,286 @@
+// Package sim implements phase 2 of the paper's experiment (Figure 1):
+// replaying a program event trace against every discovered monitor
+// session simultaneously, producing the per-session counting variables
+// the analytical models of §7 consume:
+//
+//	InstallMonitor_σ, RemoveMonitor_σ   installs/removes in the session
+//	MonitorHit_σ                        writes hitting a session monitor
+//	MonitorMiss_σ                       all other writes
+//	VMProtect_σ / VMUnprotect_σ         0→1 / 1→0 transitions of the
+//	                                    per-page active-monitor count
+//	VMActivePageMiss_σ                  misses landing on a page holding
+//	                                    an active monitor of the session
+//
+// The simulator relies on the trace's exclusivity invariant — at any
+// instant each word belongs to at most one live object
+// (trace.ValidateExclusive) — which holds for every tracer-produced
+// trace because frames nest and heap blocks are disjoint.
+//
+// Page-granular statistics are computed for 4 KiB and 8 KiB pages in the
+// same pass. A naive per-session replay would cost |sessions| × |trace|;
+// this implementation is a single pass that maintains (a) a word →
+// object index, (b) the object → session membership from discovery, and
+// (c) per-page session multisets.
+package sim
+
+import (
+	"fmt"
+
+	"edb/internal/arch"
+	"edb/internal/objects"
+	"edb/internal/sessions"
+	"edb/internal/trace"
+)
+
+// PageSizes lists the page sizes simulated, in index order.
+var PageSizes = [2]int{arch.PageSize4K, arch.PageSize8K}
+
+// PageStats holds the page-granularity counting variables for one page
+// size.
+type PageStats struct {
+	Protects       uint64 // VMProtect_σ
+	Unprotects     uint64 // VMUnprotect_σ
+	ActivePageMiss uint64 // VMActivePageMiss_σ
+}
+
+// Counting is the full counting-variable vector for one session.
+type Counting struct {
+	Installs uint64
+	Removes  uint64
+	Hits     uint64
+	Misses   uint64
+	VM       [2]PageStats // indexed like PageSizes
+}
+
+// Output is the phase-2 result for one program.
+type Output struct {
+	Program     string
+	BaseCycles  uint64
+	TotalWrites uint64
+	// PerSession is parallel to set.Sessions.
+	PerSession []Counting
+	Set        *sessions.Set
+}
+
+// sessCount is one entry of a per-page session multiset.
+type sessCount struct {
+	sess  int32
+	count int32
+}
+
+// pageSet is a small multiset of sessions keyed by session index.
+// Linear operations: per-page session populations are small (the locals
+// of the live frames on a stack page, or the heap sessions containing
+// objects on a heap page).
+type pageSet struct {
+	entries []sessCount
+}
+
+// inc increments the count for s and reports whether it was absent (the
+// 0→1 transition the VM model charges a protect for).
+func (p *pageSet) inc(s int32) bool {
+	for i := range p.entries {
+		if p.entries[i].sess == s {
+			p.entries[i].count++
+			return false
+		}
+	}
+	p.entries = append(p.entries, sessCount{sess: s, count: 1})
+	return true
+}
+
+// dec decrements the count for s and reports whether it reached zero
+// (the 1→0 transition charged as an unprotect).
+func (p *pageSet) dec(s int32) bool {
+	for i := range p.entries {
+		if p.entries[i].sess == s {
+			p.entries[i].count--
+			if p.entries[i].count == 0 {
+				last := len(p.entries) - 1
+				p.entries[i] = p.entries[last]
+				p.entries = p.entries[:last]
+				return true
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// wordPage maps the words of one 4 KiB region to object IDs.
+type wordPage [1024]objects.ID
+
+// Simulator carries the replay state.
+type simulator struct {
+	set *sessions.Set
+	out *Output
+
+	words map[uint32]*wordPage
+	pages [2]map[uint32]*pageSet
+}
+
+// Run replays the trace against the session set.
+func Run(tr *trace.Trace, set *sessions.Set) (*Output, error) {
+	s := &simulator{
+		set: set,
+		out: &Output{
+			Program:    tr.Program,
+			BaseCycles: tr.BaseCycles,
+			PerSession: make([]Counting, len(set.Sessions)),
+			Set:        set,
+		},
+		words: make(map[uint32]*wordPage),
+	}
+	for i := range s.pages {
+		s.pages[i] = make(map[uint32]*pageSet)
+	}
+
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		switch e.Kind {
+		case trace.EvInstall:
+			s.install(e)
+		case trace.EvRemove:
+			s.remove(e)
+		case trace.EvWrite:
+			s.write(e)
+		default:
+			return nil, fmt.Errorf("sim: unknown event kind %d", e.Kind)
+		}
+	}
+
+	// MonitorMiss_σ = total writes − MonitorHit_σ: the software
+	// strategies check *every* write instruction regardless of which
+	// monitors are active.
+	for i := range s.out.PerSession {
+		c := &s.out.PerSession[i]
+		c.Misses = s.out.TotalWrites - c.Hits
+	}
+	return s.out, nil
+}
+
+func (s *simulator) setWords(ba, ea arch.Addr, id objects.ID) {
+	for a := ba; a < ea; a += arch.WordBytes {
+		pn := uint32(a) >> 12
+		pg := s.words[pn]
+		if pg == nil {
+			pg = &wordPage{}
+			s.words[pn] = pg
+		}
+		pg[(a%4096)/4] = id
+	}
+}
+
+func (s *simulator) clearWords(ba, ea arch.Addr, id objects.ID) {
+	for a := ba; a < ea; a += arch.WordBytes {
+		pn := uint32(a) >> 12
+		pg := s.words[pn]
+		if pg == nil {
+			continue
+		}
+		idx := (a % 4096) / 4
+		if pg[idx] == id {
+			pg[idx] = 0
+		}
+	}
+}
+
+func (s *simulator) objectAt(a arch.Addr) objects.ID {
+	pg := s.words[uint32(a)>>12]
+	if pg == nil {
+		return 0
+	}
+	return pg[(a%4096)/4]
+}
+
+func (s *simulator) install(e *trace.Event) {
+	members := s.set.Membership[e.Obj]
+	s.setWords(e.BA, e.EA, e.Obj)
+	for _, sess := range members {
+		s.out.PerSession[sess].Installs++
+	}
+	for psi, psz := range PageSizes {
+		first, last := arch.PagesSpanned(e.BA, e.EA, psz)
+		for pn := first; pn <= last; pn++ {
+			ps := s.pages[psi][pn]
+			if ps == nil {
+				ps = &pageSet{}
+				s.pages[psi][pn] = ps
+			}
+			for _, sess := range members {
+				if ps.inc(sess) {
+					s.out.PerSession[sess].VM[psi].Protects++
+				}
+			}
+		}
+	}
+}
+
+func (s *simulator) remove(e *trace.Event) {
+	members := s.set.Membership[e.Obj]
+	s.clearWords(e.BA, e.EA, e.Obj)
+	for _, sess := range members {
+		s.out.PerSession[sess].Removes++
+	}
+	for psi, psz := range PageSizes {
+		first, last := arch.PagesSpanned(e.BA, e.EA, psz)
+		for pn := first; pn <= last; pn++ {
+			ps := s.pages[psi][pn]
+			if ps == nil {
+				continue
+			}
+			for _, sess := range members {
+				if ps.dec(sess) {
+					s.out.PerSession[sess].VM[psi].Unprotects++
+				}
+			}
+			if len(ps.entries) == 0 {
+				delete(s.pages[psi], pn)
+			}
+		}
+	}
+}
+
+func (s *simulator) write(e *trace.Event) {
+	s.out.TotalWrites++
+	var hitSessions []int32
+	if obj := s.objectAt(e.BA); obj != 0 {
+		hitSessions = s.set.Membership[obj]
+		for _, sess := range hitSessions {
+			s.out.PerSession[sess].Hits++
+		}
+	}
+	for psi, psz := range PageSizes {
+		ps := s.pages[psi][uint32(e.BA)/uint32(psz)]
+		if ps == nil {
+			continue
+		}
+		for _, e2 := range ps.entries {
+			if !contains(hitSessions, e2.sess) {
+				s.out.PerSession[e2.sess].VM[psi].ActivePageMiss++
+			}
+		}
+	}
+}
+
+func contains(xs []int32, x int32) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterZeroHit returns the indices of sessions with at least one
+// monitor hit — the paper discards hitless sessions "under the
+// assumption that they are unlikely candidates during debugging".
+func (o *Output) FilterZeroHit() []int {
+	var keep []int
+	for i := range o.PerSession {
+		if o.PerSession[i].Hits > 0 {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}

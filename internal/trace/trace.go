@@ -1,0 +1,389 @@
+// Package trace defines the program event trace — the output of phase 1
+// of the paper's experiment (Figure 1) — and binary/text codecs for it.
+//
+// A trace carries exactly the three event kinds of §6:
+//
+//	InstallMonitorEvent [ObjectDesc, BA, EA]
+//	RemoveMonitorEvent  [ObjectDesc, BA, EA]
+//	WriteEvent          [BA, EA]   (plus the writing PC, which the WMS
+//	                                interface hands to MonitorNotification)
+//
+// The trace is independent of any particular monitor session: install
+// and remove events are recorded for *every* program object that any
+// session type could select, and phase 2 replays one trace against many
+// sessions.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"edb/internal/arch"
+	"edb/internal/objects"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvInstall EventKind = iota
+	EvRemove
+	EvWrite
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvInstall:
+		return "install"
+	case EvRemove:
+		return "remove"
+	case EvWrite:
+		return "write"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one trace record.
+type Event struct {
+	Kind EventKind
+	// Obj identifies the program object for install/remove events.
+	Obj objects.ID
+	// BA, EA delimit the written or monitored range [BA, EA).
+	BA, EA arch.Addr
+	// PC is the program counter of the write (write events only).
+	PC arch.Addr
+}
+
+// Trace is one complete program event trace plus run metadata.
+type Trace struct {
+	// Program names the benchmark.
+	Program string
+	// BaseCycles is the uninstrumented run's cycle count (the paper's
+	// "base program execution time" denominator).
+	BaseCycles uint64
+	// Instret is the retired instruction count.
+	Instret uint64
+	// Objects is the object table events refer to.
+	Objects *objects.Table
+	// Events is the event stream in execution order.
+	Events []Event
+}
+
+// BaseSeconds returns the base execution time in simulated seconds.
+func (t *Trace) BaseSeconds() float64 { return arch.CyclesToSeconds(t.BaseCycles) }
+
+// Counts tallies events by kind.
+func (t *Trace) Counts() (installs, removes, writes int) {
+	for _, e := range t.Events {
+		switch e.Kind {
+		case EvInstall:
+			installs++
+		case EvRemove:
+			removes++
+		case EvWrite:
+			writes++
+		}
+	}
+	return
+}
+
+const (
+	magic   = "EDBT"
+	version = 1
+)
+
+// Write serialises the trace in the binary format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putString := func(s string) error {
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := putUvarint(version); err != nil {
+		return err
+	}
+	if err := putString(t.Program); err != nil {
+		return err
+	}
+	if err := putUvarint(t.BaseCycles); err != nil {
+		return err
+	}
+	if err := putUvarint(t.Instret); err != nil {
+		return err
+	}
+
+	// Object table.
+	objs := t.Objects.All()
+	if err := putUvarint(uint64(len(objs))); err != nil {
+		return err
+	}
+	for _, o := range objs {
+		if err := bw.WriteByte(byte(o.Kind)); err != nil {
+			return err
+		}
+		if err := putString(o.Func); err != nil {
+			return err
+		}
+		if err := putString(o.Name); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(o.SizeBytes)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(len(o.AllocCtx))); err != nil {
+			return err
+		}
+		for _, f := range o.AllocCtx {
+			if err := putString(f); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Event stream.
+	if err := putUvarint(uint64(len(t.Events))); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		if e.Kind != EvWrite {
+			if err := putUvarint(uint64(e.Obj)); err != nil {
+				return err
+			}
+		}
+		if err := putUvarint(uint64(e.BA)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(e.EA - e.BA)); err != nil {
+			return err
+		}
+		if e.Kind == EvWrite {
+			if err := putUvarint(uint64(e.PC)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	getUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getString := func() (string, error) {
+		n, err := getUvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("trace: unreasonable string length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	v, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	t := &Trace{Objects: objects.NewTable()}
+	if t.Program, err = getString(); err != nil {
+		return nil, err
+	}
+	if t.BaseCycles, err = getUvarint(); err != nil {
+		return nil, err
+	}
+	if t.Instret, err = getUvarint(); err != nil {
+		return nil, err
+	}
+
+	nObjs, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nObjs; i++ {
+		var o objects.Object
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		o.Kind = objects.Kind(kb)
+		if o.Func, err = getString(); err != nil {
+			return nil, err
+		}
+		if o.Name, err = getString(); err != nil {
+			return nil, err
+		}
+		sz, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		o.SizeBytes = int(sz)
+		nCtx, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < nCtx; j++ {
+			f, err := getString()
+			if err != nil {
+				return nil, err
+			}
+			o.AllocCtx = append(o.AllocCtx, f)
+		}
+		t.Objects.Add(o)
+	}
+
+	nEvents, err := getUvarint()
+	if err != nil {
+		return nil, err
+	}
+	t.Events = make([]Event, 0, nEvents)
+	for i := uint64(0); i < nEvents; i++ {
+		var e Event
+		kb, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		e.Kind = EventKind(kb)
+		if e.Kind > EvWrite {
+			return nil, fmt.Errorf("trace: bad event kind %d", kb)
+		}
+		if e.Kind != EvWrite {
+			obj, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.Obj = objects.ID(obj)
+		}
+		ba, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		length, err := getUvarint()
+		if err != nil {
+			return nil, err
+		}
+		e.BA = arch.Addr(ba)
+		e.EA = e.BA + arch.Addr(length)
+		if e.Kind == EvWrite {
+			pc, err := getUvarint()
+			if err != nil {
+				return nil, err
+			}
+			e.PC = arch.Addr(pc)
+		}
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}
+
+// WriteText renders the trace human-readably, one event per line.
+func (t *Trace) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# trace %s base_cycles=%d instret=%d objects=%d events=%d\n",
+		t.Program, t.BaseCycles, t.Instret, t.Objects.Len(), len(t.Events))
+	for _, o := range t.Objects.All() {
+		fmt.Fprintf(bw, "obj %d %s func=%q name=%q size=%d ctx=%v\n",
+			o.ID, o.Kind, o.Func, o.Name, o.SizeBytes, o.AllocCtx)
+	}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case EvWrite:
+			fmt.Fprintf(bw, "write %#x..%#x pc=%#x\n", uint32(e.BA), uint32(e.EA), uint32(e.PC))
+		default:
+			fmt.Fprintf(bw, "%s obj=%d %#x..%#x\n", e.Kind, e.Obj, uint32(e.BA), uint32(e.EA))
+		}
+	}
+	return bw.Flush()
+}
+
+// Validate checks internal consistency: object references resolve,
+// ranges are well-formed and word-aligned, and removes match installs.
+func (t *Trace) Validate() error {
+	active := make(map[objects.ID]int)
+	for i, e := range t.Events {
+		if e.EA <= e.BA {
+			return fmt.Errorf("trace: event %d has empty range %v..%v", i, e.BA, e.EA)
+		}
+		if !arch.Aligned(e.BA) {
+			return fmt.Errorf("trace: event %d range not word aligned", i)
+		}
+		switch e.Kind {
+		case EvInstall, EvRemove:
+			if _, ok := t.Objects.Get(e.Obj); !ok {
+				return fmt.Errorf("trace: event %d references unknown object %d", i, e.Obj)
+			}
+			if e.Kind == EvInstall {
+				active[e.Obj]++
+			} else {
+				active[e.Obj]--
+				if active[e.Obj] < 0 {
+					return fmt.Errorf("trace: event %d removes never-installed object %d", i, e.Obj)
+				}
+			}
+		}
+	}
+	for id, n := range active {
+		if n != 0 {
+			return fmt.Errorf("trace: object %d left with %d active installs", id, n)
+		}
+	}
+	return nil
+}
+
+// ValidateExclusive additionally checks the exclusivity invariant the
+// phase-2 simulator relies on: at any instant, each word of memory is
+// covered by at most one live object. Real traces satisfy this by
+// construction (frames nest, heap blocks are disjoint, globals are laid
+// out without overlap); this check exists for synthetic traces.
+func (t *Trace) ValidateExclusive() error {
+	owner := make(map[arch.Addr]objects.ID)
+	for i, e := range t.Events {
+		switch e.Kind {
+		case EvInstall:
+			for a := e.BA; a < e.EA; a += arch.WordBytes {
+				if prev, taken := owner[a]; taken && prev != e.Obj {
+					return fmt.Errorf("trace: event %d: word %#x owned by both object %d and %d",
+						i, uint32(a), prev, e.Obj)
+				}
+				owner[a] = e.Obj
+			}
+		case EvRemove:
+			for a := e.BA; a < e.EA; a += arch.WordBytes {
+				delete(owner, a)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,279 @@
+// Package tracer implements phase 1 of the paper's experiment (Figure
+// 1): it observes one run of a debuggee on the simulated machine and
+// produces the program event trace of §6 — InstallMonitorEvent /
+// RemoveMonitorEvent for every program object any monitor session could
+// select, and WriteEvent for every explicit store.
+//
+// Faithful to the paper:
+//
+//   - Write monitors for automatic variables are installed and removed
+//     on function boundaries.
+//   - System calls, the standard library (our kernel services), and
+//     implicit writes (register spills, saved RA/FP) do not appear in
+//     the trace.
+//   - Heap objects keep their identity across realloc.
+//   - Each heap object records the functions executing in whose dynamic
+//     context it was allocated (for AllHeapInFunc sessions).
+//
+// Observation is host-side and free: it does not perturb the debuggee's
+// cycle clock, so the traced run doubles as the base-time measurement.
+package tracer
+
+import (
+	"fmt"
+
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/isa"
+	"edb/internal/kernel"
+	"edb/internal/objects"
+	"edb/internal/trace"
+)
+
+type frame struct {
+	funcIdx int // index into image Funcs, -1 if unknown
+	fp      arch.Addr
+	// installed ranges for this frame's locals, parallel to localIDs.
+	ranges []arch.Range
+}
+
+type heapObj struct {
+	id objects.ID
+	r  arch.Range
+}
+
+// Tracer attaches to a machine and records its event trace.
+type Tracer struct {
+	m   *kernel.Machine
+	img *asm.Image
+	tr  *trace.Trace
+	tab *objects.Table
+
+	// localIDs[funcIdx][localIdx] is the object for that local variable.
+	localIDs [][]objects.ID
+	// staticInfo and globalInfo hold program-lifetime objects.
+	lifetime []lifetimeObj
+
+	heapByAddr map[arch.Addr]heapObj
+	heapSeq    int
+
+	shadow    []frame
+	stackFns  []string // function names on the shadow stack, innermost last
+	fnCount   map[string]int
+	truncated bool
+}
+
+type lifetimeObj struct {
+	id objects.ID
+	r  arch.Range
+}
+
+// New attaches a tracer to the machine. It must be called before Run,
+// and nothing else may use the machine's observation hooks.
+func New(m *kernel.Machine, program string) *Tracer {
+	t := &Tracer{
+		m:          m,
+		img:        m.Image,
+		tab:        objects.NewTable(),
+		heapByAddr: make(map[arch.Addr]heapObj),
+		fnCount:    make(map[string]int),
+	}
+	t.tr = &trace.Trace{Program: program, Objects: t.tab}
+
+	// Pre-create objects for every local variable of every function.
+	t.localIDs = make([][]objects.ID, len(t.img.Funcs))
+	staticSet := make(map[string]bool)
+	for fi := range t.img.Funcs {
+		f := &t.img.Funcs[fi]
+		ids := make([]objects.ID, len(f.Locals))
+		for li, l := range f.Locals {
+			ids[li] = t.tab.Add(objects.Object{
+				Kind: objects.KindLocalAuto, Func: f.Name, Name: l.Name,
+				SizeBytes: l.SizeWords * arch.WordBytes,
+			})
+		}
+		t.localIDs[fi] = ids
+		for _, sym := range f.Statics {
+			staticSet[sym] = true
+			r := t.img.Data[sym]
+			id := t.tab.Add(objects.Object{
+				Kind: objects.KindLocalStatic, Func: f.Name, Name: sym,
+				SizeBytes: r.Len(),
+			})
+			t.lifetime = append(t.lifetime, lifetimeObj{id: id, r: r})
+		}
+	}
+	// Globals: every data symbol that is not a function static.
+	for sym, r := range t.img.Data {
+		if staticSet[sym] {
+			continue
+		}
+		id := t.tab.Add(objects.Object{
+			Kind: objects.KindGlobal, Name: sym, SizeBytes: r.Len(),
+		})
+		t.lifetime = append(t.lifetime, lifetimeObj{id: id, r: r})
+	}
+
+	cpu := m.CPU
+	cpu.OnStore = t.onStore
+	cpu.OnCall = t.onCall
+	cpu.OnRet = t.onRet
+	m.OnAlloc = t.onAlloc
+	m.OnFree = t.onFree
+	m.OnRealloc = t.onRealloc
+	return t
+}
+
+func (t *Tracer) emit(e trace.Event) { t.tr.Events = append(t.tr.Events, e) }
+
+func (t *Tracer) onStore(ba, ea, pc arch.Addr) {
+	if t.img.ImplicitStores[pc] {
+		return
+	}
+	t.emit(trace.Event{Kind: trace.EvWrite, BA: ba, EA: ea, PC: pc})
+}
+
+func (t *Tracer) pushFunc(funcIdx int, fp arch.Addr) {
+	fr := frame{funcIdx: funcIdx, fp: fp}
+	if funcIdx >= 0 {
+		f := &t.img.Funcs[funcIdx]
+		fr.ranges = make([]arch.Range, len(f.Locals))
+		for li, l := range f.Locals {
+			base := fp - arch.Addr(l.Offset)
+			r := arch.Range{BA: base, EA: base + arch.Addr(l.SizeWords*arch.WordBytes)}
+			fr.ranges[li] = r
+			t.emit(trace.Event{Kind: trace.EvInstall, Obj: t.localIDs[funcIdx][li], BA: r.BA, EA: r.EA})
+		}
+		t.stackFns = append(t.stackFns, f.Name)
+		t.fnCount[f.Name]++
+	} else {
+		t.stackFns = append(t.stackFns, "")
+	}
+	t.shadow = append(t.shadow, fr)
+}
+
+func (t *Tracer) onCall(target, pc arch.Addr) {
+	funcIdx := -1
+	if f := t.img.FuncAt(target); f != nil && f.Entry == target {
+		funcIdx = t.img.FuncBySym[f.Name]
+	}
+	// At the call instruction, SP has not yet been decremented by the
+	// callee's prologue, so the callee's frame pointer will equal the
+	// current SP.
+	t.pushFunc(funcIdx, arch.Addr(t.m.CPU.Regs[isa.SP]))
+}
+
+func (t *Tracer) onRet(pc arch.Addr) {
+	if len(t.shadow) == 0 {
+		t.truncated = true
+		return
+	}
+	fr := t.shadow[len(t.shadow)-1]
+	t.shadow = t.shadow[:len(t.shadow)-1]
+	name := t.stackFns[len(t.stackFns)-1]
+	t.stackFns = t.stackFns[:len(t.stackFns)-1]
+	if name != "" {
+		t.fnCount[name]--
+	}
+	if fr.funcIdx >= 0 {
+		for li := len(fr.ranges) - 1; li >= 0; li-- {
+			r := fr.ranges[li]
+			t.emit(trace.Event{Kind: trace.EvRemove, Obj: t.localIDs[fr.funcIdx][li], BA: r.BA, EA: r.EA})
+		}
+	}
+}
+
+// allocCtx returns the distinct function names currently on the stack,
+// outermost first.
+func (t *Tracer) allocCtx() []string {
+	seen := make(map[string]bool, len(t.stackFns))
+	var out []string
+	for _, f := range t.stackFns {
+		if f == "" || seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+func (t *Tracer) onAlloc(r arch.Range) {
+	t.heapSeq++
+	id := t.tab.Add(objects.Object{
+		Kind: objects.KindHeap, Name: fmt.Sprintf("heap#%d", t.heapSeq),
+		SizeBytes: r.Len(), AllocCtx: t.allocCtx(),
+	})
+	t.heapByAddr[r.BA] = heapObj{id: id, r: r}
+	t.emit(trace.Event{Kind: trace.EvInstall, Obj: id, BA: r.BA, EA: r.EA})
+}
+
+func (t *Tracer) onFree(r arch.Range) {
+	h, ok := t.heapByAddr[r.BA]
+	if !ok {
+		return
+	}
+	delete(t.heapByAddr, r.BA)
+	t.emit(trace.Event{Kind: trace.EvRemove, Obj: h.id, BA: h.r.BA, EA: h.r.EA})
+}
+
+func (t *Tracer) onRealloc(old, new arch.Range) {
+	h, ok := t.heapByAddr[old.BA]
+	if !ok {
+		return
+	}
+	if old == new {
+		return
+	}
+	delete(t.heapByAddr, old.BA)
+	t.emit(trace.Event{Kind: trace.EvRemove, Obj: h.id, BA: h.r.BA, EA: h.r.EA})
+	h.r = new
+	t.heapByAddr[new.BA] = h
+	t.emit(trace.Event{Kind: trace.EvInstall, Obj: h.id, BA: new.BA, EA: new.EA})
+}
+
+// Run executes the traced program to completion and returns the
+// finalised trace.
+func (t *Tracer) Run(fuel uint64) (*trace.Trace, error) {
+	// Program-lifetime monitors: globals and function statics.
+	for _, lo := range t.lifetime {
+		t.emit(trace.Event{Kind: trace.EvInstall, Obj: lo.id, BA: lo.r.BA, EA: lo.r.EA})
+	}
+	// The entry function's frame (no OnCall fires for it).
+	entryIdx := -1
+	if f := t.img.FuncAt(t.img.Entry); f != nil {
+		entryIdx = t.img.FuncBySym[f.Name]
+	}
+	t.pushFunc(entryIdx, arch.Addr(t.m.CPU.Regs[isa.SP]))
+
+	if err := t.m.Run(fuel); err != nil {
+		return nil, err
+	}
+	if t.truncated {
+		return nil, fmt.Errorf("tracer: shadow stack underflow (non-canonical call/return)")
+	}
+
+	// Tear down whatever is still live, innermost first.
+	for len(t.shadow) > 0 {
+		t.onRet(t.m.CPU.PC)
+	}
+	for a := range t.heapByAddr {
+		h := t.heapByAddr[a]
+		delete(t.heapByAddr, a)
+		t.emit(trace.Event{Kind: trace.EvRemove, Obj: h.id, BA: h.r.BA, EA: h.r.EA})
+	}
+	for i := len(t.lifetime) - 1; i >= 0; i-- {
+		lo := t.lifetime[i]
+		t.emit(trace.Event{Kind: trace.EvRemove, Obj: lo.id, BA: lo.r.BA, EA: lo.r.EA})
+	}
+
+	t.tr.BaseCycles = t.m.CPU.Cycles
+	t.tr.Instret = t.m.CPU.Instret
+	return t.tr, nil
+}
+
+// TraceProgram compiles nothing — it runs an already-loaded machine
+// under a fresh tracer. Convenience for the pipeline.
+func TraceProgram(m *kernel.Machine, program string, fuel uint64) (*trace.Trace, error) {
+	return New(m, program).Run(fuel)
+}
