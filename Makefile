@@ -1,0 +1,28 @@
+# Development targets. `make ci` is what the CI workflow runs on every
+# PR: vet, build, and the full test suite under the race detector,
+# twice (-count=2 defeats the test cache and catches order-dependent
+# state; -race is load-bearing for the parallel experiment pipeline and
+# the sharded simulator).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench-pipeline
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=2 ./...
+
+# Regenerate the parallel-pipeline baseline recorded in
+# BENCH_pipeline.json / EXPERIMENTS.md.
+bench-pipeline:
+	$(GO) test -bench 'BenchmarkSimReplay|BenchmarkExpRun' -benchmem -run '^$$' .

@@ -8,7 +8,9 @@
 package edb_test
 
 import (
+	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -228,6 +230,79 @@ func BenchmarkLiveStrategy(b *testing.B) {
 			}
 			b.ReportMetric(float64(cycles), "sim-cycles/op")
 		})
+	}
+}
+
+// BenchmarkSimReplay compares the two phase-2 replay engines on the
+// bps trace (the suite's largest session population): the sequential
+// one-pass simulator against the session-sharded engine at several
+// shard counts. On a multi-core host the sharded engine's wall-clock
+// should drop roughly with the shard count until sharding overhead
+// dominates; on one core it quantifies the fan-out overhead instead.
+func BenchmarkSimReplay(b *testing.B) {
+	tr, set, _ := fixtures(b)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Sequential(tr, set); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(set.Sessions)), "sessions")
+	})
+	ks := []int{1, 2, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, k := range ks {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.Run(fmt.Sprintf("sharded-%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.Sharded(tr, set, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(set.Sessions)), "sessions")
+		})
+	}
+}
+
+// BenchmarkExpRunPipeline measures the full five-benchmark experiment
+// end to end — compile, trace, discover, replay, model — from a cold
+// cache, at Workers=1 versus Workers=NumCPU. The ratio of the two
+// ns/op figures is the pipeline's parallel speedup on this host.
+func BenchmarkExpRunPipeline(b *testing.B) {
+	ws := []int{1, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, w := range ws {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exp.ResetCache()
+				if _, err := exp.Run(exp.Config{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExpRunCached measures a warm-cache rerun of the full
+// experiment: what the REPL or a timing-profile sweep pays once the
+// (benchmark, scale) artifacts are cached.
+func BenchmarkExpRunCached(b *testing.B) {
+	exp.ResetCache()
+	if _, err := exp.Run(exp.Config{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(exp.Config{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

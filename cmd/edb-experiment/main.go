@@ -11,12 +11,18 @@
 //	edb-experiment -csv results.csv        # machine-readable Table 4
 //	edb-experiment -sessions sessions.csv  # per-session overheads
 //	edb-experiment -scale 2                # longer runs
+//	edb-experiment -workers 1              # serial pipeline (default:
+//	                                       # GOMAXPROCS-wide fan-out)
+//
+// Output is byte-identical for every -workers value: the pipeline's
+// parallelism never changes results, only wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"edb/internal/exp"
@@ -26,6 +32,8 @@ import (
 
 func main() {
 	scale := flag.Int("scale", 1, "workload run-length multiplier")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"benchmarks compiled/traced/analysed concurrently (results are identical for any value)")
 	programs := flag.String("programs", "", "comma-separated benchmark subset (default: all five)")
 	table := flag.Int("table", 0, "print only table N (1-4)")
 	figure := flag.Int("figure", 0, "print only figure N (7-9)")
@@ -36,11 +44,11 @@ func main() {
 	svgPrefix := flag.String("svg", "", "also write figures 7-9 as SVG files with this path prefix")
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale}
+	cfg := exp.Config{Scale: *scale, Workers: *workers}
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")
 	}
-	fmt.Fprintf(os.Stderr, "running experiment (scale %d)...\n", *scale)
+	fmt.Fprintf(os.Stderr, "running experiment (scale %d, %d workers)...\n", *scale, *workers)
 	results, err := exp.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edb-experiment:", err)

@@ -61,6 +61,30 @@ func TestFacadeExperimentSubset(t *testing.T) {
 	}
 }
 
+// TestFacadeReportByteIdenticalAcrossWorkers is the facade-level
+// determinism guarantee: the rendered report — every table and figure —
+// is byte-identical whether the pipeline ran serially or fanned out
+// over 8 workers.
+func TestFacadeReportByteIdenticalAcrossWorkers(t *testing.T) {
+	serial, err := edb.RunExperiment(edb.ExperimentConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := edb.RunExperiment(edb.ExperimentConfig{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	edb.WriteReport(&a, serial)
+	edb.WriteReport(&b, parallel)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("reports differ across worker counts (%d vs %d bytes)", a.Len(), b.Len())
+	}
+	if a.Len() == 0 {
+		t.Fatal("empty report")
+	}
+}
+
 func TestFacadeBenchmarkSource(t *testing.T) {
 	src, err := edb.BenchmarkSource("qcd", 1)
 	if err != nil || !strings.Contains(src, "int main()") {

@@ -8,19 +8,16 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
-	"edb/internal/arch"
-	"edb/internal/asm"
-	"edb/internal/core/codepatch"
-	"edb/internal/kernel"
-	"edb/internal/minic"
 	"edb/internal/model"
 	"edb/internal/progs"
 	"edb/internal/sessions"
 	"edb/internal/sim"
 	"edb/internal/stats"
 	"edb/internal/trace"
-	"edb/internal/tracer"
 )
 
 // Config parameterises one experiment run.
@@ -31,6 +28,12 @@ type Config struct {
 	Timings model.Timings
 	// Programs restricts the benchmark set (nil = all five).
 	Programs []string
+	// Workers bounds how many benchmarks are compiled, traced, and
+	// analysed concurrently. 0 (or negative) defaults to GOMAXPROCS;
+	// 1 forces the serial pipeline. Results are deterministic — ordered
+	// by Programs position, with Summaries bit-identical — regardless
+	// of the worker count.
+	Workers int
 }
 
 func (c *Config) withDefaults() Config {
@@ -43,6 +46,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if len(out.Programs) == 0 {
 		out.Programs = progs.Names()
+	}
+	if out.Workers < 1 {
+		out.Workers = runtime.GOMAXPROCS(0)
 	}
 	return out
 }
@@ -97,38 +103,23 @@ func (r *ProgramResult) RelativeSamples(s model.Strategy) []float64 {
 	return out
 }
 
-// RunProgram executes the full pipeline for one benchmark.
+// RunProgram executes the full pipeline for one benchmark. The
+// compile + trace half (phase 1) is served from the package cache keyed
+// by (benchmark, scale): repeated runs — the REPL, cmd/edb-experiment
+// invocations in one process, benchmark harnesses — pay for compilation
+// and tracing once, and only re-run the analysis under the requested
+// timing profile.
 func RunProgram(p progs.Program, timings model.Timings) (*ProgramResult, error) {
-	prog, err := minic.Compile(p.Source)
-	if err != nil {
-		return nil, fmt.Errorf("exp: compiling %s: %w", p.Name, err)
-	}
-	img, err := asm.Assemble(prog)
-	if err != nil {
-		return nil, fmt.Errorf("exp: assembling %s: %w", p.Name, err)
-	}
-	m, err := kernel.NewMachine(img, arch.PageSize4K)
-	if err != nil {
-		return nil, fmt.Errorf("exp: machine for %s: %w", p.Name, err)
-	}
-	tr, err := tracer.New(m, p.Name).Run(p.Fuel)
-	if err != nil {
-		return nil, fmt.Errorf("exp: tracing %s: %w", p.Name, err)
-	}
-	res, err := Analyze(tr, timings)
+	art, err := cachedArtifacts(p)
 	if err != nil {
 		return nil, err
 	}
-
-	// Code-expansion estimate for CodePatch (patches a fresh compile).
-	stores, total := img.CountStores()
-	res.StoreFraction = float64(stores) / float64(total)
-	prog2, err := minic.Compile(p.Source)
-	if err == nil {
-		if pr, err := codepatch.Patch(prog2); err == nil {
-			res.Expansion = pr.Expansion()
-		}
+	res, err := Analyze(art.tr, timings)
+	if err != nil {
+		return nil, err
 	}
+	res.StoreFraction = art.storeFraction
+	res.Expansion = art.expansion
 	return res, nil
 }
 
@@ -212,20 +203,77 @@ func toModelCounting(c sim.Counting) model.Counting {
 	}
 }
 
-// Run executes the experiment for every configured program.
+// Run executes the experiment for every configured program, fanning
+// the benchmarks out over a bounded pool of Config.Workers goroutines.
+//
+// Determinism: results are returned in Programs order (progs.Names()
+// order by default) no matter how the scheduler interleaves workers —
+// each worker writes only its claimed index — and each ProgramResult is
+// computed by exactly one worker running the same sequential per-
+// benchmark pipeline, so every field, float summaries included, is
+// bit-identical across worker counts.
+//
+// Errors: the first failure (lowest Programs index among recorded
+// failures) is returned and cancels the pool — workers finish the
+// benchmark they are on and claim no further work. All workers have
+// exited by the time Run returns.
 func Run(cfg Config) ([]*ProgramResult, error) {
 	c := cfg.withDefaults()
-	var out []*ProgramResult
-	for _, name := range c.Programs {
-		p, err := progs.ByName(name, c.Scale)
+	n := len(c.Programs)
+	out := make([]*ProgramResult, n)
+	errs := make([]error, n)
+
+	runOne := func(i int) error {
+		p, err := progs.ByName(c.Programs[i], c.Scale)
+		if err != nil {
+			return err
+		}
+		out[i], err = RunProgram(p, c.Timings)
+		return err
+	}
+
+	workers := c.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Serial fast path: no goroutines at all.
+		for i := 0; i < n; i++ {
+			if err := runOne(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed Programs index
+		canceled atomic.Bool  // set on first error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || canceled.Load() {
+					return
+				}
+				if err := runOne(i); err != nil {
+					errs[i] = err
+					canceled.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		r, err := RunProgram(p, c.Timings)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
 	}
 	return out, nil
 }

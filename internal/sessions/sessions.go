@@ -87,8 +87,23 @@ func (s *Session) Label() string {
 type Set struct {
 	Sessions []Session
 	// Membership[objID] lists the indices of sessions containing that
-	// object. Index 0 of the slice is unused (object IDs start at 1).
+	// object, in strictly ascending order (Discover appends session
+	// indices as it mints them). Index 0 of the slice is unused (object
+	// IDs start at 1). The sortedness is an invariant the sharded
+	// simulator (internal/sim.Sharded) relies on: it lets a shard owning
+	// the contiguous session range [lo, hi) binary-search straight to
+	// its members via MembershipRange.
 	Membership [][]int32
+}
+
+// MembershipRange returns the subslice of Membership[id] whose session
+// indices fall in [lo, hi). It relies on the ascending-order invariant
+// documented on Membership and never allocates.
+func (s *Set) MembershipRange(id objects.ID, lo, hi int32) []int32 {
+	m := s.Membership[id]
+	i := sort.Search(len(m), func(k int) bool { return m[k] >= lo })
+	j := i + sort.Search(len(m[i:]), func(k int) bool { return m[i+k] >= hi })
+	return m[i:j]
 }
 
 // CountByType tallies sessions per type.

@@ -21,10 +21,27 @@
 // this implementation is a single pass that maintains (a) a word →
 // object index, (b) the object → session membership from discovery, and
 // (c) per-page session multisets.
+//
+// Two equivalent replay engines are provided. Sequential is the
+// original single-goroutine pass. Sharded partitions the sessions into
+// K contiguous index ranges and replays the shared immutable trace once
+// per shard concurrently: the session-independent word→object
+// resolution is produced by one sequential producer pass
+// (trace.ResolveWrites), then broadcast to the shard workers, each of
+// which maintains page multisets and counters only for its own
+// sessions. Because every session is processed by exactly one worker in
+// full trace order, the merged result is bit-identical to Sequential —
+// a property the differential oracle suite (oracle_test.go) asserts for
+// every shard count against the naive per-session replay. Run picks the
+// engine automatically: Sharded when GOMAXPROCS > 1 and the session
+// population is large enough to amortise the fan-out, Sequential
+// otherwise.
 package sim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"edb/internal/arch"
 	"edb/internal/objects"
@@ -119,8 +136,27 @@ type simulator struct {
 	pages [2]map[uint32]*pageSet
 }
 
-// Run replays the trace against the session set.
+// ShardThreshold is the session count below which Run prefers the
+// Sequential engine: with few sessions the per-shard fan-out overhead
+// (one full event-stream scan per worker) outweighs the parallelism.
+const ShardThreshold = 64
+
+// Run replays the trace against the session set, picking the replay
+// engine automatically: Sharded across GOMAXPROCS workers when the host
+// has spare cores and the session population is at least
+// ShardThreshold, Sequential otherwise. Both engines produce
+// bit-identical output.
 func Run(tr *trace.Trace, set *sessions.Set) (*Output, error) {
+	if w := runtime.GOMAXPROCS(0); w > 1 && len(set.Sessions) >= ShardThreshold {
+		return Sharded(tr, set, w)
+	}
+	return Sequential(tr, set)
+}
+
+// Sequential replays the trace against the session set on the calling
+// goroutine — the original one-pass engine, kept fully independent of
+// the sharded path so the two can check each other differentially.
+func Sequential(tr *trace.Trace, set *sessions.Set) (*Output, error) {
 	s := &simulator{
 		set: set,
 		out: &Output{
@@ -270,6 +306,153 @@ func contains(xs []int32, x int32) bool {
 		}
 	}
 	return false
+}
+
+// Sharded replays the trace against the session set using `shards`
+// concurrent workers, each owning a contiguous range of session
+// indices.
+//
+// The event stream is read once by a sequential producer pass
+// (trace.ResolveWrites) that resolves every write to the object it hits
+// — the only part of the replay that needs the global word→object index
+// — and the resulting immutable (events, resolved) pair is then
+// consumed by all shard workers in parallel. Each worker maintains
+// per-page session multisets and counting variables for its own
+// sessions only, so the total page-multiset work across workers matches
+// the sequential engine's. Workers write into disjoint subslices of
+// PerSession; no locks are needed and the merge is a no-op.
+//
+// Results are bit-identical to Sequential for every shard count,
+// because each session's counters are accumulated by exactly one worker
+// in full trace order. shards is clamped to [1, len(set.Sessions)].
+func Sharded(tr *trace.Trace, set *sessions.Set, shards int) (*Output, error) {
+	n := len(set.Sessions)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	resolved, totalWrites, err := tr.ResolveWrites()
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", tr.Program, err)
+	}
+	out := &Output{
+		Program:     tr.Program,
+		BaseCycles:  tr.BaseCycles,
+		TotalWrites: totalWrites,
+		PerSession:  make([]Counting, n),
+		Set:         set,
+	}
+	if n == 0 {
+		return out, nil
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		// Even split: the first n%shards shards take one extra session.
+		lo := int32(k * n / shards)
+		hi := int32((k + 1) * n / shards)
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int32) {
+			defer wg.Done()
+			replayShard(tr, set, resolved, lo, hi, out.PerSession[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+
+	for i := range out.PerSession {
+		c := &out.PerSession[i]
+		c.Misses = totalWrites - c.Hits
+	}
+	return out, nil
+}
+
+// replayShard replays the full event stream for the sessions in
+// [lo, hi). per is the PerSession subslice for that range (per[0] is
+// session lo). resolved is the trace.ResolveWrites annotation: the
+// object each write event hits, indexed by event position.
+func replayShard(tr *trace.Trace, set *sessions.Set, resolved []objects.ID,
+	lo, hi int32, per []Counting) {
+	var pages [2]map[uint32]*pageSet
+	for psi := range pages {
+		pages[psi] = make(map[uint32]*pageSet)
+	}
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		switch e.Kind {
+		case trace.EvInstall:
+			members := set.MembershipRange(e.Obj, lo, hi)
+			if len(members) == 0 {
+				continue
+			}
+			for _, sess := range members {
+				per[sess-lo].Installs++
+			}
+			for psi, psz := range PageSizes {
+				first, last := arch.PagesSpanned(e.BA, e.EA, psz)
+				for pn := first; pn <= last; pn++ {
+					ps := pages[psi][pn]
+					if ps == nil {
+						ps = &pageSet{}
+						pages[psi][pn] = ps
+					}
+					for _, sess := range members {
+						if ps.inc(sess) {
+							per[sess-lo].VM[psi].Protects++
+						}
+					}
+				}
+			}
+		case trace.EvRemove:
+			members := set.MembershipRange(e.Obj, lo, hi)
+			if len(members) == 0 {
+				continue
+			}
+			for _, sess := range members {
+				per[sess-lo].Removes++
+			}
+			for psi, psz := range PageSizes {
+				first, last := arch.PagesSpanned(e.BA, e.EA, psz)
+				for pn := first; pn <= last; pn++ {
+					ps := pages[psi][pn]
+					if ps == nil {
+						continue
+					}
+					for _, sess := range members {
+						if ps.dec(sess) {
+							per[sess-lo].VM[psi].Unprotects++
+						}
+					}
+					if len(ps.entries) == 0 {
+						delete(pages[psi], pn)
+					}
+				}
+			}
+		case trace.EvWrite:
+			var hitSessions []int32
+			if obj := resolved[i]; obj != 0 {
+				hitSessions = set.MembershipRange(obj, lo, hi)
+				for _, sess := range hitSessions {
+					per[sess-lo].Hits++
+				}
+			}
+			for psi, psz := range PageSizes {
+				ps := pages[psi][uint32(e.BA)/uint32(psz)]
+				if ps == nil {
+					continue
+				}
+				for _, e2 := range ps.entries {
+					if !contains(hitSessions, e2.sess) {
+						per[e2.sess-lo].VM[psi].ActivePageMiss++
+					}
+				}
+			}
+		}
+	}
 }
 
 // FilterZeroHit returns the indices of sessions with at least one

@@ -21,6 +21,7 @@ package tracer
 
 import (
 	"fmt"
+	"sort"
 
 	"edb/internal/arch"
 	"edb/internal/asm"
@@ -103,11 +104,22 @@ func New(m *kernel.Machine, program string) *Tracer {
 			t.lifetime = append(t.lifetime, lifetimeObj{id: id, r: r})
 		}
 	}
-	// Globals: every data symbol that is not a function static.
-	for sym, r := range t.img.Data {
-		if staticSet[sym] {
-			continue
+	// Globals: every data symbol that is not a function static, in
+	// data-segment layout order. Iterating the Data map directly would
+	// mint object IDs in a different order on every run (Go randomises
+	// map iteration), making traces — and therefore session indices and
+	// experiment reports — nondeterministic across runs.
+	globals := make([]string, 0, len(t.img.Data))
+	for sym := range t.img.Data {
+		if !staticSet[sym] {
+			globals = append(globals, sym)
 		}
+	}
+	sort.Slice(globals, func(i, j int) bool {
+		return t.img.Data[globals[i]].BA < t.img.Data[globals[j]].BA
+	})
+	for _, sym := range globals {
+		r := t.img.Data[sym]
 		id := t.tab.Add(objects.Object{
 			Kind: objects.KindGlobal, Name: sym, SizeBytes: r.Len(),
 		})

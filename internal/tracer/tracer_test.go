@@ -303,3 +303,61 @@ func TestWriteDensity(t *testing.T) {
 		t.Errorf("write density = %f writes/cycle, implausible", density)
 	}
 }
+
+// TestTraceDeterministic is a regression test for a latent
+// nondeterminism bug: global objects used to be minted by iterating the
+// image's Data map, so object IDs (and every downstream session index)
+// varied run to run. Two independent traces of the same program must
+// now produce identical object tables and event streams.
+func TestTraceDeterministic(t *testing.T) {
+	src := `
+	int ga = 1; int gb = 2; int gc = 3; int gd = 4; int ge = 5;
+	int counter() { static int n = 0; n = n + 1; return n; }
+	int main() {
+		int i; int s = 0;
+		int p = alloc(16);
+		for (i = 0; i < 10; i = i + 1) {
+			ga = ga + i; gb = gb + ga; gc = gc ^ gb;
+			gd = gd + counter(); ge = ge + gd;
+			p[i % 4] = s; s = s + ge;
+		}
+		free(p);
+		return 0;
+	}`
+	a := traceSrc(t, src)
+	b := traceSrc(t, src)
+	if a.Objects.Len() != b.Objects.Len() {
+		t.Fatalf("object counts differ: %d vs %d", a.Objects.Len(), b.Objects.Len())
+	}
+	for i := 1; i <= a.Objects.Len(); i++ {
+		oa := a.Objects.MustGet(objects.ID(i))
+		ob := b.Objects.MustGet(objects.ID(i))
+		if oa.Kind != ob.Kind || oa.Func != ob.Func || oa.Name != ob.Name || oa.SizeBytes != ob.SizeBytes {
+			t.Errorf("object %d differs: %+v vs %+v", i, oa, ob)
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	// Globals must be minted in data-segment layout order.
+	var lastBA arch.Addr
+	for _, e := range a.Events {
+		if e.Kind != trace.EvInstall {
+			continue
+		}
+		o := a.Objects.MustGet(e.Obj)
+		if o.Kind != objects.KindGlobal {
+			continue
+		}
+		if e.BA < lastBA {
+			t.Fatalf("global %q installed out of layout order (%#x after %#x)",
+				o.Name, uint32(e.BA), uint32(lastBA))
+		}
+		lastBA = e.BA
+	}
+}
