@@ -1,17 +1,36 @@
 # Development targets. `make ci` is what the CI workflow runs on every
-# PR: vet, build, and the full test suite under the race detector,
-# twice (-count=2 defeats the test cache and catches order-dependent
-# state; -race is load-bearing for the parallel experiment pipeline and
-# the sharded simulator).
+# PR: vet, staticcheck (when installed), the patch-soundness lint over
+# all five benchmark workloads, build, and the full test suite under
+# the race detector, twice (-count=2 defeats the test cache and catches
+# order-dependent state; -race is load-bearing for the parallel
+# experiment pipeline and the sharded simulator).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench-pipeline
+.PHONY: ci vet staticcheck lint build test race bench-pipeline bench-codepatch-opt
 
-ci: vet build race
+ci: vet staticcheck build lint race
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional locally (not everyone has it on PATH; we never
+# auto-install); the CI workflow installs a pinned version so findings
+# always gate merges.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs a pinned copy)"; \
+	fi
+
+# Patch-soundness lint: analysis.VerifyPatched / VerifyTrapPatched must
+# prove every strategy's patched image sound for every benchmark.
+lint:
+	@for b in gcc ctex spice qcd bps; do \
+		echo "lint: $$b"; \
+		$(GO) run ./cmd/minicc -benchmark $$b -lint || exit 1; \
+	done
 
 build:
 	$(GO) build ./...
@@ -26,3 +45,8 @@ race:
 # BENCH_pipeline.json / EXPERIMENTS.md.
 bench-pipeline:
 	$(GO) test -bench 'BenchmarkSimReplay|BenchmarkExpRun' -benchmem -run '^$$' .
+
+# Regenerate the CodePatch check-optimisation ablation recorded in
+# BENCH_codepatch_opt.json.
+bench-codepatch-opt:
+	$(GO) test -bench 'BenchmarkLoopHoistAblation' -benchmem -run '^$$' .

@@ -335,9 +335,13 @@ type writeCounter struct{ n int }
 
 func (w *writeCounter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
 
-// BenchmarkLoopHoistAblation compares CodePatch with and without the
-// §9 loop-check optimisation (implemented as the check memo); the
-// sim-cycles/op metric shows the simulated-overhead reduction.
+// BenchmarkLoopHoistAblation is the CodePatch check-optimisation
+// ablation recorded in BENCH_codepatch_opt.json: a 2x2 matrix of the
+// static §9 optimiser (check elision + loop hoisting, PatchOptions.
+// Optimize) against the dynamic check memo (AttachWithOptions), on a
+// hot-loop workload with one monitored global. sim-cycles/op is the
+// simulated debuggee cost; sim-checks/op counts executed full/fast
+// check calls (elided stores charge nothing).
 func BenchmarkLoopHoistAblation(b *testing.B) {
 	src := `
 	int watched = 0;
@@ -347,25 +351,35 @@ func BenchmarkLoopHoistAblation(b *testing.B) {
 		int s = 0;
 		for (i = 0; i < 4000; i = i + 1) {
 			buffer[i & 255] = i;
+			buffer[0] = s;
+			buffer[0] = buffer[0] + i;
 			s = s + buffer[(i * 7) & 255];
 		}
 		watched = s;
+		watched = watched + 1;
 		print(watched);
 		return 0;
 	}`
-	for _, memo := range []bool{false, true} {
-		name := "baseline"
-		if memo {
-			name = "memo"
-		}
-		b.Run(name, func(b *testing.B) {
-			var cycles uint64
+	cases := []struct {
+		name     string
+		optimize bool
+		memo     bool
+	}{
+		{"cp", false, false},
+		{"cp-memo", false, true},
+		{"cp-opt", true, false},
+		{"cp-opt-memo", true, true},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var cycles, checks, elided uint64
 			for i := 0; i < b.N; i++ {
 				prog, err := minic.Compile(src)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := codepatch.Patch(prog); err != nil {
+				if _, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: c.optimize}); err != nil {
 					b.Fatal(err)
 				}
 				img, err := asm.Assemble(prog)
@@ -376,7 +390,7 @@ func BenchmarkLoopHoistAblation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				w, err := codepatch.AttachWithOptions(m, nil, codepatch.Options{Memo: memo})
+				w, err := codepatch.AttachWithOptions(m, nil, codepatch.Options{Memo: c.memo})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -387,9 +401,11 @@ func BenchmarkLoopHoistAblation(b *testing.B) {
 				if err := m.Run(20_000_000); err != nil {
 					b.Fatal(err)
 				}
-				cycles = m.CPU.Cycles
+				cycles, checks, elided = m.CPU.Cycles, w.Checks, w.Elided
 			}
 			b.ReportMetric(float64(cycles), "sim-cycles/op")
+			b.ReportMetric(float64(checks), "sim-checks/op")
+			b.ReportMetric(float64(elided), "sim-elided/op")
 		})
 	}
 }

@@ -8,6 +8,8 @@
 //	minicc -S prog.mc           # disassemble instead of running
 //	minicc -stats prog.mc       # run and report cycles/instructions
 //	minicc -benchmark gcc -S    # operate on a built-in benchmark
+//	minicc -benchmark gcc -lint # verify patched-image soundness
+//	minicc -dot main prog.mc    # Graphviz CFG + dominator tree
 package main
 
 import (
@@ -15,7 +17,11 @@ import (
 	"fmt"
 	"os"
 
+	"edb/internal/analysis"
 	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/core/codepatch"
+	"edb/internal/core/trappatch"
 	"edb/internal/kernel"
 	"edb/internal/minic"
 	"edb/internal/progs"
@@ -27,6 +33,8 @@ func main() {
 	benchmark := flag.String("benchmark", "", "use a built-in benchmark instead of a source file")
 	scale := flag.Int("scale", 1, "benchmark scale")
 	fuel := flag.Uint64("fuel", 2_000_000_000, "instruction budget")
+	lint := flag.Bool("lint", false, "verify patched-image soundness (CP, CP-opt, TP) instead of running; exit 1 on violations")
+	dot := flag.String("dot", "", "print the Graphviz CFG + dominator tree of the named function (or 'all') instead of running")
 	flag.Parse()
 
 	var src string
@@ -45,6 +53,14 @@ func main() {
 		src = string(data)
 	default:
 		fail(fmt.Errorf("usage: minicc [-S] [-stats] <file.mc> | -benchmark <name>"))
+	}
+
+	if *lint {
+		os.Exit(runLint(src))
+	}
+	if *dot != "" {
+		runDot(src, *dot)
+		return
 	}
 
 	img, err := minic.CompileToImage(src)
@@ -69,6 +85,85 @@ func main() {
 			m.CPU.ExitCode, m.CPU.Instret, m.CPU.Cycles, m.BaseSeconds(), total, stores)
 	}
 	os.Exit(int(m.CPU.ExitCode))
+}
+
+// runLint verifies that every compile-time patching strategy produces a
+// sound image for src: CodePatch and the optimized CodePatch must leave
+// every store dominated by a matching check (analysis.VerifyPatched),
+// and TrapPatch must leave no store at all (analysis.VerifyTrapPatched).
+// Violations are reported with function names and instruction indices;
+// the return value is the process exit code (0 clean, 1 violations).
+func runLint(src string) int {
+	bad := 0
+	check := func(variant string, vs []analysis.Violation) {
+		if len(vs) == 0 {
+			fmt.Printf("lint %-7s ok\n", variant)
+			return
+		}
+		bad++
+		for _, v := range vs {
+			fmt.Printf("lint %-7s %s\n", variant, v)
+		}
+	}
+
+	compile := func() *asm.Program {
+		prog, err := minic.Compile(src)
+		if err != nil {
+			fail(err)
+		}
+		return prog
+	}
+
+	// Unoptimized CodePatch.
+	prog := compile()
+	if _, err := codepatch.Patch(prog); err != nil {
+		fail(err)
+	}
+	check("cp", analysis.VerifyPatched(prog))
+
+	// Optimized CodePatch (each patch mutates, so recompile).
+	prog = compile()
+	if _, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true}); err != nil {
+		fail(err)
+	}
+	check("cp-opt", analysis.VerifyPatched(prog))
+
+	// TrapPatch.
+	prog = compile()
+	tp, err := trappatch.Patch(prog)
+	if err != nil {
+		fail(err)
+	}
+	check("tp", analysis.VerifyTrapPatched(prog, tp.Table))
+
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// runDot prints the Graphviz CFG + dominator tree of one function (or
+// every function, for "all") of the unpatched program.
+func runDot(src, fn string) {
+	prog, err := minic.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+	found := false
+	for _, f := range prog.Funcs {
+		if fn != "all" && f.Name != fn {
+			continue
+		}
+		found = true
+		fmt.Print(analysis.DumpDot(analysis.BuildCFG(f)))
+	}
+	if !found {
+		var names []string
+		for _, f := range prog.Funcs {
+			names = append(names, f.Name)
+		}
+		fail(fmt.Errorf("no function %q (have: %v)", fn, names))
+	}
 }
 
 func fail(err error) {

@@ -56,7 +56,8 @@ type Range = arch.Range
 // Strategy selects a WMS implementation.
 type Strategy = debug.Strategy
 
-// The four strategies of §3/§7.
+// The four strategies of §3/§7, plus the statically optimized CodePatch
+// variant.
 const (
 	// NativeHardware uses simulated monitor registers (four of them, as
 	// on 1992 hardware); installs beyond the register budget fail.
@@ -69,9 +70,14 @@ const (
 	// CodePatch inserts an inline check call before every store at
 	// compile time — the paper's recommended strategy.
 	CodePatch = debug.CodePatch
+	// CodePatchOpt is CodePatch with the static check-optimization plan:
+	// dominance-based check elimination plus §9's loop optimization
+	// (preliminary checks hoisted to loop preheaders). Delivers the same
+	// notifications as CodePatch at lower per-write cost.
+	CodePatchOpt = debug.CodePatchOpt
 )
 
-// Strategies lists all four.
+// Strategies lists all five.
 var Strategies = debug.Strategies
 
 // Session is a live debugging session over a compiled mini-C program.

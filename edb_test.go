@@ -39,7 +39,7 @@ func TestFacadeSession(t *testing.T) {
 }
 
 func TestFacadeStrategiesList(t *testing.T) {
-	if len(edb.Strategies) != 4 {
+	if len(edb.Strategies) != 5 {
 		t.Errorf("strategies = %v", edb.Strategies)
 	}
 }

@@ -1,0 +1,350 @@
+// Package analysis is the static-analysis subsystem over the symbolic
+// assembly layer (internal/asm) and the ISA (internal/isa). It provides
+// per-function control-flow graphs, dominator trees (Cooper–Harvey–
+// Kennedy), natural-loop detection, and an available-address-expression
+// dataflow over (base register, offset) store targets.
+//
+// Two clients consume it:
+//
+//   - The CodePatch optimizer (internal/core/codepatch, Optimize mode)
+//     uses PlanChecks to eliminate per-store checks that a dominating
+//     check of a provably-equal address already covers, and to hoist a
+//     preliminary check of a loop-invariant address into the loop
+//     preheader — the compile-time optimization §9 of the paper sketches
+//     as future work.
+//
+//   - The patch-soundness verifier (VerifyPatched, VerifyTrapPatched)
+//     proves a patched program honest: every store dominated by a
+//     matching check, reserved registers never touched by program code,
+//     the check stub first in the image.
+package analysis
+
+import (
+	"edb/internal/asm"
+	"edb/internal/isa"
+)
+
+// Block is one basic block: the half-open range [Start, End) of body
+// instruction indices, with CFG edges by block ID.
+type Block struct {
+	ID         int
+	Start, End int
+	Succs      []int
+	Preds      []int
+}
+
+// CFG is the control-flow graph of one function, plus its dominator
+// tree. Block 0 is the entry block (it contains body index 0).
+type CFG struct {
+	Fn     *asm.Func
+	Blocks []*Block
+	// BlockOf maps a body index to the ID of its containing block.
+	BlockOf []int
+	// Idom is the immediate dominator of each block (Idom[entry] ==
+	// entry; -1 for unreachable blocks).
+	Idom []int
+	// Irregular is set when the function contains control flow the
+	// analysis cannot model (raw-immediate branches, indirect jumps).
+	// Clients must treat every block as reachable from anywhere: the
+	// planner skips optimization, the verifier drops all cross-block
+	// facts.
+	Irregular bool
+
+	// rpo is a reverse-postorder traversal of the reachable blocks.
+	rpo []int
+}
+
+// instKind classifies an instruction's effect on control flow.
+type instKind int
+
+const (
+	kindPlain     instKind = iota
+	kindCall               // PCall, JAL, non-return/non-check JALR
+	kindCheckCall          // jalr plink, r0, imm — a patch-inserted check
+	kindCondBr             // conditional branch with a label target
+	kindJump               // PJmp
+	kindRet                // PRet or jalr r0, ra, 0
+	kindIrregular          // control flow we cannot model
+)
+
+func kindOf(in asm.Inst) instKind {
+	switch in.Pseudo {
+	case asm.PCall:
+		return kindCall
+	case asm.PRet:
+		return kindRet
+	case asm.PJmp:
+		return kindJump
+	case asm.PNone:
+		switch {
+		case isa.IsBranch(in.Op):
+			if in.Label == "" {
+				return kindIrregular // raw-immediate branch target
+			}
+			return kindCondBr
+		case in.Op == isa.JAL:
+			return kindCall
+		case in.Op == isa.JALR:
+			switch {
+			case in.RD == isa.R0 && in.RS1 == isa.RA && in.Imm == 0:
+				return kindRet
+			case in.RD == isa.PLink && in.RS1 == isa.R0:
+				return kindCheckCall
+			default:
+				return kindIrregular // indirect jump we cannot resolve
+			}
+		}
+	}
+	return kindPlain
+}
+
+// isTerminator reports whether the instruction ends a basic block.
+func isTerminator(k instKind) bool {
+	switch k {
+	case kindCondBr, kindJump, kindRet, kindIrregular:
+		return true
+	}
+	return false
+}
+
+// BuildCFG constructs the control-flow graph and dominator tree of f.
+func BuildCFG(f *asm.Func) *CFG {
+	g := &CFG{Fn: f}
+	n := len(f.Body)
+	if n == 0 {
+		return g
+	}
+
+	// Leaders: index 0, label targets, and successors of terminators.
+	leader := make([]bool, n)
+	leader[0] = true
+	for _, idx := range f.Labels {
+		if idx >= 0 && idx < n {
+			leader[idx] = true
+		}
+	}
+	for i, in := range f.Body {
+		k := kindOf(in)
+		if k == kindIrregular {
+			g.Irregular = true
+		}
+		if isTerminator(k) && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	// Carve blocks.
+	g.BlockOf = make([]int, n)
+	for i := 0; i < n; {
+		b := &Block{ID: len(g.Blocks), Start: i}
+		j := i
+		for j < n {
+			g.BlockOf[j] = b.ID
+			k := kindOf(f.Body[j])
+			j++
+			if isTerminator(k) || (j < n && leader[j]) {
+				break
+			}
+		}
+		b.End = j
+		g.Blocks = append(g.Blocks, b)
+		i = j
+	}
+
+	// Edges.
+	blockAt := func(idx int) (int, bool) {
+		if idx < 0 || idx >= n {
+			return 0, false // end-of-body label: falls out of the function
+		}
+		return g.BlockOf[idx], true
+	}
+	addEdge := func(from, to int) {
+		g.Blocks[from].Succs = append(g.Blocks[from].Succs, to)
+		g.Blocks[to].Preds = append(g.Blocks[to].Preds, from)
+	}
+	for _, b := range g.Blocks {
+		last := f.Body[b.End-1]
+		k := kindOf(last)
+		switch k {
+		case kindJump, kindCondBr:
+			if idx, ok := f.Labels[last.Label]; ok {
+				if t, ok := blockAt(idx); ok {
+					addEdge(b.ID, t)
+				}
+			} else {
+				g.Irregular = true
+			}
+			if k == kindCondBr && b.End < n {
+				addEdge(b.ID, g.BlockOf[b.End])
+			}
+		case kindRet, kindIrregular:
+			// No modeled successors.
+		default:
+			if b.End < n {
+				addEdge(b.ID, g.BlockOf[b.End])
+			}
+		}
+	}
+
+	g.computeRPO()
+	g.computeDominators()
+	return g
+}
+
+// computeRPO records a reverse-postorder over reachable blocks.
+func (g *CFG) computeRPO() {
+	visited := make([]bool, len(g.Blocks))
+	var post []int
+	var dfs func(int)
+	dfs = func(b int) {
+		visited[b] = true
+		for _, s := range g.Blocks[b].Succs {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if len(g.Blocks) > 0 {
+		dfs(0)
+	}
+	g.rpo = make([]int, len(post))
+	for i, b := range post {
+		g.rpo[len(post)-1-i] = b
+	}
+}
+
+// computeDominators runs the Cooper–Harvey–Kennedy iterative algorithm
+// ("A Simple, Fast Dominance Algorithm"): intersect along predecessors
+// in reverse postorder until a fixed point.
+func (g *CFG) computeDominators() {
+	nb := len(g.Blocks)
+	g.Idom = make([]int, nb)
+	for i := range g.Idom {
+		g.Idom[i] = -1
+	}
+	if nb == 0 {
+		return
+	}
+	// rpoIndex orders blocks for the intersect walk.
+	rpoIndex := make([]int, nb)
+	for i := range rpoIndex {
+		rpoIndex[i] = -1
+	}
+	for i, b := range g.rpo {
+		rpoIndex[b] = i
+	}
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoIndex[a] > rpoIndex[b] {
+				a = g.Idom[a]
+			}
+			for rpoIndex[b] > rpoIndex[a] {
+				b = g.Idom[b]
+			}
+		}
+		return a
+	}
+	g.Idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if g.Idom[p] == -1 {
+					continue // predecessor not yet processed / unreachable
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && g.Idom[b] != newIdom {
+				g.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// Dominates reports whether block a dominates block b (reflexive).
+func (g *CFG) Dominates(a, b int) bool {
+	if g.Idom[b] == -1 {
+		return false // unreachable
+	}
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 || g.Idom[b] == b {
+			return a == b
+		}
+		b = g.Idom[b]
+	}
+}
+
+// Loop is one natural loop: the header block, the set of member blocks,
+// and the back edges (tail → header) that define it. Loops sharing a
+// header are merged.
+type Loop struct {
+	Header    int
+	Blocks    map[int]bool
+	BackEdges [][2]int
+}
+
+// NaturalLoops finds all natural loops via back edges (u → h where h
+// dominates u), merging loops with the same header. The result is
+// sorted by decreasing member count, so enclosing loops come before the
+// loops they nest.
+func (g *CFG) NaturalLoops() []*Loop {
+	byHeader := make(map[int]*Loop)
+	var order []int
+	for _, u := range g.rpo {
+		for _, h := range g.Blocks[u].Succs {
+			if !g.Dominates(h, u) {
+				continue
+			}
+			l := byHeader[h]
+			if l == nil {
+				l = &Loop{Header: h, Blocks: map[int]bool{h: true}}
+				byHeader[h] = l
+				order = append(order, h)
+			}
+			l.BackEdges = append(l.BackEdges, [2]int{u, h})
+			// Collect the natural loop body: everything that reaches u
+			// without passing through h.
+			stack := []int{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[b] {
+					continue
+				}
+				l.Blocks[b] = true
+				stack = append(stack, g.Blocks[b].Preds...)
+			}
+		}
+	}
+	out := make([]*Loop, 0, len(order))
+	for _, h := range order {
+		out = append(out, byHeader[h])
+	}
+	// Stable order: larger (outer) loops first, ties by header ID so the
+	// result is deterministic.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if len(b.Blocks) > len(a.Blocks) ||
+				(len(b.Blocks) == len(a.Blocks) && b.Header < a.Header) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}

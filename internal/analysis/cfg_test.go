@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"testing"
+
+	"edb/internal/asm"
+	"edb/internal/isa"
+)
+
+// fn builds a one-off function for CFG tests.
+func fn(build func(f *asm.Func)) *asm.Func {
+	f := &asm.Func{Name: "t", Labels: make(map[string]int)}
+	build(f)
+	return f
+}
+
+func TestBuildCFGStraightLine(t *testing.T) {
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.Li(isa.Reg(10), 1))
+		f.Emit(asm.Sw(isa.Reg(10), isa.FP, -4))
+		f.Emit(asm.Ret())
+	})
+	g := BuildCFG(f)
+	if g.Irregular {
+		t.Fatal("straight-line code marked irregular")
+	}
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	if b := g.Blocks[0]; b.Start != 0 || b.End != 3 || len(b.Succs) != 0 {
+		t.Errorf("block = %+v", b)
+	}
+}
+
+// diamond builds the classic if/else CFG:
+//
+//	B0: entry, cond branch to "else"
+//	B1: then, jmp "join"
+//	B2: else (label target)
+//	B3: join
+func diamond() *asm.Func {
+	return fn(func(f *asm.Func) {
+		f.Emit(asm.Br(isa.BEQ, isa.Reg(10), isa.R0, "else")) // B0
+		f.Emit(asm.Li(isa.Reg(11), 1))                       // B1
+		f.Emit(asm.Jmp("join"))
+		f.Mark("else")
+		f.Emit(asm.Li(isa.Reg(11), 2)) // B2
+		f.Mark("join")
+		f.Emit(asm.Sw(isa.Reg(11), isa.FP, -4)) // B3
+		f.Emit(asm.Ret())
+	})
+}
+
+func TestBuildCFGDiamondDominators(t *testing.T) {
+	g := BuildCFG(diamond())
+	if g.Irregular {
+		t.Fatal("diamond marked irregular")
+	}
+	if len(g.Blocks) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(g.Blocks))
+	}
+	// Entry dominates everything; neither arm dominates the join.
+	for b := 0; b < 4; b++ {
+		if !g.Dominates(0, b) {
+			t.Errorf("entry should dominate B%d", b)
+		}
+	}
+	if g.Dominates(1, 3) || g.Dominates(2, 3) {
+		t.Error("an if/else arm must not dominate the join")
+	}
+	if g.Idom[3] != 0 {
+		t.Errorf("idom(join) = %d, want 0", g.Idom[3])
+	}
+	if len(g.NaturalLoops()) != 0 {
+		t.Error("diamond has no loops")
+	}
+}
+
+// counted builds a canonical counted loop:
+//
+//	B0: li i, 0; li n, 10        (preheader, falls through)
+//	B1: head: bge i, n, done     (header)
+//	B2: la r12, g; sw i, (r12); addi i, i, 1; jmp head
+//	B3: done: ret
+func counted() *asm.Func {
+	return fn(func(f *asm.Func) {
+		f.Emit(asm.Li(isa.Reg(10), 0))
+		f.Emit(asm.Li(isa.Reg(11), 10))
+		f.Mark("head")
+		f.Emit(asm.Br(isa.BGE, isa.Reg(10), isa.Reg(11), "done"))
+		f.Emit(asm.La(isa.Reg(12), "g", 0))
+		f.Emit(asm.Sw(isa.Reg(10), isa.Reg(12), 0))
+		f.Emit(asm.I(isa.ADDI, isa.Reg(10), isa.Reg(10), 1))
+		f.Emit(asm.Jmp("head"))
+		f.Mark("done")
+		f.Emit(asm.Ret())
+	})
+}
+
+func TestNaturalLoop(t *testing.T) {
+	g := BuildCFG(counted())
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %d, want 1", len(loops))
+	}
+	l := loops[0]
+	if l.Header != 1 {
+		t.Errorf("header = B%d, want B1", l.Header)
+	}
+	if len(l.Blocks) != 2 || !l.Blocks[1] || !l.Blocks[2] {
+		t.Errorf("loop blocks = %v, want {1,2}", l.Blocks)
+	}
+	if len(l.BackEdges) != 1 || l.BackEdges[0] != [2]int{2, 1} {
+		t.Errorf("back edges = %v, want [[2 1]]", l.BackEdges)
+	}
+}
+
+func TestIrregularControlFlow(t *testing.T) {
+	f := fn(func(f *asm.Func) {
+		// Raw-immediate branch with no label: cannot be modeled.
+		f.Emit(asm.I(isa.BEQ, isa.Reg(10), isa.R0, 2))
+		f.Emit(asm.Sw(isa.Reg(10), isa.FP, -4))
+		f.Emit(asm.Ret())
+	})
+	g := BuildCFG(f)
+	if !g.Irregular {
+		t.Fatal("raw-immediate branch should mark the CFG irregular")
+	}
+	// Indirect jump likewise.
+	f2 := fn(func(f *asm.Func) {
+		f.Emit(asm.I(isa.JALR, isa.R0, isa.Reg(10), 0))
+	})
+	if !BuildCFG(f2).Irregular {
+		t.Error("indirect jalr should mark the CFG irregular")
+	}
+}
+
+func TestEndOfBodyLabel(t *testing.T) {
+	// A branch to a label at len(Body) falls out of the function: the
+	// edge is simply dropped, not an error.
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.Br(isa.BEQ, isa.Reg(10), isa.R0, "end"))
+		f.Emit(asm.Ret())
+		f.Mark("end")
+	})
+	g := BuildCFG(f)
+	if g.Irregular {
+		t.Fatal("end-of-body label marked irregular")
+	}
+	if len(g.Blocks[0].Succs) != 1 {
+		t.Errorf("succs = %v, want just the fallthrough", g.Blocks[0].Succs)
+	}
+}

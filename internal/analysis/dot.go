@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpDot renders the function's CFG and dominator tree as a Graphviz
+// digraph: solid edges are control flow, dashed edges are immediate-
+// dominator links, and back edges (the loop-defining edges) are bold.
+// Feed the output to `dot -Tsvg` for a picture of what the optimizer
+// and verifier reason over.
+func DumpDot(g *CFG) string {
+	var b strings.Builder
+	name := "cfg"
+	if g.Fn != nil {
+		name = g.Fn.Name
+	}
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	fmt.Fprintf(&b, "  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", "CFG + dominator tree: "+name)
+
+	// Labels pointing at each instruction index, for block headers.
+	labelsAt := make(map[int][]string)
+	if g.Fn != nil {
+		for l, idx := range g.Fn.Labels {
+			labelsAt[idx] = append(labelsAt[idx], l)
+		}
+		for _, ls := range labelsAt {
+			sortStrings(ls)
+		}
+	}
+
+	for _, blk := range g.Blocks {
+		var lb strings.Builder
+		fmt.Fprintf(&lb, "B%d [%d..%d)\\l", blk.ID, blk.Start, blk.End)
+		for i := blk.Start; i < blk.End; i++ {
+			for _, l := range labelsAt[i] {
+				fmt.Fprintf(&lb, "%s:\\l", l)
+			}
+			fmt.Fprintf(&lb, "  %3d  %s\\l", i, escapeDot(g.Fn.Body[i].String()))
+		}
+		fmt.Fprintf(&b, "  B%d [label=\"%s\"];\n", blk.ID, lb.String())
+	}
+
+	// Back edges are bold; everything else solid.
+	backEdge := make(map[[2]int]bool)
+	for _, l := range g.NaturalLoops() {
+		for _, e := range l.BackEdges {
+			backEdge[e] = true
+		}
+	}
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			attr := ""
+			if backEdge[[2]int{blk.ID, s}] {
+				attr = " [style=bold, color=red]"
+			}
+			fmt.Fprintf(&b, "  B%d -> B%d%s;\n", blk.ID, s, attr)
+		}
+	}
+	for id, idom := range g.Idom {
+		if idom < 0 || idom == id {
+			continue
+		}
+		fmt.Fprintf(&b, "  B%d -> B%d [style=dashed, color=gray, constraint=false];\n", idom, id)
+	}
+	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+func escapeDot(s string) string {
+	s = strings.ReplaceAll(s, "\\", "\\\\")
+	return strings.ReplaceAll(s, "\"", "\\\"")
+}
+
+// sortStrings is a tiny insertion sort (avoids pulling in sort for two
+// or three labels).
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestDumpDotGolden pins the exact Graphviz rendering of the canonical
+// counted-loop CFG: block carving, control-flow edges, the bold back
+// edge, and the dashed dominator-tree edges. Run with -update to
+// regenerate after an intentional format change.
+func TestDumpDotGolden(t *testing.T) {
+	got := DumpDot(BuildCFG(counted()))
+	golden := filepath.Join("testdata", "counted.dot")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/analysis -run DumpDot -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("DumpDot drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestDumpDotStructure(t *testing.T) {
+	out := DumpDot(BuildCFG(counted()))
+	for _, want := range []string{
+		"digraph",
+		"B2 -> B1 [style=bold, color=red];", // the back edge
+		"[style=dashed, color=gray, constraint=false]", // dominator links
+		"head:",     // label shown in the header block
+		"jmp  head", // pseudo rendering inside a node
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpDotEscaping(t *testing.T) {
+	if got := escapeDot(`a"b\c`); got != `a\"b\\c` {
+		t.Errorf("escapeDot = %q", got)
+	}
+}

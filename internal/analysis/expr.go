@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+
+	"edb/internal/asm"
+	"edb/internal/isa"
+)
+
+// ExprKind discriminates the forms of a symbolic address expression.
+type ExprKind int
+
+// Address-expression forms. ERegister addresses are register-relative
+// and are invalidated when the base register is redefined; ESymbol and
+// EConst addresses denote run-time *values* and survive register
+// redefinition (the paper's "provably-equal address expression" extends
+// to re-materialised globals: la at, g; sw …0(at) twice computes the
+// same address even though at is rewritten in between).
+const (
+	ERegister ExprKind = iota
+	ESymbol
+	EConst
+)
+
+// Expr is a symbolic store-target address: base register + offset,
+// optionally resolved to a data symbol + offset or an absolute constant.
+type Expr struct {
+	Kind ExprKind
+	Reg  isa.Reg // ERegister base
+	Sym  string  // ESymbol base
+	Off  int64   // byte offset (EConst: the absolute address itself)
+}
+
+// String renders the expression for diagnostics.
+func (e Expr) String() string {
+	switch e.Kind {
+	case ESymbol:
+		return fmt.Sprintf("%s+%d", e.Sym, e.Off)
+	case EConst:
+		return fmt.Sprintf("%#x", uint32(e.Off))
+	default:
+		return fmt.Sprintf("%d(r%d)", e.Off, e.Reg)
+	}
+}
+
+// regVal is the block-local abstract value of one register: unknown, a
+// data-symbol address, or a constant. It is populated by the pseudo
+// loads (la/li) and propagated through addi, which is how the compiler
+// materialises and adjusts addresses.
+type regVal struct {
+	kind  ExprKind // ESymbol or EConst; zero value unused
+	known bool
+	sym   string
+	off   int64
+}
+
+// regEnv is the block-local register environment. It deliberately
+// resets at block boundaries: a cross-block value-numbering would be
+// sounder-complete but the compiler materialises addresses immediately
+// before use, so the local window captures the patterns that matter.
+type regEnv [isa.NumRegs]regVal
+
+func (env *regEnv) reset() { *env = regEnv{} }
+
+func (env *regEnv) kill(r isa.Reg) {
+	if r != isa.R0 {
+		env[r] = regVal{}
+	}
+}
+
+// resolve turns (base, imm) into the most precise address expression
+// the environment supports.
+func (env *regEnv) resolve(base isa.Reg, imm int32) Expr {
+	if base == isa.R0 {
+		return Expr{Kind: EConst, Off: int64(imm)}
+	}
+	if v := env[base]; v.known {
+		switch v.kind {
+		case ESymbol:
+			return Expr{Kind: ESymbol, Sym: v.sym, Off: v.off + int64(imm)}
+		case EConst:
+			return Expr{Kind: EConst, Off: v.off + int64(imm)}
+		}
+	}
+	return Expr{Kind: ERegister, Reg: base, Off: int64(imm)}
+}
+
+// callPreserved is the register set the calling convention preserves
+// across calls: everything else must be assumed clobbered (the callee's
+// prologue/epilogue restore SP and FP; GP is reserved; R0 is wired).
+func callPreserved(r isa.Reg) bool {
+	switch r {
+	case isa.R0, isa.SP, isa.FP, isa.GP:
+		return true
+	}
+	return false
+}
+
+// defs returns the registers an instruction writes, excluding R0.
+// Calls are handled separately (they clobber everything not preserved).
+func defs(in asm.Inst) []isa.Reg {
+	one := func(r isa.Reg) []isa.Reg {
+		if r == isa.R0 {
+			return nil
+		}
+		return []isa.Reg{r}
+	}
+	switch in.Pseudo {
+	case asm.PLi, asm.PLa:
+		return one(in.RD)
+	case asm.PCall, asm.PRet, asm.PJmp:
+		return nil
+	}
+	switch {
+	case in.Op == isa.SW, isa.IsBranch(in.Op):
+		return nil // SW reads RD (source value); branches compare RD, RS1
+	case in.Op == isa.SYS:
+		return one(isa.RV)
+	case in.Op == isa.TRAP:
+		return nil
+	case in.Op == isa.JAL:
+		return one(isa.RA)
+	case in.Op == isa.JALR:
+		return one(in.RD)
+	default:
+		return one(in.RD)
+	}
+}
+
+// uses returns the registers an instruction reads.
+func uses(in asm.Inst) []isa.Reg {
+	switch in.Pseudo {
+	case asm.PLi, asm.PLa, asm.PCall, asm.PJmp:
+		return nil
+	case asm.PRet:
+		return []isa.Reg{isa.RA}
+	}
+	switch {
+	case in.Op == isa.SW:
+		return []isa.Reg{in.RD, in.RS1} // value, base
+	case isa.IsBranch(in.Op):
+		return []isa.Reg{in.RD, in.RS1}
+	case in.Op == isa.LUI, in.Op == isa.JAL, in.Op == isa.SYS, in.Op == isa.TRAP:
+		return nil
+	case in.Op == isa.JALR:
+		return []isa.Reg{in.RS1}
+	case isa.ClassOf(in.Op) == isa.ClassR:
+		return []isa.Reg{in.RS1, in.RS2}
+	default: // I-type ALU, LW
+		return []isa.Reg{in.RS1}
+	}
+}
+
+// applyEnv updates the block-local register environment for one
+// instruction (after any reads of the old environment).
+func applyEnv(env *regEnv, in asm.Inst) {
+	switch in.Pseudo {
+	case asm.PLi:
+		if in.RD != isa.R0 {
+			env[in.RD] = regVal{kind: EConst, known: true, off: int64(in.Imm)}
+		}
+		return
+	case asm.PLa:
+		if in.RD != isa.R0 {
+			env[in.RD] = regVal{kind: ESymbol, known: true, sym: in.Sym, off: int64(in.Imm)}
+		}
+		return
+	case asm.PCall:
+		env.reset()
+		return
+	case asm.PRet, asm.PJmp:
+		return
+	}
+	switch in.Op {
+	case isa.JAL:
+		env.reset()
+		return
+	case isa.JALR:
+		if kindOf(in) == kindCall {
+			env.reset()
+			return
+		}
+		env.kill(in.RD)
+		return
+	case isa.ADDI:
+		// Propagate address arithmetic: addi rd, rs1, imm keeps rd
+		// resolvable when rs1 is.
+		if in.RD == isa.R0 {
+			return
+		}
+		if v := env[in.RS1]; v.known {
+			v.off += int64(in.Imm)
+			env[in.RD] = v
+			return
+		}
+		if in.RS1 == isa.R0 {
+			env[in.RD] = regVal{kind: EConst, known: true, off: int64(in.Imm)}
+			return
+		}
+		env.kill(in.RD)
+		return
+	}
+	for _, r := range defs(in) {
+		env.kill(r)
+	}
+}
+
+// ckState is the dataflow fact flowing through the check-elimination
+// and verification analyses: the address expression of the most recent
+// check (equivalently, store target) on every path to this point.
+// top marks unvisited edges (meet identity); !known is ⊥.
+type ckState struct {
+	top   bool
+	known bool
+	e     Expr
+}
+
+var stateBottom = ckState{}
+
+func meet(a, b ckState) ckState {
+	if a.top {
+		return b
+	}
+	if b.top {
+		return a
+	}
+	if a.known && b.known && a.e == b.e {
+		return a
+	}
+	return stateBottom
+}
+
+// killState invalidates the fact when an instruction redefines its base
+// register; value-form facts (symbol/constant) survive register defs.
+func killState(st *ckState, in asm.Inst) {
+	if !st.known || st.e.Kind != ERegister {
+		return
+	}
+	for _, r := range defs(in) {
+		if r == st.e.Reg {
+			*st = stateBottom
+			return
+		}
+	}
+}
+
+// isBarrier reports whether the instruction invalidates the most-recent-
+// check fact entirely: calls (the callee runs its own checks, resetting
+// the runtime's last-check record) and traps.
+func isBarrier(in asm.Inst) bool {
+	switch kindOf(in) {
+	case kindCall:
+		return true
+	}
+	return in.Pseudo == asm.PNone && in.Op == isa.TRAP
+}

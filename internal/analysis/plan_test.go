@@ -1,0 +1,219 @@
+package analysis
+
+import (
+	"testing"
+
+	"edb/internal/asm"
+	"edb/internal/isa"
+)
+
+func planOf(f *asm.Func) *FuncPlan { return planFunc(f) }
+
+func TestPlanElidesRepeatedStore(t *testing.T) {
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.Sw(isa.Reg(10), isa.FP, -4)) // first: full check
+		f.Emit(asm.Sw(isa.Reg(11), isa.FP, -4)) // same address: elided
+		f.Emit(asm.Sw(isa.Reg(11), isa.FP, -8)) // different offset: full
+		f.Emit(asm.Ret())
+	})
+	fp := planOf(f)
+	if got := fp.ClassOf(0); got != CheckFull {
+		t.Errorf("store 0 = %v, want full", got)
+	}
+	if got := fp.ClassOf(1); got != CheckElided {
+		t.Errorf("store 1 = %v, want elided", got)
+	}
+	if got := fp.ClassOf(2); got != CheckFull {
+		t.Errorf("store 2 = %v, want full", got)
+	}
+}
+
+func TestPlanKillsOnBaseRedefinition(t *testing.T) {
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.Sw(isa.Reg(10), isa.Reg(12), 0))
+		f.Emit(asm.I(isa.ADDI, isa.Reg(12), isa.Reg(12), 4)) // kills r12 facts
+		f.Emit(asm.Sw(isa.Reg(10), isa.Reg(12), 0))
+		f.Emit(asm.Ret())
+	})
+	fp := planOf(f)
+	if got := fp.ClassOf(2); got != CheckFull {
+		t.Errorf("store after base redefinition = %v, want full", got)
+	}
+}
+
+func TestPlanAddiPropagation(t *testing.T) {
+	// The address environment resolves la + addi chains: g+4 stored via
+	// two different registers is provably the same address.
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.La(isa.Reg(12), "g", 0))
+		f.Emit(asm.Sw(isa.Reg(10), isa.Reg(12), 4))          // g+4
+		f.Emit(asm.I(isa.ADDI, isa.Reg(13), isa.Reg(12), 4)) // r13 = g+4
+		f.Emit(asm.Sw(isa.Reg(10), isa.Reg(13), 0))          // g+4 again
+		f.Emit(asm.Ret())
+	})
+	fp := planOf(f)
+	if got := fp.ClassOf(3); got != CheckElided {
+		t.Errorf("provably-equal rewritten base = %v, want elided", got)
+	}
+
+	// Raw register arithmetic on an unknown base is NOT propagated: the
+	// conservative plan keeps the full check.
+	f2 := fn(func(f *asm.Func) {
+		f.Emit(asm.Sw(isa.Reg(10), isa.Reg(12), 4))
+		f.Emit(asm.I(isa.ADDI, isa.Reg(13), isa.Reg(12), 4))
+		f.Emit(asm.Sw(isa.Reg(10), isa.Reg(13), 0))
+		f.Emit(asm.Ret())
+	})
+	if got := planOf(f2).ClassOf(2); got != CheckFull {
+		t.Errorf("unknown rewritten base = %v, want full", got)
+	}
+}
+
+func TestPlanCallIsBarrier(t *testing.T) {
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.Sw(isa.Reg(10), isa.FP, -4))
+		f.Emit(asm.Call("other")) // may install/remove monitors
+		f.Emit(asm.Sw(isa.Reg(11), isa.FP, -4))
+		f.Emit(asm.Ret())
+	})
+	fp := planOf(f)
+	if got := fp.ClassOf(2); got != CheckFull {
+		t.Errorf("store after call = %v, want full", got)
+	}
+}
+
+func TestPlanDiamondMeet(t *testing.T) {
+	// Both arms of the diamond store to fp-4; the join's store is covered
+	// on every path and elides.
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.Br(isa.BEQ, isa.Reg(10), isa.R0, "else"))
+		f.Emit(asm.Sw(isa.Reg(11), isa.FP, -4))
+		f.Emit(asm.Jmp("join"))
+		f.Mark("else")
+		f.Emit(asm.Sw(isa.Reg(12), isa.FP, -4))
+		f.Mark("join")
+		f.Emit(asm.Sw(isa.Reg(13), isa.FP, -4))
+		f.Emit(asm.Ret())
+	})
+	fp := planOf(f)
+	if got := fp.ClassOf(4); got != CheckElided {
+		t.Errorf("join store = %v, want elided (covered on both arms)", got)
+	}
+
+	// Make one arm store elsewhere: the join store no longer elides.
+	f2 := fn(func(f *asm.Func) {
+		f.Emit(asm.Br(isa.BEQ, isa.Reg(10), isa.R0, "else"))
+		f.Emit(asm.Sw(isa.Reg(11), isa.FP, -8))
+		f.Emit(asm.Jmp("join"))
+		f.Mark("else")
+		f.Emit(asm.Sw(isa.Reg(12), isa.FP, -4))
+		f.Mark("join")
+		f.Emit(asm.Sw(isa.Reg(13), isa.FP, -4))
+		f.Emit(asm.Ret())
+	})
+	if got := planOf(f2).ClassOf(4); got != CheckFull {
+		t.Errorf("join store with mismatched arms = %v, want full", got)
+	}
+}
+
+func TestPlanLoopHoist(t *testing.T) {
+	fp := planOf(counted())
+	// The in-loop store (body index 4) downgrades to the fast check...
+	if got := fp.ClassOf(4); got != CheckFast {
+		t.Errorf("in-loop store = %v, want fast", got)
+	}
+	// ...and one preliminary check of the loop-invariant symbol address
+	// is hoisted to the header (body index 2).
+	if len(fp.Hoists) != 1 {
+		t.Fatalf("hoists = %+v, want 1", fp.Hoists)
+	}
+	h := fp.Hoists[0]
+	if h.InsertAt != 2 {
+		t.Errorf("hoist at %d, want 2 (loop header)", h.InsertAt)
+	}
+	want := Expr{Kind: ESymbol, Sym: "g", Off: 0}
+	if len(h.Exprs) != 1 || h.Exprs[0] != want {
+		t.Errorf("hoisted exprs = %v, want [%v]", h.Exprs, want)
+	}
+}
+
+func TestPlanLoopVariantAddressNotHoisted(t *testing.T) {
+	// The store base advances each iteration: not loop-invariant, so the
+	// check stays full and nothing is hoisted.
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.Li(isa.Reg(10), 0))
+		f.Emit(asm.Li(isa.Reg(11), 10))
+		f.Emit(asm.La(isa.Reg(12), "g", 0))
+		f.Mark("head")
+		f.Emit(asm.Br(isa.BGE, isa.Reg(10), isa.Reg(11), "done"))
+		f.Emit(asm.Sw(isa.Reg(10), isa.Reg(12), 0))
+		f.Emit(asm.I(isa.ADDI, isa.Reg(12), isa.Reg(12), 4)) // pointer walks
+		f.Emit(asm.I(isa.ADDI, isa.Reg(10), isa.Reg(10), 1))
+		f.Emit(asm.Jmp("head"))
+		f.Mark("done")
+		f.Emit(asm.Ret())
+	})
+	fp := planOf(f)
+	if got := fp.ClassOf(4); got != CheckFull {
+		t.Errorf("loop-variant store = %v, want full", got)
+	}
+	if len(fp.Hoists) != 0 {
+		t.Errorf("hoists = %+v, want none", fp.Hoists)
+	}
+}
+
+func TestPlanIrregularSkipsOptimization(t *testing.T) {
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.I(isa.BEQ, isa.Reg(10), isa.R0, 2)) // raw-immediate branch
+		f.Emit(asm.Sw(isa.Reg(10), isa.FP, -4))
+		f.Emit(asm.Sw(isa.Reg(11), isa.FP, -4))
+		f.Emit(asm.Ret())
+	})
+	fp := planOf(f)
+	for i := 1; i <= 2; i++ {
+		if got := fp.ClassOf(i); got != CheckFull {
+			t.Errorf("irregular store %d = %v, want full", i, got)
+		}
+	}
+	if len(fp.Hoists) != 0 {
+		t.Errorf("irregular function must not hoist: %+v", fp.Hoists)
+	}
+}
+
+func TestPlanHoistCapPerLoop(t *testing.T) {
+	// Six distinct loop-invariant store addresses in one loop: only
+	// maxHoistsPerLoop (4) may be hoisted; the rest stay full.
+	f := fn(func(f *asm.Func) {
+		f.Emit(asm.Li(isa.Reg(10), 0))
+		f.Emit(asm.Li(isa.Reg(11), 10))
+		f.Mark("head")
+		f.Emit(asm.Br(isa.BGE, isa.Reg(10), isa.Reg(11), "done"))
+		for i := 0; i < 6; i++ {
+			f.Emit(asm.La(isa.Reg(12), "g", int32(4*i)))
+			f.Emit(asm.Sw(isa.Reg(10), isa.Reg(12), 0))
+		}
+		f.Emit(asm.I(isa.ADDI, isa.Reg(10), isa.Reg(10), 1))
+		f.Emit(asm.Jmp("head"))
+		f.Mark("done")
+		f.Emit(asm.Ret())
+	})
+	fp := planOf(f)
+	fast, full := 0, 0
+	for i, in := range f.Body {
+		if in.Pseudo == asm.PNone && in.Op == isa.SW {
+			switch fp.ClassOf(i) {
+			case CheckFast:
+				fast++
+			case CheckFull:
+				full++
+			}
+		}
+	}
+	if fast != maxHoistsPerLoop || full != 6-maxHoistsPerLoop {
+		t.Errorf("fast = %d full = %d, want %d/%d", fast, full,
+			maxHoistsPerLoop, 6-maxHoistsPerLoop)
+	}
+	if len(fp.Hoists) != 1 || len(fp.Hoists[0].Exprs) != maxHoistsPerLoop {
+		t.Errorf("hoists = %+v", fp.Hoists)
+	}
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"fmt"
+
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/isa"
+)
+
+// checkFuncName mirrors codepatch.CheckFuncName (duplicated to avoid an
+// import cycle; a codepatch test pins the two constants together).
+const checkFuncName = "__wms_check"
+
+// Violation is one soundness defect found in a patched program.
+type Violation struct {
+	Func  string
+	Index int    // body instruction index (-1 for whole-program defects)
+	Inst  string // disassembly of the offending instruction, if any
+	Msg   string
+}
+
+func (v Violation) String() string {
+	loc := v.Func
+	if loc == "" {
+		loc = "<program>"
+	}
+	if v.Index >= 0 {
+		loc = fmt.Sprintf("%s+%d", loc, v.Index)
+	}
+	if v.Inst != "" {
+		return fmt.Sprintf("%s: %s: %s", loc, v.Inst, v.Msg)
+	}
+	return fmt.Sprintf("%s: %s", loc, v.Msg)
+}
+
+// stub-entry immediates of the check call.
+var (
+	stubFull = int32(arch.TextBase)
+	stubFast = int32(arch.TextBase) + 4
+	stubPre  = int32(arch.TextBase) + 8
+)
+
+// materialisesAT2 reports whether the instruction loads the check
+// address register, and if so which expression it materialises under
+// env.
+func materialisesAT2(in asm.Inst, env *regEnv) (Expr, bool) {
+	switch in.Pseudo {
+	case asm.PLa:
+		if in.RD == isa.AT2 {
+			return Expr{Kind: ESymbol, Sym: in.Sym, Off: int64(in.Imm)}, true
+		}
+	case asm.PLi:
+		if in.RD == isa.AT2 {
+			return Expr{Kind: EConst, Off: int64(in.Imm)}, true
+		}
+	case asm.PNone:
+		if in.Op == isa.ADDI && in.RD == isa.AT2 {
+			return env.resolve(in.RS1, in.Imm), true
+		}
+	}
+	return Expr{}, false
+}
+
+// pairAt recognises a check pair starting at body index i: an AT2
+// materialisation immediately followed by a check call. Returns the
+// checked address expression and the call's stub immediate.
+func pairAt(body []asm.Inst, i int, env *regEnv) (Expr, int32, bool) {
+	e, ok := materialisesAT2(body[i], env)
+	if !ok || i+1 >= len(body) {
+		return Expr{}, 0, false
+	}
+	next := body[i+1]
+	if kindOf(next) != kindCheckCall {
+		return Expr{}, 0, false
+	}
+	return e, next.Imm, true
+}
+
+// stepVerify advances the most-recent-check state across the PATCHED
+// program's instruction at body index i, recognising explicit check
+// pairs. skip is true when a two-instruction pair was consumed.
+func stepVerify(st ckState, env regEnv, body []asm.Inst, i int) (ckState, regEnv, bool) {
+	in := body[i]
+	if e, jimm, ok := pairAt(body, i, &env); ok {
+		killState(&st, in)
+		killState(&st, body[i+1])
+		applyEnv(&env, in)
+		applyEnv(&env, body[i+1])
+		switch jimm {
+		case stubFull, stubFast:
+			st = ckState{known: true, e: e}
+		case stubPre:
+			// Preliminary (hoisted) checks warm the miss cache but do
+			// not establish a most-recent-check fact.
+		default:
+			st = stateBottom
+		}
+		return st, env, true
+	}
+	if kindOf(in) == kindCheckCall {
+		// Lone check call: AT2 holds an unknown address.
+		applyEnv(&env, in)
+		return stateBottom, env, false
+	}
+	if isBarrier(in) {
+		applyEnv(&env, in)
+		return stateBottom, env, false
+	}
+	killState(&st, in)
+	applyEnv(&env, in)
+	return st, env, false
+}
+
+// VerifyPatched statically proves a CodePatch-instrumented program
+// sound:
+//
+//   - the check stub is the first function (so it assembles at TextBase,
+//     within the check call's 16-bit immediate) and its body is 1–3
+//     return-via-PLink words;
+//   - every SW is covered: either its own immediately-preceding check
+//     pair, or — for stores whose check the optimizer elided — a
+//     dominating check of a provably-equal address expression on every
+//     path, with no intervening redefinition of the base register and no
+//     intervening call;
+//   - the reserved registers AT2 and PLink are touched only by check
+//     pairs: program code never reads or writes them, so a check can
+//     never clobber live program state;
+//   - every check call targets a stub entry and is fed by an AT2
+//     materialisation.
+//
+// It returns nil when the program verifies.
+func VerifyPatched(p *asm.Program) []Violation {
+	var vs []Violation
+	if len(p.Funcs) == 0 || p.Funcs[0].Name != checkFuncName {
+		vs = append(vs, Violation{Index: -1,
+			Msg: fmt.Sprintf("first function must be the %s stub at TextBase", checkFuncName)})
+		// Still verify function bodies below: every store will be
+		// reported uncovered if the program was never patched.
+	} else {
+		stub := p.Funcs[0]
+		if len(stub.Body) < 1 || len(stub.Body) > 3 {
+			vs = append(vs, Violation{Func: stub.Name, Index: -1,
+				Msg: fmt.Sprintf("check stub has %d words, want 1-3", len(stub.Body))})
+		}
+		for i, in := range stub.Body {
+			if in.Pseudo != asm.PNone || in.Op != isa.JALR ||
+				in.RD != isa.R0 || in.RS1 != isa.PLink || in.Imm != 0 {
+				vs = append(vs, Violation{Func: stub.Name, Index: i, Inst: in.String(),
+					Msg: "stub word must be `jalr r0, plink, 0`"})
+			}
+		}
+	}
+
+	for fi, f := range p.Funcs {
+		if fi == 0 && f.Name == checkFuncName {
+			continue
+		}
+		vs = append(vs, verifyFunc(f)...)
+	}
+	return vs
+}
+
+func verifyFunc(f *asm.Func) []Violation {
+	var vs []Violation
+	add := func(i int, in asm.Inst, msg string) {
+		vs = append(vs, Violation{Func: f.Name, Index: i, Inst: in.String(), Msg: msg})
+	}
+
+	g := BuildCFG(f)
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	in, _ := checkDataflow(g, true)
+
+	for _, b := range g.Blocks {
+		st := in[b.ID]
+		if st.top {
+			st = stateBottom // unreachable block: assume nothing
+		}
+		var env regEnv
+		for i := b.Start; i < b.End; i++ {
+			inst := f.Body[i]
+			if _, jimm, ok := pairAt(f.Body, i, &env); ok {
+				switch jimm {
+				case stubFull, stubFast, stubPre:
+				default:
+					add(i+1, f.Body[i+1],
+						fmt.Sprintf("check call targets %#x, not a stub entry", uint32(jimm)))
+				}
+				st, env, _ = stepVerify(st, env, f.Body, i)
+				i++ // pair consumed
+				continue
+			}
+			// Not part of a pair: enforce the reserved-register rules.
+			if kindOf(inst) == kindCheckCall {
+				add(i, inst, "check call without a preceding AT2 address materialisation")
+			} else {
+				for _, r := range defs(inst) {
+					if r == isa.AT2 || r == isa.PLink {
+						add(i, inst, fmt.Sprintf("program code writes reserved register r%d", r))
+					}
+				}
+				for _, r := range uses(inst) {
+					if r == isa.AT2 || r == isa.PLink {
+						add(i, inst, fmt.Sprintf("program code reads reserved register r%d", r))
+					}
+				}
+			}
+			if inst.Pseudo == asm.PNone && inst.Op == isa.SW {
+				e := env.resolve(inst.RS1, inst.Imm)
+				if !(st.known && st.e == e) {
+					have := "nothing"
+					if st.known {
+						have = st.e.String()
+					}
+					add(i, inst, fmt.Sprintf(
+						"store of %s not covered by a dominating matching check (last check: %s)",
+						e, have))
+				}
+			}
+			st, env, _ = stepVerify(st, env, f.Body, i)
+		}
+	}
+	return vs
+}
+
+// VerifyTrapPatched statically proves a TrapPatch-rewritten program
+// sound: no SW instructions remain, every TRAP immediate indexes the
+// side table exactly once, and every side-table entry is a store (so
+// the run-time handler emulates real stores only).
+func VerifyTrapPatched(p *asm.Program, table []asm.Inst) []Violation {
+	var vs []Violation
+	for ti, in := range table {
+		if in.Pseudo != asm.PNone || in.Op != isa.SW {
+			vs = append(vs, Violation{Index: -1, Inst: in.String(),
+				Msg: fmt.Sprintf("side-table entry %d is not a store", ti)})
+		}
+	}
+	seen := make(map[int32]string)
+	for _, f := range p.Funcs {
+		for i, in := range f.Body {
+			if in.Pseudo != asm.PNone {
+				continue
+			}
+			switch in.Op {
+			case isa.SW:
+				vs = append(vs, Violation{Func: f.Name, Index: i, Inst: in.String(),
+					Msg: "unpatched store remains in a TrapPatch program"})
+			case isa.TRAP:
+				if in.Imm < 0 || int(in.Imm) >= len(table) {
+					vs = append(vs, Violation{Func: f.Name, Index: i, Inst: in.String(),
+						Msg: fmt.Sprintf("trap code %d outside side table (len %d)", in.Imm, len(table))})
+				} else if prev, dup := seen[in.Imm]; dup {
+					vs = append(vs, Violation{Func: f.Name, Index: i, Inst: in.String(),
+						Msg: fmt.Sprintf("trap code %d already used at %s", in.Imm, prev)})
+				} else {
+					seen[in.Imm] = fmt.Sprintf("%s+%d", f.Name, i)
+				}
+			}
+		}
+	}
+	return vs
+}

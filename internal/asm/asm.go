@@ -54,10 +54,20 @@ type Inst struct {
 	// spills). The paper's event trace excludes implicit writes; the
 	// tracer consults this flag via Image.ImplicitStores.
 	Implicit bool
+
+	// CheckElided marks a store whose CodePatch check was statically
+	// eliminated by the optimizer (internal/analysis): a dominating check
+	// of a provably-equal address covers it. The assembler records these
+	// store addresses in Image.ElidedChecks so the runtime can keep the
+	// notification sequence identical to an unoptimized patch.
+	CheckElided bool
 }
 
-// words returns the encoded size of the (possibly pseudo) instruction.
-func (in Inst) words() int {
+// Words returns the encoded size of the (possibly pseudo) instruction
+// in 32-bit words. Pseudo-instruction widths are part of the layout
+// contract: PLa is always 2 words, PLi is 1 or 2 depending on whether
+// the immediate fits 16 bits, everything else is 1.
+func (in Inst) Words() int {
 	switch in.Pseudo {
 	case PLa:
 		return 2
@@ -69,6 +79,18 @@ func (in Inst) words() int {
 	default:
 		return 1
 	}
+}
+
+// BodyWords returns the encoded size of a function body in words — the
+// sum of Words() over the body. The patchers (codepatch, trappatch) use
+// it for code-expansion accounting; the analysis layer uses it for
+// address layout.
+func BodyWords(body []Inst) int {
+	n := 0
+	for _, in := range body {
+		n += in.Words()
+	}
+	return n
 }
 
 // Label is pseudo-item helper: functions carry explicit label positions.
@@ -171,6 +193,11 @@ type Image struct {
 	// ImplicitStores is the set of store-instruction addresses that are
 	// compiler bookkeeping (excluded from the event trace).
 	ImplicitStores map[arch.Addr]bool
+	// ElidedChecks is the set of store-instruction addresses whose
+	// CodePatch check was statically eliminated (Inst.CheckElided); the
+	// CodePatch runtime consults it to deliver the same notifications an
+	// unoptimized patch would.
+	ElidedChecks map[arch.Addr]bool
 }
 
 // FuncAt returns the function containing text address a, or nil.
@@ -219,6 +246,7 @@ func Assemble(p *Program) (*Image, error) {
 		Data:           make(map[string]arch.Range),
 		DataInit:       make(map[arch.Addr]arch.Word),
 		ImplicitStores: make(map[arch.Addr]bool),
+		ElidedChecks:   make(map[arch.Addr]bool),
 	}
 
 	// Lay out globals.
@@ -248,6 +276,7 @@ func Assemble(p *Program) (*Image, error) {
 	// Pass 1: assign addresses to functions and labels.
 	funcEntry := make(map[string]arch.Addr)
 	labelAddr := make([]map[string]arch.Addr, len(p.Funcs))
+	layout := LayoutAddrs(p)
 	pc := arch.TextBase
 	for fi, f := range p.Funcs {
 		if _, dup := funcEntry[f.Name]; dup {
@@ -256,14 +285,8 @@ func Assemble(p *Program) (*Image, error) {
 		funcEntry[f.Name] = pc
 		entry := pc
 		labelAddr[fi] = make(map[string]arch.Addr)
-		// Compute instruction addresses.
-		instAddr := make([]arch.Addr, len(f.Body)+1)
-		a := pc
-		for i, in := range f.Body {
-			instAddr[i] = a
-			a += arch.Addr(in.words() * arch.WordBytes)
-		}
-		instAddr[len(f.Body)] = a
+		instAddr := layout[fi]
+		a := instAddr[len(f.Body)]
 		for label, idx := range f.Labels {
 			if idx < 0 || idx > len(f.Body) {
 				return nil, fmt.Errorf("asm: %s: label %q out of range", f.Name, label)
@@ -293,16 +316,21 @@ func Assemble(p *Program) (*Image, error) {
 	img.Entry = e
 
 	// Pass 2: encode.
+	var curElided bool
 	emit := func(in isa.Inst, implicit bool) {
 		a := arch.TextBase + arch.Addr(len(img.Text)*arch.WordBytes)
 		if implicit && in.Op == isa.SW {
 			img.ImplicitStores[a] = true
+		}
+		if curElided && in.Op == isa.SW {
+			img.ElidedChecks[a] = true
 		}
 		img.Text = append(img.Text, isa.Encode(in))
 	}
 	for fi, f := range p.Funcs {
 		for i, in := range f.Body {
 			here := arch.TextBase + arch.Addr(len(img.Text)*arch.WordBytes)
+			curElided = in.CheckElided
 			switch in.Pseudo {
 			case PLi:
 				v := uint32(in.Imm)
@@ -356,6 +384,27 @@ func Assemble(p *Program) (*Image, error) {
 	return img, nil
 }
 
+// LayoutAddrs computes, without assembling, the text address every body
+// instruction will occupy: result[fi][i] is the address of p.Funcs[fi].
+// Body[i], with one extra entry per function for the end-of-body
+// position. This is exactly the pass-1 layout Assemble performs; the
+// analysis layer uses it to map body indices of an unassembled program
+// to the addresses its image will have.
+func LayoutAddrs(p *Program) [][]arch.Addr {
+	out := make([][]arch.Addr, len(p.Funcs))
+	pc := arch.TextBase
+	for fi, f := range p.Funcs {
+		addrs := make([]arch.Addr, len(f.Body)+1)
+		for i, in := range f.Body {
+			addrs[i] = pc
+			pc += arch.Addr(in.Words() * arch.WordBytes)
+		}
+		addrs[len(f.Body)] = pc
+		out[fi] = addrs
+	}
+	return out
+}
+
 // wordOffset computes the branch immediate from the branch at `from` to
 // `target` (relative to the instruction after the branch).
 func wordOffset(from, target arch.Addr) int32 {
@@ -373,6 +422,31 @@ func (img *Image) Disassemble() string {
 		out += fmt.Sprintf("  %08x: %s\n", uint32(a), isa.Decode(w))
 	}
 	return out
+}
+
+// String disassembles the symbolic instruction (pseudo-aware; branch
+// targets render their labels). Used by the analysis layer's
+// diagnostics and the CFG dumper.
+func (in Inst) String() string {
+	switch in.Pseudo {
+	case PLi:
+		return fmt.Sprintf("li   r%d, %d", in.RD, in.Imm)
+	case PLa:
+		if in.Imm != 0 {
+			return fmt.Sprintf("la   r%d, %s%+d", in.RD, in.Sym, in.Imm)
+		}
+		return fmt.Sprintf("la   r%d, %s", in.RD, in.Sym)
+	case PCall:
+		return fmt.Sprintf("call %s", in.Label)
+	case PRet:
+		return "ret"
+	case PJmp:
+		return fmt.Sprintf("jmp  %s", in.Label)
+	}
+	if isa.IsBranch(in.Op) && in.Label != "" {
+		return fmt.Sprintf("%-4s r%d, r%d, %s", in.Op, in.RD, in.RS1, in.Label)
+	}
+	return isa.Inst{Op: in.Op, RD: in.RD, RS1: in.RS1, RS2: in.RS2, Imm: in.Imm}.String()
 }
 
 // Convenience constructors used heavily by the compiler and tests.

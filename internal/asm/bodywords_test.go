@@ -1,0 +1,68 @@
+package asm
+
+import (
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/isa"
+)
+
+// TestInstWords pins the per-instruction width contract that both
+// patchers' expansion accounting and the analysis layer's address
+// layout depend on: PLa is always 2 words, PLi is 1 or 2 depending on
+// whether the immediate fits the 16-bit field, and everything else —
+// real instructions, PCall, branches, Ret — is exactly 1.
+func TestInstWords(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+		want int
+	}{
+		{"real alu", I(isa.ADDI, isa.Reg(10), isa.Reg(10), 1), 1},
+		{"store", Sw(isa.Reg(10), isa.FP, -4), 1},
+		{"li zero", Li(isa.Reg(10), 0), 1},
+		{"li max16", Li(isa.Reg(10), 32767), 1},
+		{"li min16", Li(isa.Reg(10), -32768), 1},
+		{"li max16+1", Li(isa.Reg(10), 32768), 2},
+		{"li min16-1", Li(isa.Reg(10), -32769), 2},
+		{"li full-range", Li(isa.Reg(10), -2147483648), 2},
+		{"la", La(isa.Reg(10), "g", 0), 2},
+		{"la small off", La(isa.Reg(10), "g", 4), 2},
+		{"call", Call("f"), 1},
+		{"jmp", Jmp("l"), 1},
+		{"branch", Br(isa.BEQ, isa.Reg(10), isa.R0, "l"), 1},
+		{"ret", Ret(), 1},
+	}
+	for _, c := range cases {
+		if got := c.in.Words(); got != c.want {
+			t.Errorf("%s: Words() = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestBodyWordsMatchesAssembledLayout: BodyWords must agree exactly
+// with the assembler — a drift here silently corrupts expansion
+// statistics and every LayoutAddrs-derived address.
+func TestBodyWordsMatchesAssembledLayout(t *testing.T) {
+	p := &Program{Globals: []Global{{Name: "g", SizeWords: 1}}}
+	f := p.AddFunc("main")
+	f.Emit(Li(isa.Reg(10), 5))
+	f.Emit(Li(isa.Reg(11), 100000)) // 2-word li
+	f.Emit(La(isa.Reg(12), "g", 0)) // 2-word la
+	f.Emit(Sw(isa.Reg(10), isa.Reg(12), 0))
+	f.Emit(Sys(1)) // exit
+
+	want := BodyWords(f.Body)
+	img, err := Assemble(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi := img.Funcs[img.FuncBySym["main"]]
+	got := int((fi.End - fi.Entry) / arch.WordBytes)
+	if got != want {
+		t.Errorf("assembled main is %d words, BodyWords says %d", got, want)
+	}
+	if len(img.Text) != want {
+		t.Errorf("text is %d words, BodyWords says %d", len(img.Text), want)
+	}
+}

@@ -20,11 +20,37 @@
 // store. Unlike VirtualMemory and TrapPatch the store itself executes
 // normally — no kernel involvement at all, which is what makes the
 // strategy operating-system independent and cheap.
+//
+// # Static optimization (PatchOptions.Optimize)
+//
+// §9 of the paper proposes compile-time optimization of the inserted
+// checks. The Optimize mode implements it over internal/analysis:
+//
+//   - Check elimination: a store dominated by a prior check of a
+//     provably-equal address expression — with no intervening
+//     redefinition of the base register and no intervening call — emits
+//     no check at all. The assembler records the store's address in
+//     Image.ElidedChecks; at run time the store-observation hook keeps
+//     the semantics *identical* to an unoptimized patch (same
+//     notification sequence, same hit/miss statistics), charging zero
+//     cycles when the dominating check is still valid and falling back
+//     to a full lookup after any monitor update.
+//
+//   - Loop hoisting: the paper's "preliminary check ... applied for
+//     write instructions whose target is a loop-invariant memory
+//     range". A preliminary check of each loop-invariant store target
+//     is inserted in the loop preheader; the in-loop checks downgrade
+//     to a fast stub entry that answers out of the preliminary-check
+//     miss cache for the price of an inline compare.
+//
+// The optimized stub has three entries — full, fast, preliminary — each
+// a one-word return so an unattached optimized image still runs.
 package codepatch
 
 import (
 	"fmt"
 
+	"edb/internal/analysis"
 	"edb/internal/arch"
 	"edb/internal/asm"
 	"edb/internal/core/wms"
@@ -36,18 +62,26 @@ import (
 // CheckFuncName is the symbol of the injected check routine.
 const CheckFuncName = "__wms_check"
 
-// extraInstructions is the per-store code expansion (the paper: "For
-// the SPARC architecture this requires a minimum of two additional
-// instructions").
-const extraInstructions = 2
+// Stub-entry byte offsets from TextBase.
+const (
+	stubFullOff = 0
+	stubFastOff = 4
+	stubPreOff  = 8
+)
 
 // PatchResult reports what the patcher did.
 type PatchResult struct {
-	// Patched counts instrumented stores.
+	// Patched counts instrumented stores (stores that received a check;
+	// elided stores are not included).
 	Patched int
 	// OriginalWords and PatchedWords give the text-size expansion the
 	// paper estimates in §8 (12-15% for its benchmarks).
 	OriginalWords, PatchedWords int
+
+	// Optimize-mode statistics (zero for a plain patch).
+	EliminatedChecks int // stores whose check was statically elided
+	FastChecks       int // in-loop checks downgraded to the fast entry
+	HoistedChecks    int // preliminary checks inserted in preheaders
 }
 
 // Expansion returns the fractional code-size increase.
@@ -58,31 +92,87 @@ func (r *PatchResult) Expansion() float64 {
 	return float64(r.PatchedWords-r.OriginalWords) / float64(r.OriginalWords)
 }
 
+// PatchOptions tunes the patcher.
+type PatchOptions struct {
+	// Optimize runs the static check-elimination and loop-hoisting
+	// analysis before patching (see the package comment). The optimized
+	// image delivers exactly the notification sequence of an
+	// unoptimized one.
+	Optimize bool
+}
+
 // Patch instruments every store in the program and injects the check
 // routine as the program's first function. The program is mutated in
 // place (compile a fresh program per strategy).
 func Patch(p *asm.Program) (*PatchResult, error) {
+	return PatchWithOptions(p, PatchOptions{})
+}
+
+// PatchWithOptions is Patch with tuning options.
+func PatchWithOptions(p *asm.Program, opt PatchOptions) (*PatchResult, error) {
 	if p.FindFunc(CheckFuncName) != nil {
 		return nil, fmt.Errorf("codepatch: program already patched")
 	}
 	res := &PatchResult{}
 
+	var plan *analysis.Plan
+	if opt.Optimize {
+		plan = analysis.PlanChecks(p)
+		res.EliminatedChecks = plan.EliminatedChecks
+		res.FastChecks = plan.FastChecks
+		res.HoistedChecks = plan.HoistedChecks
+	}
+
 	for _, f := range p.Funcs {
-		res.OriginalWords += bodyWords(f.Body)
+		res.OriginalWords += asm.BodyWords(f.Body)
+		var fp *analysis.FuncPlan
+		if plan != nil {
+			fp = plan.Funcs[f.Name]
+		}
+		// Preheader insertions by body index.
+		hoistAt := make(map[int][]analysis.Expr)
+		if fp != nil {
+			for _, h := range fp.Hoists {
+				hoistAt[h.InsertAt] = h.Exprs
+			}
+		}
+
 		var out []asm.Inst
 		// indexMap[i] is the new index of old body index i; one extra
 		// entry maps the end-of-body position for trailing labels.
 		indexMap := make([]int, len(f.Body)+1)
 		for i := range f.Body {
+			// Preliminary checks go before the loop header's label
+			// position, so only fall-through entry — never the back
+			// edge — executes them.
+			for _, e := range hoistAt[i] {
+				out = append(out,
+					materialiseExpr(e),
+					asm.I(isa.JALR, isa.PLink, isa.R0, int32(arch.TextBase)+stubPreOff),
+				)
+			}
 			indexMap[i] = len(out)
 			in := f.Body[i]
 			if in.Pseudo == asm.PNone && in.Op == isa.SW {
-				// Materialise the target address, then call the checker.
-				out = append(out,
-					asm.I(isa.ADDI, isa.AT2, in.RS1, in.Imm),
-					asm.I(isa.JALR, isa.PLink, isa.R0, int32(arch.TextBase)),
-				)
-				res.Patched++
+				switch {
+				case fp.ClassOf(i) == analysis.CheckElided:
+					// No check: a dominating equal-address check covers
+					// this store. Mark it so the assembler records the
+					// address for the runtime.
+					in.CheckElided = true
+				default:
+					off := int32(stubFullOff)
+					if fp.ClassOf(i) == analysis.CheckFast {
+						off = stubFastOff
+					}
+					// Materialise the target address, then call the
+					// checker.
+					out = append(out,
+						asm.I(isa.ADDI, isa.AT2, in.RS1, in.Imm),
+						asm.I(isa.JALR, isa.PLink, isa.R0, int32(arch.TextBase)+off),
+					)
+					res.Patched++
+				}
 			}
 			out = append(out, in)
 		}
@@ -91,39 +181,55 @@ func Patch(p *asm.Program) (*PatchResult, error) {
 			f.Labels[label] = indexMap[idx]
 		}
 		f.Body = out
-		res.PatchedWords += bodyWords(out)
+		res.PatchedWords += asm.BodyWords(out)
 	}
 
 	// Inject the check routine at the head of the function list so it
 	// assembles at TextBase, reachable by the 16-bit jalr immediate.
-	// Its one-instruction body returns via the patch link register, so
-	// an unattached patched image still runs correctly (checks become
-	// no-ops).
+	// Each stub word returns via the patch link register, so an
+	// unattached patched image still runs correctly (checks become
+	// no-ops). The optimized stub has three entries: full, fast,
+	// preliminary.
+	stubWords := 1
+	if opt.Optimize {
+		stubWords = 3
+	}
 	check := &asm.Func{Name: CheckFuncName, Labels: map[string]int{}}
-	check.Emit(asm.I(isa.JALR, isa.R0, isa.PLink, 0))
+	for k := 0; k < stubWords; k++ {
+		check.Emit(asm.I(isa.JALR, isa.R0, isa.PLink, 0))
+	}
 	p.Funcs = append([]*asm.Func{check}, p.Funcs...)
 	res.OriginalWords++ // count the stub once so expansion stays honest
-	res.PatchedWords++
+	res.PatchedWords += stubWords
 	return res, nil
 }
 
-func bodyWords(body []asm.Inst) int {
-	n := 0
-	for _, in := range body {
-		switch in.Pseudo {
-		case asm.PLa:
-			n += 2
-		case asm.PLi:
-			if isa.FitsImm16(in.Imm) {
-				n++
-			} else {
-				n += 2
-			}
-		default:
-			n++
-		}
+// materialiseExpr builds the instruction that loads a preliminary-check
+// address into AT2.
+func materialiseExpr(e analysis.Expr) asm.Inst {
+	switch e.Kind {
+	case analysis.ESymbol:
+		return asm.La(isa.AT2, e.Sym, int32(e.Off))
+	case analysis.EConst:
+		return asm.Li(isa.AT2, int32(e.Off))
+	default:
+		return asm.I(isa.ADDI, isa.AT2, e.Reg, int32(e.Off))
 	}
-	return n
+}
+
+// missCacheSize is the capacity of the preliminary-check miss cache
+// (direct mapped).
+const missCacheSize = 16
+
+// lastCheck records the most recent executed check, mirroring the
+// static analysis' most-recent-check fact at run time. Statically
+// elided stores whose address matches a still-valid last check are
+// proven redundant and charge nothing; anything else falls back to a
+// full lookup, so mid-run monitor updates can never be missed.
+type lastCheck struct {
+	addr   arch.Addr
+	wasHit bool
+	valid  bool
 }
 
 // WMS is a CodePatch write monitor service attached to one machine
@@ -135,6 +241,7 @@ type WMS struct {
 
 	updCost    uint64
 	lookupCost uint64
+	fastCost   uint64
 
 	pending    wms.Notification
 	hasPending bool
@@ -147,13 +254,38 @@ type WMS struct {
 	// MemoHits counts checks satisfied by the fast path.
 	MemoHits uint64
 
-	// Checks counts executed check calls (every executed store).
+	// Checks counts executed check calls (every executed store whose
+	// check was not statically elided).
 	Checks uint64
+
+	// Static-optimization runtime state.
+	elided    map[arch.Addr]bool // patched-image store addrs with no check
+	last      lastCheck
+	missCache [missCacheSize]struct {
+		addr  arch.Addr
+		valid bool
+	}
+	// Elided counts executed stores whose check was statically elided;
+	// with ElideFallbacks the invariant
+	//
+	//	unoptimized.Checks == optimized.Checks + optimized.Elided
+	//
+	// holds for the same program input. ElideFallbacks counts elided
+	// stores that could not be proven redundant at run time (a monitor
+	// update intervened) and paid the full lookup; it is zero whenever
+	// no monitors were installed or removed mid-run, which is how the
+	// differential tests validate the static analysis. FastHits counts
+	// fast-entry checks answered out of the preliminary-check miss
+	// cache; PreChecks counts executed preliminary (hoisted) checks.
+	Elided         uint64
+	ElideFallbacks uint64
+	FastHits       uint64
+	PreChecks      uint64
 }
 
 // Attach wires the CodePatch WMS to a machine whose image was built from
 // a program rewritten by Patch: it registers the check routine as a host
-// function at the injected stub's address.
+// function at the injected stub's entries.
 func Attach(m *kernel.Machine, notify wms.Notifier) (*WMS, error) {
 	fi, ok := m.Image.FuncBySym[CheckFuncName]
 	if !ok {
@@ -167,9 +299,18 @@ func Attach(m *kernel.Machine, notify wms.Notifier) (*WMS, error) {
 		m: m, notify: notify,
 		updCost:    arch.MicrosToCycles(22),   // SoftwareUpdate_τ
 		lookupCost: arch.MicrosToCycles(2.75), // SoftwareLookup_τ
+		fastCost:   arch.MicrosToCycles(0.25), // inline compare-and-branch
+		elided:     m.Image.ElidedChecks,
 	}
 	w.svc = wms.NewService(nil, nil)
-	m.CPU.RegisterHostFunc(entry, w.check)
+	m.CPU.RegisterHostFunc(entry, w.fullCheck)
+	stubWords := int((m.Image.Funcs[fi].End - entry) / arch.WordBytes)
+	if stubWords >= 2 {
+		m.CPU.RegisterHostFunc(entry+stubFastOff, w.checkFast)
+	}
+	if stubWords >= 3 {
+		m.CPU.RegisterHostFunc(entry+stubPreOff, w.checkPre)
+	}
 	m.CPU.OnStore = w.onStore
 	return w, nil
 }
@@ -180,7 +321,7 @@ func (w *WMS) InstallMonitor(ba, ea arch.Addr) error {
 	if err := w.svc.InstallMonitor(ba, ea); err != nil {
 		return err
 	}
-	w.invalidateMemo()
+	w.invalidateCaches()
 	w.m.CPU.ChargeCycles(w.updCost)
 	return nil
 }
@@ -190,15 +331,24 @@ func (w *WMS) RemoveMonitor(ba, ea arch.Addr) error {
 	if err := w.svc.RemoveMonitor(ba, ea); err != nil {
 		return err
 	}
-	w.invalidateMemo()
+	w.invalidateCaches()
 	w.m.CPU.ChargeCycles(w.updCost)
 	return nil
 }
 
+// fullCheck is the stub's first entry: the memo fast path when enabled,
+// else the plain per-store lookup.
+func (w *WMS) fullCheck(c *cpu.CPU) error {
+	if w.memoEnabled {
+		return w.checkMemo(c)
+	}
+	return w.check(c)
+}
+
 // check is the host-implemented body of __wms_check. The target address
-// arrives in AT2 and the store's own address in AT (the link register of
-// the check call). The store has not executed yet, so a hit is recorded
-// as pending and the notification is delivered from the store
+// arrives in AT2 and the store's own address in PLink (the link register
+// of the check call). The store has not executed yet, so a hit is
+// recorded as pending and the notification is delivered from the store
 // observation hook — the WMS definition requires notification *after*
 // the write has succeeded (§1: this distinguishes write monitors from
 // write barriers).
@@ -207,21 +357,115 @@ func (w *WMS) check(c *cpu.CPU) error {
 	c.ChargeCycles(w.lookupCost)
 	addr := arch.Addr(c.Regs[isa.AT2])
 	pc := arch.Addr(c.Regs[isa.PLink]) // the patched store's address
-	if w.svc.CheckWrite(addr, addr+arch.WordBytes, pc) {
+	hit := w.svc.CheckWrite(addr, addr+arch.WordBytes, pc)
+	if hit {
 		w.pending = wms.Notification{BA: addr, EA: addr + arch.WordBytes, PC: pc}
 		w.hasPending = true
+	}
+	w.setLastCheck(addr, hit)
+	return nil
+}
+
+// checkFast is the stub's second entry, used by in-loop checks covered
+// by a hoisted preliminary check: a hit in the preliminary-check miss
+// cache is a guaranteed monitor miss for the price of an inline
+// compare; anything else takes the full path.
+func (w *WMS) checkFast(c *cpu.CPU) error {
+	addr := arch.Addr(c.Regs[isa.AT2])
+	if e := &w.missCache[cacheSlot(addr)]; e.valid && e.addr == addr {
+		w.Checks++
+		w.FastHits++
+		c.ChargeCycles(w.fastCost)
+		pc := arch.Addr(c.Regs[isa.PLink])
+		// CheckWrite keeps hit/miss statistics identical to an
+		// unoptimized run; the cache guarantees a miss (it is flushed on
+		// every monitor update), but route a hit through anyway so a
+		// notification can never be lost.
+		if w.svc.CheckWrite(addr, addr+arch.WordBytes, pc) {
+			w.pending = wms.Notification{BA: addr, EA: addr + arch.WordBytes, PC: pc}
+			w.hasPending = true
+			w.setLastCheck(addr, true)
+			return nil
+		}
+		w.setLastCheck(addr, false)
+		return nil
+	}
+	return w.fullCheck(c)
+}
+
+// checkPre is the stub's third entry: the hoisted preliminary check. It
+// warms the miss cache for the loop's fast checks but never notifies,
+// never counts as a per-store check, and never establishes a
+// most-recent-check fact — it may run for a store that this loop entry
+// never executes.
+func (w *WMS) checkPre(c *cpu.CPU) error {
+	w.PreChecks++
+	c.ChargeCycles(w.lookupCost)
+	addr := arch.Addr(c.Regs[isa.AT2])
+	if !w.svc.Lookup(addr, addr+arch.WordBytes) {
+		e := &w.missCache[cacheSlot(addr)]
+		e.addr, e.valid = addr, true
 	}
 	return nil
 }
 
+func cacheSlot(addr arch.Addr) int {
+	return int(addr>>2) & (missCacheSize - 1)
+}
+
+func (w *WMS) setLastCheck(addr arch.Addr, hit bool) {
+	w.last = lastCheck{addr: addr, wasHit: hit, valid: true}
+}
+
 // onStore delivers the pending notification once the checked store has
-// completed.
+// completed, and plays the check of statically elided stores: their
+// classification still counts (and notifies) exactly as an unoptimized
+// check would, but a store whose address matches a still-valid
+// most-recent check that missed charges nothing — the static analysis
+// proved the lookup redundant, and the runtime validated it.
 func (w *WMS) onStore(ba, ea, pc arch.Addr) {
 	if w.hasPending {
 		w.hasPending = false
 		if w.notify != nil {
 			w.notify(w.pending)
 		}
+		return
+	}
+	if len(w.elided) == 0 || !w.elided[pc] {
+		return
+	}
+	w.Elided++
+	switch {
+	case w.last.valid && w.last.addr == ba && !w.last.wasHit:
+		// Proven redundant: the dominating check found this address
+		// unmonitored and no monitor update intervened. Free.
+	case w.last.valid && w.last.addr == ba:
+		// The dominating check hit: this store notifies too, which in a
+		// real deployment means the elided site's inline guard branches
+		// back into the check routine. Full price.
+		w.m.CPU.ChargeCycles(w.lookupCost)
+	default:
+		// A monitor update invalidated the fact (or the analysis was
+		// wrong — the differential tests assert this never happens
+		// without an update): full price, full semantics.
+		w.ElideFallbacks++
+		w.m.CPU.ChargeCycles(w.lookupCost)
+	}
+	hit := w.svc.CheckWrite(ba, ea, pc)
+	w.setLastCheck(ba, hit)
+	if hit && w.notify != nil {
+		w.notify(wms.Notification{BA: ba, EA: ea, PC: pc})
+	}
+}
+
+// invalidateCaches is called on every monitor update: the memo page,
+// the most-recent-check fact, and the preliminary-check miss cache are
+// all conservatively discarded.
+func (w *WMS) invalidateCaches() {
+	w.memoValid = false
+	w.last.valid = false
+	for i := range w.missCache {
+		w.missCache[i].valid = false
 	}
 }
 

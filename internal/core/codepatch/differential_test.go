@@ -1,0 +1,278 @@
+package codepatch_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/core/codepatch"
+	"edb/internal/core/wms"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+	"edb/internal/progs"
+)
+
+// The optimized patcher's contract is semantic identity: for the same
+// source, the same input, and the same monitor activity, an optimized
+// image must deliver *exactly* the notification sequence of an
+// unoptimized one, print the same output, and keep the paper's shared
+// counters (Figure 2) identical. These tests check that differentially
+// on randomly generated mini-C programs and on all five benchmark
+// workloads, with and without mid-run monitor updates.
+//
+// Notifications are compared as (BA, EA, store ordinal): the program
+// counter necessarily differs between the two images (the optimized one
+// inserts fewer instructions), but the sequence of *executed stores* is
+// identical in program order — check calls are not stores — so
+// CPU.Stores at notification time identifies the store precisely.
+
+// notif is one observed notification, position-stamped by the number of
+// executed stores at delivery time.
+type notif struct {
+	BA, EA arch.Addr
+	Store  uint64
+}
+
+// machineUnderTest bundles one patched machine with its WMS and the
+// notification log.
+type machineUnderTest struct {
+	m      *kernel.Machine
+	w      *codepatch.WMS
+	res    *codepatch.PatchResult
+	notifs []notif
+}
+
+// build compiles src, patches it (optimized or not), and attaches a
+// recording CodePatch WMS.
+func build(t *testing.T, src string, optimize bool) *machineUnderTest {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: optimize})
+	if err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	img, err := asm.Assemble(prog)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := &machineUnderTest{m: m, res: res}
+	mut.w, err = codepatch.Attach(m, func(n wms.Notification) {
+		mut.notifs = append(mut.notifs, notif{BA: n.BA, EA: n.EA, Store: m.CPU.Stores})
+	})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	return mut
+}
+
+// monitorRanges picks a deterministic set of monitor ranges from the
+// image's data symbols: the first symbol in name order is fully
+// monitored, the second only its first word. Both images are built from
+// the same source, so their data layouts are identical.
+func monitorRanges(m *kernel.Machine) []arch.Range {
+	syms := make([]string, 0, len(m.Image.Data))
+	for s := range m.Image.Data {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	var rs []arch.Range
+	if len(syms) > 0 {
+		rs = append(rs, m.Image.Data[syms[0]])
+	}
+	if len(syms) > 1 {
+		r := m.Image.Data[syms[1]]
+		rs = append(rs, arch.Range{BA: r.BA, EA: r.BA + arch.WordBytes})
+	}
+	return rs
+}
+
+// compare asserts the two runs are observationally identical and that
+// the static accounting invariant holds.
+func compare(t *testing.T, unopt, opt *machineUnderTest) {
+	t.Helper()
+	if got, want := opt.m.Out.String(), unopt.m.Out.String(); got != want {
+		t.Errorf("program output diverged:\nopt:   %q\nunopt: %q", got, want)
+	}
+	if got, want := opt.m.CPU.Stores, unopt.m.CPU.Stores; got != want {
+		t.Errorf("executed stores diverged: opt %d, unopt %d", got, want)
+	}
+	if len(opt.notifs) != len(unopt.notifs) {
+		t.Fatalf("notification count diverged: opt %d, unopt %d\nopt:   %v\nunopt: %v",
+			len(opt.notifs), len(unopt.notifs), opt.notifs, unopt.notifs)
+	}
+	for i := range unopt.notifs {
+		if opt.notifs[i] != unopt.notifs[i] {
+			t.Fatalf("notification %d diverged: opt %+v, unopt %+v",
+				i, opt.notifs[i], unopt.notifs[i])
+		}
+	}
+	if got, want := opt.w.Stats(), unopt.w.Stats(); got != want {
+		t.Errorf("WMS stats diverged: opt %+v, unopt %+v", got, want)
+	}
+	// The accounting invariant: every store the unoptimized patch
+	// checks is, in the optimized image, either still checked or
+	// statically elided — nothing falls through the cracks.
+	if unopt.w.Checks != opt.w.Checks+opt.w.Elided {
+		t.Errorf("check accounting broken: unopt.Checks=%d, opt.Checks=%d + opt.Elided=%d",
+			unopt.w.Checks, opt.w.Checks, opt.w.Elided)
+	}
+}
+
+const diffFuel = 20_000_000
+
+// TestDifferentialRandomPrograms: generated programs, monitors
+// installed before the run and never touched again. In this regime
+// every statically elided check must be proven redundant at run time —
+// ElideFallbacks must be exactly zero, which is the strongest check we
+// have that the dataflow facts are actually true of the execution.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	const seeds = 30
+	for seed := int64(0); seed < seeds; seed++ {
+		src := minic.GenProgram(rand.New(rand.NewSource(seed)))
+		unopt := build(t, src, false)
+		opt := build(t, src, true)
+		for _, r := range monitorRanges(unopt.m) {
+			if err := unopt.w.InstallMonitor(r.BA, r.EA); err != nil {
+				t.Fatal(err)
+			}
+			if err := opt.w.InstallMonitor(r.BA, r.EA); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := unopt.m.Run(diffFuel); err != nil {
+			t.Fatalf("seed %d unopt: %v\n%s", seed, err, src)
+		}
+		if err := opt.m.Run(diffFuel); err != nil {
+			t.Fatalf("seed %d opt: %v\n%s", seed, err, src)
+		}
+		compare(t, unopt, opt)
+		if opt.w.ElideFallbacks != 0 {
+			t.Errorf("seed %d: %d elide fallbacks without mid-run updates (analysis fact was invalidated)\n%s",
+				seed, opt.w.ElideFallbacks, src)
+		}
+		if t.Failed() {
+			t.Fatalf("seed %d diverged; source:\n%s", seed, src)
+		}
+	}
+}
+
+// monitorEvent is one scripted mid-run update, applied once the
+// machine's executed-store count reaches After. Store counts advance
+// identically in both images, so the script perturbs both runs at the
+// same point in the store stream.
+type monitorEvent struct {
+	After   uint64
+	Install bool
+	R       arch.Range
+}
+
+// runScripted single-steps the machine, applying script events as their
+// store thresholds are crossed.
+func runScripted(t *testing.T, mut *machineUnderTest, script []monitorEvent) {
+	t.Helper()
+	si := 0
+	for steps := 0; !mut.m.CPU.Halted; steps++ {
+		if steps > diffFuel {
+			t.Fatal("scripted run exhausted fuel")
+		}
+		for si < len(script) && mut.m.CPU.Stores >= script[si].After {
+			ev := script[si]
+			si++
+			var err error
+			if ev.Install {
+				err = mut.w.InstallMonitor(ev.R.BA, ev.R.EA)
+			} else {
+				err = mut.w.RemoveMonitor(ev.R.BA, ev.R.EA)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := mut.m.CPU.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDifferentialInterleavedMonitors: monitors are installed and
+// removed *during* the run. Mid-run updates invalidate the optimizer's
+// static facts, so elided stores may fall back to full lookups — the
+// point of the test is that the notification sequence, output, and
+// shared counters stay identical anyway.
+func TestDifferentialInterleavedMonitors(t *testing.T) {
+	for seed := int64(100); seed < 112; seed++ {
+		src := minic.GenProgram(rand.New(rand.NewSource(seed)))
+		unopt := build(t, src, false)
+		opt := build(t, src, true)
+
+		rs := monitorRanges(unopt.m)
+		if len(rs) < 2 {
+			t.Fatal("generated program must have at least two data symbols")
+		}
+		all := arch.Range{BA: rs[0].BA, EA: unopt.m.Image.GlobalEnd}
+		script := []monitorEvent{
+			{After: 0, Install: true, R: rs[0]},
+			{After: 5, Install: true, R: rs[1]},
+			{After: 20, Install: false, R: rs[0]},
+			{After: 40, Install: true, R: all},
+			{After: 90, Install: false, R: all},
+			{After: 120, Install: true, R: rs[0]},
+		}
+		runScripted(t, unopt, script)
+		runScripted(t, opt, script)
+		compare(t, unopt, opt)
+		if t.Failed() {
+			t.Fatalf("seed %d diverged; source:\n%s", seed, src)
+		}
+	}
+}
+
+// TestDifferentialWorkloads runs the full differential comparison over
+// the five paper benchmark workloads with pre-installed monitors.
+func TestDifferentialWorkloads(t *testing.T) {
+	for _, name := range progs.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := progs.ByName(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workloadFuel = 400_000_000
+			unopt := build(t, p.Source, false)
+			opt := build(t, p.Source, true)
+			for _, r := range monitorRanges(unopt.m) {
+				if err := unopt.w.InstallMonitor(r.BA, r.EA); err != nil {
+					t.Fatal(err)
+				}
+				if err := opt.w.InstallMonitor(r.BA, r.EA); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := unopt.m.Run(workloadFuel); err != nil {
+				t.Fatalf("unopt: %v", err)
+			}
+			if err := opt.m.Run(workloadFuel); err != nil {
+				t.Fatalf("opt: %v", err)
+			}
+			compare(t, unopt, opt)
+			if opt.w.ElideFallbacks != 0 {
+				t.Errorf("%d elide fallbacks without mid-run updates", opt.w.ElideFallbacks)
+			}
+			// The optimizer must actually optimize something on real
+			// workloads, or the ablation measures nothing.
+			if opt.res.EliminatedChecks+opt.res.FastChecks == 0 {
+				t.Error("optimizer had no effect on this workload")
+			}
+		})
+	}
+}

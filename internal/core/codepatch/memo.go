@@ -33,10 +33,9 @@ func AttachWithOptions(m *kernel.Machine, notify wms.Notifier, opt Options) (*WM
 		return nil, err
 	}
 	if opt.Memo {
+		// The stub's first entry dispatches through fullCheck, which
+		// routes to checkMemo once the memo is enabled.
 		w.memoEnabled = true
-		// Re-register the host check routine with the fast path.
-		fi := m.Image.FuncBySym[CheckFuncName]
-		m.CPU.RegisterHostFunc(m.Image.Funcs[fi].Entry, w.checkMemo)
 		us := opt.MemoCheckMicros
 		if us <= 0 {
 			us = 0.25
@@ -48,8 +47,8 @@ func AttachWithOptions(m *kernel.Machine, notify wms.Notifier, opt Options) (*WM
 
 // memoState lives in the WMS struct (see codepatch.go fields).
 
-// checkMemo is the fast-path variant of check installed when the memo
-// is enabled.
+// checkMemo is the fast-path variant of check used when the memo is
+// enabled.
 func (w *WMS) checkMemo(c *cpu.CPU) error {
 	addr := arch.Addr(c.Regs[isa.AT2])
 	page := uint32(addr) >> 12
@@ -59,6 +58,7 @@ func (w *WMS) checkMemo(c *cpu.CPU) error {
 		w.Checks++
 		w.MemoHits++
 		c.ChargeCycles(w.memoCost)
+		w.setLastCheck(addr, false)
 		return nil
 	}
 	if err := w.check(c); err != nil {
@@ -72,6 +72,3 @@ func (w *WMS) checkMemo(c *cpu.CPU) error {
 	}
 	return nil
 }
-
-// invalidateMemo is called on every monitor update.
-func (w *WMS) invalidateMemo() { w.memoValid = false }

@@ -30,16 +30,22 @@ import (
 // Strategy selects the WMS implementation backing a session.
 type Strategy string
 
-// The four strategies of the paper, by their §7 names.
+// The four strategies of the paper, by their §7 names, plus the
+// statically optimized CodePatch variant.
 const (
 	NativeHardware Strategy = "hardware"
 	VirtualMemory  Strategy = "vm"
 	TrapPatch      Strategy = "trap"
 	CodePatch      Strategy = "code"
+	// CodePatchOpt is CodePatch with the static check-optimization plan
+	// applied at patch time: dominated checks elided, loop-invariant
+	// checks hoisted into preheaders (§9's loop optimization, done
+	// statically). Notification behaviour is identical to CodePatch.
+	CodePatchOpt Strategy = "code-opt"
 )
 
 // Strategies lists all backends.
-var Strategies = []Strategy{NativeHardware, VirtualMemory, TrapPatch, CodePatch}
+var Strategies = []Strategy{NativeHardware, VirtualMemory, TrapPatch, CodePatch, CodePatchOpt}
 
 // Backend is the common live-WMS surface (§2's interface; notifications
 // are delivered through the session).
@@ -119,6 +125,10 @@ func Launch(src string, strat Strategy, pageSize int) (*Session, error) {
 		if _, err = codepatch.Patch(prog); err != nil {
 			return nil, err
 		}
+	case CodePatchOpt:
+		if _, err = codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true}); err != nil {
+			return nil, err
+		}
 	case NativeHardware, VirtualMemory:
 		// No compile-time transformation.
 	default:
@@ -141,7 +151,7 @@ func Launch(src string, strat Strategy, pageSize int) (*Session, error) {
 		s.backend = vmwms.Attach(m, notify)
 	case TrapPatch:
 		s.backend = trappatch.Attach(m, tpRes, notify)
-	case CodePatch:
+	case CodePatch, CodePatchOpt:
 		cw, err := codepatch.Attach(m, notify)
 		if err != nil {
 			return nil, err

@@ -6,9 +6,11 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"edb/internal/analysis"
 	"edb/internal/arch"
 	"edb/internal/asm"
 	"edb/internal/core/codepatch"
+	"edb/internal/isa"
 	"edb/internal/kernel"
 	"edb/internal/minic"
 	"edb/internal/progs"
@@ -18,13 +20,22 @@ import (
 
 // artifacts holds the timing-independent output of a benchmark's
 // compile + trace pipeline: the phase-1 event trace plus the static
-// code-size measurements. Everything here is immutable once built, so
-// one cached copy can be analysed concurrently under any number of
-// timing profiles.
+// code-size measurements and the CP-opt check-class statistics.
+// Everything here is immutable once built, so one cached copy can be
+// analysed concurrently under any number of timing profiles.
 type artifacts struct {
 	tr            *trace.Trace
 	storeFraction float64
 	expansion     float64
+
+	// expansionOpt is the code expansion under the optimized patcher.
+	expansionOpt float64
+	// Static check-optimization plan totals for the benchmark.
+	eliminated, fastChecks, hoisted int
+	// Dynamic check-class fractions: the fraction of traced write events
+	// issued by stores whose statically planned check is elided / fast.
+	// These parameterise the CPOpt analytical model.
+	elideFrac, fastFrac float64
 }
 
 // cacheKey identifies one (benchmark, scale) pipeline. Name and Fuel
@@ -122,6 +133,48 @@ func buildArtifacts(p progs.Program) (*artifacts, error) {
 		if pr, err := codepatch.Patch(prog2); err == nil {
 			a.expansion = pr.Expansion()
 		}
+	}
+	// Optimized-patcher expansion, again on a fresh compile (patching
+	// mutates the program).
+	if prog3, err := minic.Compile(p.Source); err == nil {
+		if pr, err := codepatch.PatchWithOptions(prog3, codepatch.PatchOptions{Optimize: true}); err == nil {
+			a.expansionOpt = pr.Expansion()
+		}
+	}
+	// CP-opt check-class statistics. The static plan is computed over the
+	// same unpatched program the trace was taken from, so the traced
+	// write-event PCs line up with asm.LayoutAddrs of that program: each
+	// dynamic write is classified by the check class its store was
+	// statically assigned.
+	plan := analysis.PlanChecks(prog)
+	a.eliminated, a.fastChecks, a.hoisted =
+		plan.EliminatedChecks, plan.FastChecks, plan.HoistedChecks
+	classByAddr := make(map[arch.Addr]analysis.CheckClass)
+	layout := asm.LayoutAddrs(prog)
+	for fi, f := range prog.Funcs {
+		fp := plan.Funcs[f.Name]
+		for i, in := range f.Body {
+			if in.Pseudo == asm.PNone && in.Op == isa.SW {
+				classByAddr[layout[fi][i]] = fp.ClassOf(i)
+			}
+		}
+	}
+	var nWrites, nFast, nElide uint64
+	for _, e := range tr.Events {
+		if e.Kind != trace.EvWrite {
+			continue
+		}
+		nWrites++
+		switch classByAddr[e.PC] {
+		case analysis.CheckElided:
+			nElide++
+		case analysis.CheckFast:
+			nFast++
+		}
+	}
+	if nWrites > 0 {
+		a.elideFrac = float64(nElide) / float64(nWrites)
+		a.fastFrac = float64(nFast) / float64(nWrites)
 	}
 	return a, nil
 }

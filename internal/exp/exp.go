@@ -89,8 +89,19 @@ type ProgramResult struct {
 
 	// Expansion is CodePatch's code-size increase (§8).
 	Expansion float64
+	// ExpansionOpt is the optimized patcher's code-size increase: the
+	// ablation row of the expansion table.
+	ExpansionOpt float64
 	// Stores / TotalInstructions of the unpatched image.
 	StoreFraction float64
+
+	// Static check-optimization totals for this benchmark (counts of
+	// stores whose check was elided / downgraded, and of hoisted
+	// preliminary checks inserted in loop preheaders).
+	EliminatedChecks, FastChecks, HoistedChecks int
+	// Dynamic fractions of traced writes per optimized check class;
+	// these feed model.Counting for the CPOpt strategy.
+	CPOptElideFrac, CPOptFastFrac float64
 }
 
 // RelativeSamples returns the kept sessions' relative overheads for one
@@ -114,28 +125,43 @@ func RunProgram(p progs.Program, timings model.Timings) (*ProgramResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := Analyze(art.tr, timings)
+	res, err := analyze(art.tr, timings, art.elideFrac, art.fastFrac)
 	if err != nil {
 		return nil, err
 	}
 	res.StoreFraction = art.storeFraction
 	res.Expansion = art.expansion
+	res.ExpansionOpt = art.expansionOpt
+	res.EliminatedChecks = art.eliminated
+	res.FastChecks = art.fastChecks
+	res.HoistedChecks = art.hoisted
 	return res, nil
 }
 
-// Analyze runs phase 2 and the models over an existing trace.
+// Analyze runs phase 2 and the models over an existing trace. Without
+// the compile-side artifacts the CP-opt check-class fractions are
+// unknown, so the CPOpt column degenerates to CP; RunProgram threads
+// the real fractions through.
 func Analyze(tr *trace.Trace, timings model.Timings) (*ProgramResult, error) {
+	return analyze(tr, timings, 0, 0)
+}
+
+// analyze is Analyze with the dynamic CP-opt check-class fractions of
+// the traced program's writes.
+func analyze(tr *trace.Trace, timings model.Timings, elideFrac, fastFrac float64) (*ProgramResult, error) {
 	set := sessions.Discover(tr)
 	out, err := sim.Run(tr, set)
 	if err != nil {
 		return nil, fmt.Errorf("exp: simulating %s: %w", tr.Program, err)
 	}
 	res := &ProgramResult{
-		Program:     tr.Program,
-		BaseSeconds: tr.BaseSeconds(),
-		BaseCycles:  tr.BaseCycles,
-		Instret:     tr.Instret,
-		TotalWrites: out.TotalWrites,
+		Program:        tr.Program,
+		BaseSeconds:    tr.BaseSeconds(),
+		BaseCycles:     tr.BaseCycles,
+		Instret:        tr.Instret,
+		TotalWrites:    out.TotalWrites,
+		CPOptElideFrac: elideFrac,
+		CPOptFastFrac:  fastFrac,
 	}
 	base := tr.BaseSeconds()
 
@@ -150,6 +176,7 @@ func Analyze(tr *trace.Trace, timings model.Timings) (*ProgramResult, error) {
 		res.SessionCounts[s.Type]++
 		oc := SessionOutcome{Session: s, Counting: c}
 		mc := toModelCounting(c)
+		mc.CPOptElideFrac, mc.CPOptFastFrac = elideFrac, fastFrac
 		for _, strat := range model.Strategies {
 			ov := model.Estimate(strat, mc, timings)
 			oc.Relative[strat] = ov.Relative(base)

@@ -13,164 +13,13 @@ import (
 
 // Differential testing: generate random expressions, compile and run
 // them on the simulated machine, and compare against a Go-evaluated
-// oracle with identical int32 wraparound semantics.
-
-type genExpr struct {
-	src  string
-	eval func(env map[string]int32) int32
-}
-
-type exprGen struct {
-	rng  *rand.Rand
-	vars []string
-}
-
-func (g *exprGen) lit() genExpr {
-	v := int32(g.rng.Intn(2001) - 1000)
-	if g.rng.Intn(8) == 0 {
-		v = int32(g.rng.Uint32()) // occasionally a full-range constant
-	}
-	src := strconv.Itoa(int(v))
-	if v < 0 {
-		src = "(0 - " + strconv.Itoa(-int(v)) + ")"
-	}
-	return genExpr{src: src, eval: func(map[string]int32) int32 { return v }}
-}
-
-func (g *exprGen) variable() genExpr {
-	name := g.vars[g.rng.Intn(len(g.vars))]
-	return genExpr{src: name, eval: func(env map[string]int32) int32 { return env[name] }}
-}
-
-// gen builds a random expression of bounded depth. Division and
-// modulus use strictly positive constant denominators so neither the
-// oracle nor the debuggee can fault.
-func (g *exprGen) gen(depth int) genExpr {
-	if depth <= 0 {
-		if g.rng.Intn(2) == 0 {
-			return g.lit()
-		}
-		return g.variable()
-	}
-	switch g.rng.Intn(14) {
-	case 0, 1:
-		return g.lit()
-	case 2:
-		return g.variable()
-	case 3: // unary minus
-		e := g.gen(depth - 1)
-		return genExpr{
-			src:  "(-" + e.src + ")",
-			eval: func(env map[string]int32) int32 { return -e.eval(env) },
-		}
-	case 4: // logical not
-		e := g.gen(depth - 1)
-		return genExpr{
-			src: "(!" + e.src + ")",
-			eval: func(env map[string]int32) int32 {
-				if e.eval(env) == 0 {
-					return 1
-				}
-				return 0
-			},
-		}
-	case 5: // bitwise not
-		e := g.gen(depth - 1)
-		return genExpr{
-			src:  "(~" + e.src + ")",
-			eval: func(env map[string]int32) int32 { return ^e.eval(env) },
-		}
-	case 6: // division by positive constant
-		e := g.gen(depth - 1)
-		d := int32(g.rng.Intn(97) + 1)
-		op := "/"
-		evalF := func(env map[string]int32) int32 { return e.eval(env) / d }
-		if g.rng.Intn(2) == 0 {
-			op = "%"
-			evalF = func(env map[string]int32) int32 { return e.eval(env) % d }
-		}
-		return genExpr{
-			src:  fmt.Sprintf("(%s %s %d)", e.src, op, d),
-			eval: evalF,
-		}
-	case 7: // shift by constant
-		e := g.gen(depth - 1)
-		sh := g.rng.Intn(31)
-		if g.rng.Intn(2) == 0 {
-			return genExpr{
-				src:  fmt.Sprintf("(%s << %d)", e.src, sh),
-				eval: func(env map[string]int32) int32 { return e.eval(env) << sh },
-			}
-		}
-		return genExpr{
-			src:  fmt.Sprintf("(%s >> %d)", e.src, sh),
-			eval: func(env map[string]int32) int32 { return e.eval(env) >> sh },
-		}
-	case 8: // short-circuit forms
-		l, r := g.gen(depth-1), g.gen(depth-1)
-		if g.rng.Intn(2) == 0 {
-			return genExpr{
-				src: "(" + l.src + " && " + r.src + ")",
-				eval: func(env map[string]int32) int32 {
-					if l.eval(env) == 0 {
-						return 0
-					}
-					if r.eval(env) != 0 {
-						return 1
-					}
-					return 0
-				},
-			}
-		}
-		return genExpr{
-			src: "(" + l.src + " || " + r.src + ")",
-			eval: func(env map[string]int32) int32 {
-				if l.eval(env) != 0 {
-					return 1
-				}
-				if r.eval(env) != 0 {
-					return 1
-				}
-				return 0
-			},
-		}
-	default: // binary arithmetic / comparison / bitwise
-		l, r := g.gen(depth-1), g.gen(depth-1)
-		type binOp struct {
-			op   string
-			eval func(a, b int32) int32
-		}
-		b2i := func(b bool) int32 {
-			if b {
-				return 1
-			}
-			return 0
-		}
-		ops := []binOp{
-			{"+", func(a, b int32) int32 { return a + b }},
-			{"-", func(a, b int32) int32 { return a - b }},
-			{"*", func(a, b int32) int32 { return a * b }},
-			{"&", func(a, b int32) int32 { return a & b }},
-			{"|", func(a, b int32) int32 { return a | b }},
-			{"^", func(a, b int32) int32 { return a ^ b }},
-			{"<", func(a, b int32) int32 { return b2i(a < b) }},
-			{">", func(a, b int32) int32 { return b2i(a > b) }},
-			{"<=", func(a, b int32) int32 { return b2i(a <= b) }},
-			{">=", func(a, b int32) int32 { return b2i(a >= b) }},
-			{"==", func(a, b int32) int32 { return b2i(a == b) }},
-			{"!=", func(a, b int32) int32 { return b2i(a != b) }},
-		}
-		op := ops[g.rng.Intn(len(ops))]
-		return genExpr{
-			src:  "(" + l.src + " " + op.op + " " + r.src + ")",
-			eval: func(env map[string]int32) int32 { return op.eval(l.eval(env), r.eval(env)) },
-		}
-	}
-}
+// oracle with identical int32 wraparound semantics. The generator
+// itself lives in gen.go (exported) because the CodePatch optimizer's
+// differential harness reuses it.
 
 func TestFuzzExpressions(t *testing.T) {
 	rng := rand.New(rand.NewSource(20260706))
-	g := &exprGen{rng: rng, vars: []string{"a", "b", "c"}}
+	g := &ExprGen{Rng: rng, Vars: []string{"a", "b", "c"}}
 	const cases = 120
 	for i := 0; i < cases; i++ {
 		env := map[string]int32{
@@ -179,16 +28,16 @@ func TestFuzzExpressions(t *testing.T) {
 			"c": int32(rng.Intn(100)),
 		}
 		// Several expressions per program amortises the compile cost.
-		var exprs []genExpr
+		var exprs []GenExpr
 		var b strings.Builder
 		fmt.Fprintf(&b, "int main() {\n")
-		fmt.Fprintf(&b, "int a = %s;\n", cNum(env["a"]))
-		fmt.Fprintf(&b, "int b = %s;\n", cNum(env["b"]))
-		fmt.Fprintf(&b, "int c = %s;\n", cNum(env["c"]))
+		fmt.Fprintf(&b, "int a = %s;\n", CNum(env["a"]))
+		fmt.Fprintf(&b, "int b = %s;\n", CNum(env["b"]))
+		fmt.Fprintf(&b, "int c = %s;\n", CNum(env["c"]))
 		for j := 0; j < 4; j++ {
-			e := g.gen(2 + rng.Intn(2))
+			e := g.Gen(2 + rng.Intn(2))
 			exprs = append(exprs, e)
-			fmt.Fprintf(&b, "print(%s);\n", e.src)
+			fmt.Fprintf(&b, "print(%s);\n", e.Src)
 		}
 		fmt.Fprintf(&b, "return 0;\n}\n")
 		src := b.String()
@@ -210,44 +59,36 @@ func TestFuzzExpressions(t *testing.T) {
 			t.Fatalf("case %d printed %d values, want %d\n%s", i, len(got), len(exprs), src)
 		}
 		for j, e := range exprs {
-			want := e.eval(env)
+			want := e.Eval(env)
 			if got[j] != strconv.Itoa(int(want)) {
 				t.Fatalf("case %d expr %d:\n  %s\n  got %s, want %d (env %v)",
-					i, j, e.src, got[j], want, env)
+					i, j, e.Src, got[j], want, env)
 			}
 		}
 	}
-}
-
-// cNum renders an int32 as a mini-C constant (no unary int-min issue).
-func cNum(v int32) string {
-	if v >= 0 {
-		return strconv.Itoa(int(v))
-	}
-	return fmt.Sprintf("(0 - %d)", uint32(-int64(v)))
 }
 
 // TestFuzzStatements runs randomised straight-line assignment programs
 // against a Go mirror.
 func TestFuzzStatements(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
-	g := &exprGen{rng: rng, vars: []string{"a", "b", "c"}}
+	g := &ExprGen{Rng: rng, Vars: []string{"a", "b", "c"}}
 	for i := 0; i < 40; i++ {
 		env := map[string]int32{"a": 1, "b": 2, "c": 3}
 		var b strings.Builder
 		b.WriteString("int main() {\nint a = 1;\nint b = 2;\nint c = 3;\n")
 		for j := 0; j < 12; j++ {
-			target := g.vars[rng.Intn(len(g.vars))]
-			e := g.gen(2)
-			cond := g.gen(1)
+			target := g.Vars[rng.Intn(len(g.Vars))]
+			e := g.Gen(2)
+			cond := g.Gen(1)
 			if rng.Intn(3) == 0 {
-				fmt.Fprintf(&b, "if (%s) { %s = %s; }\n", cond.src, target, e.src)
-				if cond.eval(env) != 0 {
-					env[target] = e.eval(env)
+				fmt.Fprintf(&b, "if (%s) { %s = %s; }\n", cond.Src, target, e.Src)
+				if cond.Eval(env) != 0 {
+					env[target] = e.Eval(env)
 				}
 			} else {
-				fmt.Fprintf(&b, "%s = %s;\n", target, e.src)
-				env[target] = e.eval(env)
+				fmt.Fprintf(&b, "%s = %s;\n", target, e.Src)
+				env[target] = e.Eval(env)
 			}
 		}
 		b.WriteString("print(a); print(b); print(c);\nreturn 0;\n}\n")
@@ -268,6 +109,32 @@ func TestFuzzStatements(t *testing.T) {
 			if got[k] != want[k] {
 				t.Fatalf("case %d: vars = %v, want %v\n%s", i, got, want, b.String())
 			}
+		}
+	}
+}
+
+// TestGenProgramCompilesAndRuns: every seed's generated whole program
+// must compile and terminate within the fuel budget, and generation
+// must be deterministic per seed.
+func TestGenProgramCompilesAndRuns(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		src := GenProgram(rand.New(rand.NewSource(seed)))
+		if again := GenProgram(rand.New(rand.NewSource(seed))); again != src {
+			t.Fatalf("seed %d is not deterministic", seed)
+		}
+		img, err := CompileToImage(src)
+		if err != nil {
+			t.Fatalf("seed %d does not compile: %v\n%s", seed, err, src)
+		}
+		m, err := kernel.NewMachine(img, arch.PageSize4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatalf("seed %d failed to run: %v\n%s", seed, err, src)
+		}
+		if len(strings.Fields(m.Out.String())) != 4 {
+			t.Fatalf("seed %d printed %q, want 4 values", seed, m.Out.String())
 		}
 	}
 }

@@ -1,0 +1,251 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// This file is the shared random-program generator behind the compiler's
+// own differential fuzz tests (fuzz_test.go) and the CodePatch
+// optimizer's differential harness (internal/core/codepatch): both need
+// arbitrary-but-valid mini-C sources, so the generator lives in the
+// package proper rather than being duplicated across _test files.
+
+// GenExpr is one generated mini-C expression plus a Go oracle with
+// identical int32 wraparound semantics.
+type GenExpr struct {
+	Src  string
+	Eval func(env map[string]int32) int32
+}
+
+// ExprGen generates random expressions over a fixed variable set.
+type ExprGen struct {
+	Rng  *rand.Rand
+	Vars []string
+}
+
+// Lit generates a literal (occasionally full-range).
+func (g *ExprGen) Lit() GenExpr {
+	v := int32(g.Rng.Intn(2001) - 1000)
+	if g.Rng.Intn(8) == 0 {
+		v = int32(g.Rng.Uint32()) // occasionally a full-range constant
+	}
+	src := strconv.Itoa(int(v))
+	if v < 0 {
+		src = "(0 - " + strconv.Itoa(-int(v)) + ")"
+	}
+	return GenExpr{Src: src, Eval: func(map[string]int32) int32 { return v }}
+}
+
+// Variable generates a reference to one of the generator's variables.
+func (g *ExprGen) Variable() GenExpr {
+	name := g.Vars[g.Rng.Intn(len(g.Vars))]
+	return GenExpr{Src: name, Eval: func(env map[string]int32) int32 { return env[name] }}
+}
+
+// Gen builds a random expression of bounded depth. Division and
+// modulus use strictly positive constant denominators so neither the
+// oracle nor the debuggee can fault.
+func (g *ExprGen) Gen(depth int) GenExpr {
+	if depth <= 0 {
+		if g.Rng.Intn(2) == 0 {
+			return g.Lit()
+		}
+		return g.Variable()
+	}
+	switch g.Rng.Intn(14) {
+	case 0, 1:
+		return g.Lit()
+	case 2:
+		return g.Variable()
+	case 3: // unary minus
+		e := g.Gen(depth - 1)
+		return GenExpr{
+			Src:  "(-" + e.Src + ")",
+			Eval: func(env map[string]int32) int32 { return -e.Eval(env) },
+		}
+	case 4: // logical not
+		e := g.Gen(depth - 1)
+		return GenExpr{
+			Src: "(!" + e.Src + ")",
+			Eval: func(env map[string]int32) int32 {
+				if e.Eval(env) == 0 {
+					return 1
+				}
+				return 0
+			},
+		}
+	case 5: // bitwise not
+		e := g.Gen(depth - 1)
+		return GenExpr{
+			Src:  "(~" + e.Src + ")",
+			Eval: func(env map[string]int32) int32 { return ^e.Eval(env) },
+		}
+	case 6: // division by positive constant
+		e := g.Gen(depth - 1)
+		d := int32(g.Rng.Intn(97) + 1)
+		op := "/"
+		evalF := func(env map[string]int32) int32 { return e.Eval(env) / d }
+		if g.Rng.Intn(2) == 0 {
+			op = "%"
+			evalF = func(env map[string]int32) int32 { return e.Eval(env) % d }
+		}
+		return GenExpr{
+			Src:  fmt.Sprintf("(%s %s %d)", e.Src, op, d),
+			Eval: evalF,
+		}
+	case 7: // shift by constant
+		e := g.Gen(depth - 1)
+		sh := g.Rng.Intn(31)
+		if g.Rng.Intn(2) == 0 {
+			return GenExpr{
+				Src:  fmt.Sprintf("(%s << %d)", e.Src, sh),
+				Eval: func(env map[string]int32) int32 { return e.Eval(env) << sh },
+			}
+		}
+		return GenExpr{
+			Src:  fmt.Sprintf("(%s >> %d)", e.Src, sh),
+			Eval: func(env map[string]int32) int32 { return e.Eval(env) >> sh },
+		}
+	case 8: // short-circuit forms
+		l, r := g.Gen(depth-1), g.Gen(depth-1)
+		if g.Rng.Intn(2) == 0 {
+			return GenExpr{
+				Src: "(" + l.Src + " && " + r.Src + ")",
+				Eval: func(env map[string]int32) int32 {
+					if l.Eval(env) == 0 {
+						return 0
+					}
+					if r.Eval(env) != 0 {
+						return 1
+					}
+					return 0
+				},
+			}
+		}
+		return GenExpr{
+			Src: "(" + l.Src + " || " + r.Src + ")",
+			Eval: func(env map[string]int32) int32 {
+				if l.Eval(env) != 0 {
+					return 1
+				}
+				if r.Eval(env) != 0 {
+					return 1
+				}
+				return 0
+			},
+		}
+	default: // binary arithmetic / comparison / bitwise
+		l, r := g.Gen(depth-1), g.Gen(depth-1)
+		type binOp struct {
+			op   string
+			eval func(a, b int32) int32
+		}
+		b2i := func(b bool) int32 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		ops := []binOp{
+			{"+", func(a, b int32) int32 { return a + b }},
+			{"-", func(a, b int32) int32 { return a - b }},
+			{"*", func(a, b int32) int32 { return a * b }},
+			{"&", func(a, b int32) int32 { return a & b }},
+			{"|", func(a, b int32) int32 { return a | b }},
+			{"^", func(a, b int32) int32 { return a ^ b }},
+			{"<", func(a, b int32) int32 { return b2i(a < b) }},
+			{">", func(a, b int32) int32 { return b2i(a > b) }},
+			{"<=", func(a, b int32) int32 { return b2i(a <= b) }},
+			{">=", func(a, b int32) int32 { return b2i(a >= b) }},
+			{"==", func(a, b int32) int32 { return b2i(a == b) }},
+			{"!=", func(a, b int32) int32 { return b2i(a != b) }},
+		}
+		op := ops[g.Rng.Intn(len(ops))]
+		return GenExpr{
+			Src:  "(" + l.Src + " " + op.op + " " + r.Src + ")",
+			Eval: func(env map[string]int32) int32 { return op.eval(l.Eval(env), r.Eval(env)) },
+		}
+	}
+}
+
+// CNum renders an int32 as a mini-C constant (avoiding the unary
+// int-min issue).
+func CNum(v int32) string {
+	if v >= 0 {
+		return strconv.Itoa(int(v))
+	}
+	return fmt.Sprintf("(0 - %d)", uint32(-int64(v)))
+}
+
+// GenProgram generates a random whole mini-C program shaped to exercise
+// the CodePatch optimizer's check classes:
+//
+//   - repeated straight-line stores to the same global / local (elision
+//     candidates),
+//   - counted loops writing loop-invariant globals (hoist + fast-check
+//     candidates) next to loop-variant array writes (must stay full),
+//   - helper-function calls inside loops (barriers that kill facts),
+//   - conditional stores (meet over paths).
+//
+// The generated source always compiles and terminates; store behaviour
+// depends on the expressions, which come from ExprGen over the local
+// variable set. The same seed always yields the same source.
+func GenProgram(rng *rand.Rand) string {
+	g := &ExprGen{Rng: rng, Vars: []string{"a", "b", "i", "t"}}
+	e := func(depth int) string { return g.Gen(depth).Src }
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	arrLen := 8 + rng.Intn(8)
+	w("int g0 = %d;\n", rng.Intn(100))
+	w("int g1 = %d;\n", rng.Intn(100))
+	w("int g2 = %d;\n", rng.Intn(100))
+	w("int arr[%d];\n", arrLen)
+
+	// Helper: its own loop stores a global loop-invariantly, and the
+	// call itself is a fact-killing barrier at every call site.
+	w("int helper(int a, int b) {\n")
+	w("\tint i;\n\tint t;\n\ti = 0;\n\tt = b;\n")
+	w("\twhile (i < %d) { g0 = g0 + a; t = t + i; i = i + 1; }\n", 2+rng.Intn(4))
+	w("\treturn %s;\n}\n", e(2))
+
+	w("int main() {\n")
+	w("\tint a = %s;\n", CNum(int32(rng.Intn(4001)-2000)))
+	w("\tint b = %s;\n", CNum(int32(rng.Uint32())))
+	w("\tint i;\n\tint t;\n\ti = 0;\n\tt = 0;\n")
+
+	// Straight-line repeated stores: elision fodder.
+	for j := 0; j < 2+rng.Intn(3); j++ {
+		w("\tg1 = %s;\n", e(1+rng.Intn(2)))
+		w("\tg1 = g1 + %s;\n", e(1))
+	}
+	w("\ta = %s;\n\ta = a + t;\n", e(2))
+
+	// Loop 1: loop-invariant global stores + loop-variant array store.
+	w("\tfor (i = 0; i < %d; i = i + 1) {\n", 4+rng.Intn(12))
+	w("\t\tg2 = g2 + %s;\n", e(1))
+	w("\t\tarr[i %% %d] = %s;\n", arrLen, e(1))
+	if rng.Intn(2) == 0 {
+		w("\t\tt = t + helper(i, a);\n") // call inside the loop: no hoist
+	} else {
+		w("\t\tt = t + i;\n")
+	}
+	w("\t}\n")
+
+	// Loop 2: while form, invariant store only.
+	w("\ti = 0;\n")
+	w("\twhile (i < %d) { g0 = g0 - %s; i = i + 1; }\n", 3+rng.Intn(8), e(1))
+
+	// Conditional store: one arm writes, the other does not.
+	w("\tif (%s) { g2 = g2 + 1; } else { t = t - 1; }\n", e(1))
+
+	// A call after everything, then final stores that may elide.
+	w("\tt = t + helper(a, b);\n")
+	w("\tg0 = t;\n\tg0 = g0 + a;\n")
+	w("\tprint(g0); print(g1); print(g2); print(t);\n")
+	w("\treturn 0;\n}\n")
+	return b.String()
+}

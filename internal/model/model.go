@@ -38,13 +38,17 @@ var Paper = Timings{
 type Strategy int
 
 // The four strategies of §7.1; VirtualMemory is evaluated at two page
-// sizes, giving the paper's five result columns.
+// sizes, giving the paper's five result columns. CPOpt is this
+// implementation's statically optimized CodePatch variant (§9's loop
+// optimization plus dominance-based check elimination), reported as an
+// ablation column.
 const (
-	NH   Strategy = iota // NativeHardware
-	VM4K                 // VirtualMemory, 4 KiB pages
-	VM8K                 // VirtualMemory, 8 KiB pages
-	TP                   // TrapPatch
-	CP                   // CodePatch
+	NH    Strategy = iota // NativeHardware
+	VM4K                  // VirtualMemory, 4 KiB pages
+	VM8K                  // VirtualMemory, 8 KiB pages
+	TP                    // TrapPatch
+	CP                    // CodePatch
+	CPOpt                 // CodePatch + static check optimization
 	NumStrategies
 )
 
@@ -61,6 +65,8 @@ func (s Strategy) String() string {
 		return "TP"
 	case CP:
 		return "CP"
+	case CPOpt:
+		return "CP-opt"
 	default:
 		return fmt.Sprintf("Strategy(%d)", int(s))
 	}
@@ -79,13 +85,16 @@ func (s Strategy) FullName() string {
 		return "TrapPatch"
 	case CP:
 		return "CodePatch"
+	case CPOpt:
+		return "CodePatchOpt"
 	default:
 		return s.String()
 	}
 }
 
-// Strategies lists all five result columns in paper order.
-var Strategies = [NumStrategies]Strategy{NH, VM4K, VM8K, TP, CP}
+// Strategies lists the paper's five result columns plus the CP-opt
+// ablation column, in paper order.
+var Strategies = [NumStrategies]Strategy{NH, VM4K, VM8K, TP, CP, CPOpt}
 
 // Counting is the counting-variable input to the models. It mirrors
 // sim.Counting but is defined here so the model layer has no dependency
@@ -102,6 +111,14 @@ type Counting struct {
 	Protects       [2]uint64 // VMProtect_σ   [0]=4K, [1]=8K
 	Unprotects     [2]uint64 // VMUnprotect_σ
 	ActivePageMiss [2]uint64 // VMActivePageMiss_σ
+
+	// Check-class fractions for the CPOpt model: the fraction of dynamic
+	// writes whose statically-planned check was elided outright, and the
+	// fraction downgraded to the cheap in-loop compare. The remainder
+	// (1 - elide - fast) pays the full software lookup. Both zero makes
+	// CPOpt degenerate to CP.
+	CPOptElideFrac float64
+	CPOptFastFrac  float64
 }
 
 // Overheads is a per-component overhead estimate in seconds.
@@ -128,6 +145,11 @@ func (o Overheads) Relative(baseSeconds float64) float64 {
 
 const usToS = 1e-6
 
+// CheapCheckMicros is the cost of the downgraded in-loop check under
+// CPOpt: the inline compare against the preliminary-check cache,
+// ≈10 cycles at 40 MHz. It matches codepatch's fast-path charge.
+const CheapCheckMicros = 0.25
+
 // Estimate evaluates the analytical model for one strategy.
 func Estimate(s Strategy, c Counting, t Timings) Overheads {
 	switch s {
@@ -141,9 +163,31 @@ func Estimate(s Strategy, c Counting, t Timings) Overheads {
 		return estimateTP(c, t)
 	case CP:
 		return estimateCP(c, t)
+	case CPOpt:
+		return estimateCPOpt(c, t)
 	default:
 		panic(fmt.Sprintf("model: unknown strategy %d", s))
 	}
+}
+
+// cpOptFractions clamps the check-class fractions to a sane simplex:
+// each in [0,1] and full = 1 - elide - fast ≥ 0.
+func cpOptFractions(c Counting) (elide, fast, full float64) {
+	clamp01 := func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	elide = clamp01(c.CPOptElideFrac)
+	fast = clamp01(c.CPOptFastFrac)
+	if elide+fast > 1 {
+		fast = 1 - elide
+	}
+	return elide, fast, 1 - elide - fast
 }
 
 // estimateNH implements Figure 3: all overhead comes from monitor-
@@ -189,6 +233,25 @@ func estimateCP(c Counting, t Timings) Overheads {
 	}
 }
 
+// estimateCPOpt extends Figure 6 with the static check optimization:
+// a fraction of misses is elided entirely (free), a fraction pays only
+// the cheap in-loop compare, and the rest pays the full lookup. Hits
+// always pay the full lookup — the optimizer preserves the notification
+// sequence, so a monitored write is never checked more cheaply than CP.
+// The loop-entry cost of hoisted preliminary checks is omitted: it is
+// amortised over the iteration count and measured directly by the
+// cycle-level ablation benchmark rather than modelled.
+func estimateCPOpt(c Counting, t Timings) Overheads {
+	_, fast, full := cpOptFractions(c)
+	perMiss := (full*t.SoftwareLookup + fast*CheapCheckMicros) * usToS
+	return Overheads{
+		MonitorHit:     float64(c.Hits) * t.SoftwareLookup * usToS,
+		MonitorMiss:    float64(c.Misses) * perMiss,
+		InstallMonitor: float64(c.Installs) * t.SoftwareUpdate * usToS,
+		RemoveMonitor:  float64(c.Removes) * t.SoftwareUpdate * usToS,
+	}
+}
+
 // Component identifies a timing-variable contribution in a breakdown.
 type Component struct {
 	Name    string
@@ -227,6 +290,14 @@ func Breakdown(s Strategy, c Counting, t Timings) []Component {
 		writes := float64(c.Hits + c.Misses)
 		return []Component{
 			{"SoftwareLookup", writes * t.SoftwareLookup * usToS},
+			{"SoftwareUpdate", float64(c.Installs+c.Removes) * t.SoftwareUpdate * usToS},
+		}
+	case CPOpt:
+		_, fast, full := cpOptFractions(c)
+		lookups := float64(c.Hits) + float64(c.Misses)*full
+		return []Component{
+			{"SoftwareLookup", lookups * t.SoftwareLookup * usToS},
+			{"CheapCheck", float64(c.Misses) * fast * CheapCheckMicros * usToS},
 			{"SoftwareUpdate", float64(c.Installs+c.Removes) * t.SoftwareUpdate * usToS},
 		}
 	default:

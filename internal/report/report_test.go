@@ -129,8 +129,8 @@ func TestAllSections(t *testing.T) {
 func TestCSV(t *testing.T) {
 	out := render(func(b *bytes.Buffer) { CSV(b, fakeResults()) })
 	lines := strings.Split(strings.TrimSpace(out), "\n")
-	// Header + 2 programs x 5 strategies.
-	if len(lines) != 1+2*5 {
+	// Header + 2 programs x 6 strategies (five paper columns + CP-opt).
+	if len(lines) != 1+2*6 {
 		t.Errorf("CSV lines = %d", len(lines))
 	}
 	if !strings.HasPrefix(lines[0], "program,strategy") {
