@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck lint build test race bench-pipeline bench-codepatch-opt
+.PHONY: ci vet staticcheck lint build test race chaos fuzz bench-pipeline bench-codepatch-opt
 
-ci: vet staticcheck build lint race
+ci: vet staticcheck build lint race chaos
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,24 @@ test:
 
 race:
 	$(GO) test -race -count=2 ./...
+
+# Chaos harness: the fault framework's own suite plus the differential
+# harness and pipeline failure-mode tests — every injection site x kind
+# x seed must either fail with a clean typed error or retry to results
+# bit-identical to the fault-free baseline. Run under the race detector
+# (fault plans are process-global; workers claim benchmarks
+# concurrently).
+chaos:
+	$(GO) test -race ./internal/fault/
+	$(GO) test -race -run 'TestChaos|TestWorkerPanic|TestContext|TestKeepGoing|TestRetry|TestPermanentFault|TestCacheDoesNotMemoise|TestCacheSurvives' ./internal/exp/
+
+# Fuzz smoke: the trace-decoder fuzz target over its checked-in corpus
+# (truncated real workload traces + regression crashers) plus a short
+# exploration budget. CI runs this on every PR; run with a longer
+# -fuzztime locally when touching the codec.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTraceRead -fuzztime $(FUZZTIME) ./internal/trace/
 
 # Regenerate the parallel-pipeline baseline recorded in
 # BENCH_pipeline.json / EXPERIMENTS.md.

@@ -13,14 +13,25 @@
 //	edb-experiment -scale 2                # longer runs
 //	edb-experiment -workers 1              # serial pipeline (default:
 //	                                       # GOMAXPROCS-wide fan-out)
+//	edb-experiment -keep-going             # report partial results with
+//	                                       # n/a rows instead of failing
+//	edb-experiment -timeout 5m             # bound the whole run
+//	edb-experiment -retries 2              # retry transient failures
 //
 // Output is byte-identical for every -workers value: the pipeline's
-// parallelism never changes results, only wall-clock time.
+// parallelism never changes results, only wall-clock time. File
+// outputs (-csv, -sessions, -svg) are written atomically: a crash or
+// error mid-write never leaves a torn file under the final name.
+//
+// Exit status: 0 on full success; 1 on a fatal error; 2 when
+// -keep-going completed with partial results (some benchmarks failed).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -28,6 +39,7 @@ import (
 	"edb/internal/exp"
 	"edb/internal/model"
 	"edb/internal/report"
+	"edb/internal/safeio"
 )
 
 func main() {
@@ -42,17 +54,37 @@ func main() {
 	csvPath := flag.String("csv", "", "also write Table 4 data as CSV to this file")
 	sessionsPath := flag.String("sessions", "", "also write per-session overheads as CSV to this file")
 	svgPrefix := flag.String("svg", "", "also write figures 7-9 as SVG files with this path prefix")
+	keepGoing := flag.Bool("keep-going", false,
+		"report partial results (failed benchmarks as n/a) instead of aborting on the first failure")
+	timeout := flag.Duration("timeout", 0, "bound the whole run (0 = no deadline)")
+	retries := flag.Int("retries", 0, "retry a benchmark up to N times after a transient failure")
 	flag.Parse()
 
-	cfg := exp.Config{Scale: *scale, Workers: *workers}
+	cfg := exp.Config{
+		Scale:     *scale,
+		Workers:   *workers,
+		KeepGoing: *keepGoing,
+		Retries:   *retries,
+	}
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")
 	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		cfg.Context = ctx
+	}
 	fmt.Fprintf(os.Stderr, "running experiment (scale %d, %d workers)...\n", *scale, *workers)
 	results, err := exp.Run(cfg)
+	partial := false
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "edb-experiment:", err)
-		os.Exit(1)
+		if re, ok := err.(*exp.RunError); ok && *keepGoing {
+			// Partial results: render what succeeded, flag the rest.
+			partial = true
+			fmt.Fprintln(os.Stderr, "edb-experiment:", re)
+		} else {
+			fatal(err)
+		}
 	}
 
 	w := os.Stdout
@@ -80,37 +112,44 @@ func main() {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "edb-experiment:", err)
-			os.Exit(1)
-		}
-		report.CSV(f, results)
-		f.Close()
+		writeAtomic(*csvPath, func(w io.Writer) error {
+			report.CSV(w, results)
+			return nil
+		})
 	}
 	if *svgPrefix != "" {
-		renders := map[string]func(*os.File){
-			"fig7.svg": func(f *os.File) { report.Figure7SVG(f, results) },
-			"fig8.svg": func(f *os.File) { report.Figure8SVG(f, results) },
-			"fig9.svg": func(f *os.File) { report.Figure9SVG(f, results) },
+		renders := map[string]func(io.Writer){
+			"fig7.svg": func(w io.Writer) { report.Figure7SVG(w, results) },
+			"fig8.svg": func(w io.Writer) { report.Figure8SVG(w, results) },
+			"fig9.svg": func(w io.Writer) { report.Figure9SVG(w, results) },
 		}
 		for name, render := range renders {
-			f, err := os.Create(*svgPrefix + name)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "edb-experiment:", err)
-				os.Exit(1)
-			}
-			render(f)
-			f.Close()
+			writeAtomic(*svgPrefix+name, func(w io.Writer) error {
+				render(w)
+				return nil
+			})
 		}
 	}
 	if *sessionsPath != "" {
-		f, err := os.Create(*sessionsPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "edb-experiment:", err)
-			os.Exit(1)
-		}
-		report.SessionsCSV(f, results)
-		f.Close()
+		writeAtomic(*sessionsPath, func(w io.Writer) error {
+			report.SessionsCSV(w, results)
+			return nil
+		})
 	}
+	if partial {
+		os.Exit(2)
+	}
+}
+
+// writeAtomic writes one output artifact via safeio (temp file + fsync
+// + rename) and treats any failure — including Flush/Close — as fatal.
+func writeAtomic(path string, render func(io.Writer) error) {
+	if err := safeio.WriteFile(path, render); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "edb-experiment:", err)
+	os.Exit(1)
 }

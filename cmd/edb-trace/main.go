@@ -11,14 +11,17 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"edb/internal/arch"
 	"edb/internal/kernel"
 	"edb/internal/minic"
 	"edb/internal/progs"
+	"edb/internal/safeio"
 	"edb/internal/tracer"
 )
 
@@ -65,22 +68,28 @@ func main() {
 		fail(err)
 	}
 
-	w := os.Stdout
+	render := tr.Write
+	if *text {
+		render = tr.WriteText
+	}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+		// Atomic write: temp file + fsync + rename, so an error (or a
+		// crash) mid-write never leaves a torn trace under -o's name —
+		// a truncated v2 trace would be rejected by every reader, but a
+		// torn text dump would just be silently wrong.
+		if err := safeio.WriteFile(*out, func(w io.Writer) error {
+			return render(w)
+		}); err != nil {
 			fail(err)
 		}
-		defer f.Close()
-		w = f
-	}
-	if *text {
-		err = tr.WriteText(w)
 	} else {
-		err = tr.Write(w)
-	}
-	if err != nil {
-		fail(err)
+		bw := bufio.NewWriter(os.Stdout)
+		if err := render(bw); err != nil {
+			fail(err)
+		}
+		if err := bw.Flush(); err != nil {
+			fail(err)
+		}
 	}
 	ins, rem, wr := tr.Counts()
 	fmt.Fprintf(os.Stderr, "%s: %d objects, %d installs, %d removes, %d writes, %.3f simulated seconds\n",

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"edb/internal/arch"
+	"edb/internal/fault"
 	"edb/internal/isa"
 	"edb/internal/mem"
 )
@@ -59,6 +60,13 @@ type CPU struct {
 
 	Halted   bool
 	ExitCode int32
+
+	// FaultKey labels this core's fault-injection invocations
+	// (internal/fault.SiteCPUFuel): hosts that run many programs — the
+	// tracer, the experiment pipeline — set it to the program name so
+	// chaos plans can target one benchmark deterministically. Empty
+	// matches only unkeyed rules' wildcards.
+	FaultKey string
 
 	// Syscall handles SYS instructions. Arguments live in r2..r5, the
 	// result in r1 by convention.
@@ -292,7 +300,17 @@ func (c *CPU) Step() error {
 
 // Run executes until the program halts or fuel instructions have
 // retired. It returns ErrFuelExhausted if the budget runs out.
+//
+// Run is an injection point (fault.SiteCPUFuel): an armed chaos plan
+// makes it report fuel exhaustion immediately, modelling a run that
+// hits its instruction budget. The returned error carries both
+// ErrFuelExhausted and the typed *fault.Error so callers can classify
+// it for retry. With no active plan the check is one atomic load per
+// Run call — never per instruction.
 func (c *CPU) Run(fuel uint64) error {
+	if ferr := fault.Inject(fault.SiteCPUFuel, c.FaultKey); ferr != nil {
+		return &ExecError{PC: c.PC, Err: fmt.Errorf("%w: %w", ErrFuelExhausted, ferr)}
+	}
 	limit := c.Instret + fuel
 	for !c.Halted {
 		if c.Instret >= limit {

@@ -10,6 +10,7 @@ import (
 	"edb/internal/arch"
 	"edb/internal/asm"
 	"edb/internal/core/codepatch"
+	"edb/internal/fault"
 	"edb/internal/isa"
 	"edb/internal/kernel"
 	"edb/internal/minic"
@@ -48,15 +49,20 @@ type cacheKey struct {
 	srcHash uint64
 }
 
-// cacheEntry provides single-flight semantics: the first goroutine to
-// claim the entry builds the artifacts inside the sync.Once; every
-// concurrent or later request for the same key blocks on (or skips to)
-// the completed result. Errors are cached too — the pipeline is
-// deterministic, so retrying an identical failing input cannot help.
+// cacheEntry provides single-flight semantics: a goroutine builds the
+// artifacts while holding the entry's mutex; every concurrent request
+// for the same key blocks on the build, and later requests reuse the
+// memoised result.
+//
+// Only successes are memoised. A failed build (or a panic escaping it)
+// leaves art nil, so the next request rebuilds from scratch — the
+// fault-injection chaos plans make "deterministic pipeline, transient
+// failure" a real combination, and a negative cache would pin one
+// injected fault as a permanent per-process failure, defeating both
+// the retry policy and any later fault-free rerun.
 type cacheEntry struct {
-	once sync.Once
-	art  *artifacts
-	err  error
+	mu  sync.Mutex
+	art *artifacts
 }
 
 var (
@@ -91,7 +97,11 @@ func keyFor(p progs.Program) cacheKey {
 }
 
 // cachedArtifacts returns the compile/trace artifacts for p, building
-// them at most once per key across all concurrent callers.
+// them at most once per key across all concurrent callers as long as
+// the build succeeds. Failures are returned but never memoised (see
+// cacheEntry), and the entry mutex is released by defer, so a build
+// that panics (chaos injection, genuine bug) leaves the entry clean
+// and unlocked for the next caller.
 func cachedArtifacts(p progs.Program) (*artifacts, error) {
 	key := keyFor(p)
 	cacheMu.Lock()
@@ -101,13 +111,26 @@ func cachedArtifacts(p progs.Program) (*artifacts, error) {
 		cache[key] = e
 	}
 	cacheMu.Unlock()
-	e.once.Do(func() { e.art, e.err = buildArtifacts(p) })
-	return e.art, e.err
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.art != nil {
+		return e.art, nil
+	}
+	art, err := buildArtifacts(p)
+	if err != nil {
+		return nil, err
+	}
+	e.art = art
+	return art, nil
 }
 
 // buildArtifacts runs the uncached pipeline: compile, assemble, trace
 // one run (phase 1), and take the static code-size measurements.
 func buildArtifacts(p progs.Program) (*artifacts, error) {
+	if err := fault.Inject(fault.SiteBuildArtifacts, p.Name); err != nil {
+		return nil, fmt.Errorf("exp: building artifacts for %s: %w", p.Name, err)
+	}
 	builds.Add(1)
 	prog, err := minic.Compile(p.Source)
 	if err != nil {

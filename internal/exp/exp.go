@@ -7,11 +7,16 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	rtdebug "runtime/debug"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"edb/internal/fault"
 	"edb/internal/model"
 	"edb/internal/progs"
 	"edb/internal/sessions"
@@ -34,6 +39,28 @@ type Config struct {
 	// by Programs position, with Summaries bit-identical — regardless
 	// of the worker count.
 	Workers int
+
+	// Context cancels or deadlines the run; nil means
+	// context.Background(). Cancellation is observed between pipeline
+	// phases, so a deadline bounds the run to roughly one phase's
+	// granularity.
+	Context context.Context
+	// KeepGoing turns the pipeline from fail-fast into gracefully
+	// degrading: instead of cancelling the pool on the first failure,
+	// every benchmark is attempted, failed programs come back as
+	// placeholder ProgramResults carrying their error (Err != nil,
+	// rendered as n/a by internal/report), and Run returns the partial
+	// results alongside a *RunError aggregating the failures.
+	KeepGoing bool
+	// Retries bounds how many times one benchmark is re-attempted after
+	// a failure classified transient (fault.IsTransient); 0 disables
+	// retry. The pipeline is deterministic, so a successful retry is
+	// bit-identical to a run that never faulted.
+	Retries int
+	// RetryBackoff is the sleep before the first retry; it doubles per
+	// attempt and is capped at 8x. Zero defaults to 2ms (kept tiny: the
+	// "remote service" being backed off is an in-process pipeline).
+	RetryBackoff time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -50,7 +77,83 @@ func (c *Config) withDefaults() Config {
 	if out.Workers < 1 {
 		out.Workers = runtime.GOMAXPROCS(0)
 	}
+	if out.Context == nil {
+		out.Context = context.Background()
+	}
+	if out.Retries < 0 {
+		out.Retries = 0
+	}
+	if out.RetryBackoff <= 0 {
+		out.RetryBackoff = 2 * time.Millisecond
+	}
 	return out
+}
+
+// WorkerError is a worker panic converted into an error: the pipeline
+// contains panics (a chaos injection, or a genuine bug in one
+// benchmark's compile/trace/replay) instead of letting one goroutine
+// kill the whole process.
+type WorkerError struct {
+	// Program is the benchmark whose pipeline panicked.
+	Program string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("exp: %s: worker panic: %v", e.Program, e.Value)
+}
+
+// Unwrap exposes the panic value's error chain (if the panic value was
+// an error), so errors.Is/As — and fault.IsInjected — see through the
+// containment. An injected Panic-kind fault deliberately does NOT
+// classify as transient, so contained panics are never retried.
+func (e *WorkerError) Unwrap() error {
+	switch v := e.Value.(type) {
+	case error:
+		return v
+	case *fault.PanicValue:
+		return v.Err
+	default:
+		return nil
+	}
+}
+
+// ProgramFailure names one benchmark's terminal error in a KeepGoing
+// run.
+type ProgramFailure struct {
+	Program string
+	Err     error
+}
+
+// RunError aggregates the per-program failures of a KeepGoing run.
+// Run returns it alongside the partial results; callers that only care
+// whether everything succeeded can treat it as an ordinary error.
+type RunError struct {
+	Failures []ProgramFailure
+}
+
+// Error implements the error interface.
+func (e *RunError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exp: %d of the configured benchmarks failed:", len(e.Failures))
+	for _, f := range e.Failures {
+		fmt.Fprintf(&b, "\n  %s: %v", f.Program, f.Err)
+	}
+	return b.String()
+}
+
+// Failed reports whether program is among the recorded failures.
+func (e *RunError) Failed(program string) bool {
+	for _, f := range e.Failures {
+		if f.Program == program {
+			return true
+		}
+	}
+	return false
 }
 
 // SessionOutcome is the per-session result: its counting variables and
@@ -64,7 +167,13 @@ type SessionOutcome struct {
 
 // ProgramResult aggregates one benchmark's results.
 type ProgramResult struct {
-	Program     string
+	Program string
+
+	// Err is non-nil only on a placeholder result from a KeepGoing run:
+	// the benchmark's pipeline failed terminally and every other field is
+	// zero. internal/report renders such rows as n/a.
+	Err error
+
 	BaseSeconds float64
 	BaseCycles  uint64
 	Instret     uint64
@@ -121,9 +230,23 @@ func (r *ProgramResult) RelativeSamples(s model.Strategy) []float64 {
 // and tracing once, and only re-run the analysis under the requested
 // timing profile.
 func RunProgram(p progs.Program, timings model.Timings) (*ProgramResult, error) {
+	return RunProgramContext(context.Background(), p, timings)
+}
+
+// RunProgramContext is RunProgram under a context: cancellation is
+// observed between the pipeline's phases (before the compile/trace
+// build and before the analysis pass), so a deadline bounds the run to
+// roughly one phase's granularity.
+func RunProgramContext(ctx context.Context, p progs.Program, timings model.Timings) (*ProgramResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", p.Name, err)
+	}
 	art, err := cachedArtifacts(p)
 	if err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", p.Name, err)
 	}
 	res, err := analyze(art.tr, timings, art.elideFrac, art.fastFrac)
 	if err != nil {
@@ -230,6 +353,53 @@ func toModelCounting(c sim.Counting) model.Counting {
 	}
 }
 
+// runProtected runs one benchmark's pipeline under the context,
+// converting a panic anywhere in the pipeline (a chaos injection, or a
+// genuine bug in one benchmark's compile/trace/replay) into a typed
+// *WorkerError instead of letting one goroutine kill the process.
+func runProtected(ctx context.Context, p progs.Program, timings model.Timings) (res *ProgramResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			err = &WorkerError{Program: p.Name, Value: v, Stack: rtdebug.Stack()}
+		}
+	}()
+	return RunProgramContext(ctx, p, timings)
+}
+
+// runWithRetry wraps runProtected in the bounded-retry policy: only
+// failures classified transient (fault.IsTransient) are retried, at
+// most c.Retries times, with a per-attempt backoff that doubles from
+// c.RetryBackoff and is capped at 8x. The sleep is context-aware.
+func runWithRetry(c *Config, p progs.Program) (*ProgramResult, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var res *ProgramResult
+		res, err = runProtected(c.Context, p, c.Timings)
+		if err == nil {
+			return res, nil
+		}
+		if !fault.IsTransient(err) {
+			return nil, err
+		}
+		if attempt >= c.Retries {
+			return nil, fmt.Errorf("exp: %s: giving up after %d attempts: %w",
+				p.Name, attempt+1, err)
+		}
+		backoff := c.RetryBackoff << uint(attempt)
+		if max := 8 * c.RetryBackoff; backoff > max {
+			backoff = max
+		}
+		timer := time.NewTimer(backoff)
+		select {
+		case <-c.Context.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("exp: %s: %w", p.Name, c.Context.Err())
+		case <-timer.C:
+		}
+	}
+}
+
 // Run executes the experiment for every configured program, fanning
 // the benchmarks out over a bounded pool of Config.Workers goroutines.
 //
@@ -238,12 +408,20 @@ func toModelCounting(c sim.Counting) model.Counting {
 // each worker writes only its claimed index — and each ProgramResult is
 // computed by exactly one worker running the same sequential per-
 // benchmark pipeline, so every field, float summaries included, is
-// bit-identical across worker counts.
+// bit-identical across worker counts. This holds in KeepGoing mode
+// too: faults fire by per-benchmark invocation count, not by wall
+// clock or scheduling, so which programs fail — and the surviving
+// results — are also worker-count-independent.
 //
-// Errors: the first failure (lowest Programs index among recorded
-// failures) is returned and cancels the pool — workers finish the
-// benchmark they are on and claim no further work. All workers have
-// exited by the time Run returns.
+// Errors, fail-fast mode (KeepGoing=false): the first failure (lowest
+// Programs index among recorded failures) is returned and cancels the
+// pool — workers finish the benchmark they are on and claim no further
+// work. All workers have exited by the time Run returns.
+//
+// Errors, KeepGoing mode: every benchmark is attempted; failed
+// programs come back as placeholder results (Err != nil) in their
+// Programs slot, and Run returns the partial results together with a
+// *RunError listing the failures in Programs order.
 func Run(cfg Config) ([]*ProgramResult, error) {
 	c := cfg.withDefaults()
 	n := len(c.Programs)
@@ -255,7 +433,7 @@ func Run(cfg Config) ([]*ProgramResult, error) {
 		if err != nil {
 			return err
 		}
-		out[i], err = RunProgram(p, c.Timings)
+		out[i], err = runWithRetry(&c, p)
 		return err
 	}
 
@@ -267,40 +445,58 @@ func Run(cfg Config) ([]*ProgramResult, error) {
 		// Serial fast path: no goroutines at all.
 		for i := 0; i < n; i++ {
 			if err := runOne(i); err != nil {
+				if !c.KeepGoing {
+					return nil, err
+				}
+				errs[i] = err
+			}
+		}
+	} else {
+		var (
+			next     atomic.Int64 // next unclaimed Programs index
+			canceled atomic.Bool  // set on first error (fail-fast only)
+			wg       sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1) - 1)
+					if i >= n || canceled.Load() {
+						return
+					}
+					if err := runOne(i); err != nil {
+						errs[i] = err
+						if !c.KeepGoing {
+							canceled.Store(true)
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	if !c.KeepGoing {
+		for _, err := range errs {
+			if err != nil {
 				return nil, err
 			}
 		}
 		return out, nil
 	}
-
-	var (
-		next     atomic.Int64 // next unclaimed Programs index
-		canceled atomic.Bool  // set on first error
-		wg       sync.WaitGroup
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1) - 1)
-				if i >= n || canceled.Load() {
-					return
-				}
-				if err := runOne(i); err != nil {
-					errs[i] = err
-					canceled.Store(true)
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-
-	for _, err := range errs {
+	var re RunError
+	for i, err := range errs {
 		if err != nil {
-			return nil, err
+			out[i] = &ProgramResult{Program: c.Programs[i], Err: err}
+			re.Failures = append(re.Failures,
+				ProgramFailure{Program: c.Programs[i], Err: err})
 		}
+	}
+	if len(re.Failures) > 0 {
+		return out, &re
 	}
 	return out, nil
 }

@@ -17,6 +17,12 @@ import (
 	"edb/internal/stats"
 )
 
+// na is the placeholder cell for a benchmark whose pipeline failed: a
+// KeepGoing experiment run (exp.Config.KeepGoing) returns such
+// programs as placeholder results with Err != nil and every numeric
+// field zero, and rendering those zeros as data would be misleading.
+const na = "n/a"
+
 // paperName maps internal program names to the paper's display names.
 func paperName(p string) string {
 	switch p {
@@ -47,6 +53,11 @@ func Table1(w io.Writer, results []*exp.ProgramResult) {
 	fmt.Fprintf(w, "%-8s %12s %12s %12s %10s %12s %12s\n",
 		"", "Auto", "InFunc", "Static", "", "InFunc", "Time(ms)")
 	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-8s %12s %12s %12s %10s %12s %12s\n",
+				paperName(r.Program), na, na, na, na, na, na)
+			continue
+		}
 		sc := r.SessionCounts
 		fmt.Fprintf(w, "%-8s %12d %12d %12d %10d %12d %12.0f\n",
 			paperName(r.Program),
@@ -90,6 +101,11 @@ func Table3(w io.Writer, results []*exp.ProgramResult) {
 		"", "Remove", "Hit", "Miss",
 		"Prot/Unprot", "ActPgMiss", "Prot/Unprot", "ActPgMiss")
 	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-8s %10s %10s %12s | %10s %12s | %10s %12s\n",
+				paperName(r.Program), na, na, na, na, na, na, na)
+			continue
+		}
 		fmt.Fprintf(w, "%-8s %10.0f %10.0f %12.0f | %10.0f %12.0f | %10.0f %12.0f\n",
 			paperName(r.Program), r.MeanInstalls, r.MeanHits, r.MeanMisses,
 			r.MeanProtects[0], r.MeanActivePageMiss[0],
@@ -109,6 +125,14 @@ func Table4(w io.Writer, results []*exp.ProgramResult) {
 	}
 	fmt.Fprintln(w)
 	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-8s %-13s", paperName(r.Program), "(failed)")
+			for range model.Strategies {
+				fmt.Fprintf(w, " %7s %8s", na, na)
+			}
+			fmt.Fprintln(w)
+			continue
+		}
 		rows := []struct {
 			label string
 			get   func(stats.Summary) (float64, float64)
@@ -140,6 +164,9 @@ func figure(w io.Writer, title string, results []*exp.ProgramResult,
 	const width = 50
 	maxVal := 0.0
 	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
 		for _, s := range model.Strategies {
 			if v := get(r.Summaries[s]); v > maxVal {
 				maxVal = v
@@ -161,6 +188,10 @@ func figure(w io.Writer, title string, results []*exp.ProgramResult,
 	for _, r := range results {
 		fmt.Fprintf(w, "%s\n", paperName(r.Program))
 		for _, s := range model.Strategies {
+			if r.Err != nil {
+				fmt.Fprintf(w, "  %-6s |%-*s %s\n", s, width, "", na)
+				continue
+			}
 			v := get(r.Summaries[s])
 			fmt.Fprintf(w, "  %-6s |%-*s %s\n", s, width, strings.Repeat("#", scale(v)), stats.Format(v))
 		}
@@ -214,6 +245,10 @@ func Breakdown(w io.Writer, results []*exp.ProgramResult) {
 		for _, n := range sorted {
 			fmt.Fprintf(w, "  %-16s", n)
 			for _, r := range results {
+				if r.Err != nil {
+					fmt.Fprintf(w, " %8s", na)
+					continue
+				}
 				fmt.Fprintf(w, " %7.1f%%", 100*r.BreakdownMean[s][n])
 			}
 			fmt.Fprintln(w)
@@ -233,6 +268,11 @@ func Expansion(w io.Writer, results []*exp.ProgramResult) {
 		"Program", "Write-instr frac", "Expansion", "Expans-opt",
 		"Elided", "Fast", "Hoisted", "dyn-elide", "dyn-fast")
 	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(w, "%-8s %16s %11s %11s | %7s %6s %7s | %10s %10s\n",
+				paperName(r.Program), na, na, na, na, na, na, na, na)
+			continue
+		}
 		fmt.Fprintf(w, "%-8s %15.1f%% %10.1f%% %10.1f%% | %7d %6d %7d | %9.1f%% %9.1f%%\n",
 			paperName(r.Program),
 			100*r.StoreFraction, 100*r.Expansion, 100*r.ExpansionOpt,
@@ -241,8 +281,37 @@ func Expansion(w io.Writer, results []*exp.ProgramResult) {
 	}
 }
 
-// All renders every table and figure in paper order.
+// Failures renders a banner naming every benchmark whose pipeline
+// failed (the programs rendered as n/a throughout), with its error.
+// It prints nothing when every benchmark succeeded.
+func Failures(w io.Writer, results []*exp.ProgramResult) {
+	n := 0
+	for _, r := range results {
+		if r.Err != nil {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	fmt.Fprintf(w, "WARNING: %d benchmark(s) failed and are reported as %s:\n", n, na)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(w, "  %-8s %v\n", paperName(r.Program), r.Err)
+		}
+	}
+}
+
+// All renders every table and figure in paper order, prefixed by the
+// failure banner when a KeepGoing run returned partial results.
 func All(w io.Writer, results []*exp.ProgramResult, t model.Timings) {
+	for _, r := range results {
+		if r.Err != nil {
+			Failures(w, results)
+			fmt.Fprintln(w)
+			break
+		}
+	}
 	sections := []func(){
 		func() { Table1(w, results) },
 		func() { Table2(w, t) },
@@ -268,6 +337,13 @@ func All(w io.Writer, results []*exp.ProgramResult, t model.Timings) {
 func CSV(w io.Writer, results []*exp.ProgramResult) {
 	fmt.Fprintln(w, "program,strategy,n,min,max,mean,tmean,p90,p98")
 	for _, r := range results {
+		if r.Err != nil {
+			for _, s := range model.Strategies {
+				fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s,%s,%s,%s\n",
+					r.Program, s, na, na, na, na, na, na, na)
+			}
+			continue
+		}
 		for _, s := range model.Strategies {
 			sm := r.Summaries[s]
 			fmt.Fprintf(w, "%s,%s,%d,%g,%g,%g,%g,%g,%g\n",
@@ -281,6 +357,10 @@ func CSV(w io.Writer, results []*exp.ProgramResult) {
 func SessionsCSV(w io.Writer, results []*exp.ProgramResult) {
 	fmt.Fprintln(w, "program,session,type,hits,misses,installs,nh,vm4k,vm8k,tp,cp,cpopt")
 	for _, r := range results {
+		if r.Err != nil {
+			// A failed benchmark has no sessions; it is simply absent.
+			continue
+		}
 		for i := range r.Kept {
 			k := &r.Kept[i]
 			fmt.Fprintf(w, "%s,%q,%s,%d,%d,%d,%g,%g,%g,%g,%g,%g\n",

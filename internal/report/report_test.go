@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -162,6 +163,77 @@ func TestFigureSVGs(t *testing.T) {
 		bars := strings.Count(out, "<rect")
 		if bars < 2*5 {
 			t.Errorf("only %d rects", bars)
+		}
+	}
+}
+
+// failedResults appends a KeepGoing-style placeholder (Err != nil, all
+// numeric fields zero) to the fake result set.
+func failedResults() []*exp.ProgramResult {
+	return append(fakeResults(),
+		&exp.ProgramResult{Program: "qcd", Err: errors.New("injected fault: chaos")})
+}
+
+func TestTablesRenderNAForFailedPrograms(t *testing.T) {
+	renders := map[string]func(*bytes.Buffer){
+		"Table1":    func(b *bytes.Buffer) { Table1(b, failedResults()) },
+		"Table3":    func(b *bytes.Buffer) { Table3(b, failedResults()) },
+		"Table4":    func(b *bytes.Buffer) { Table4(b, failedResults()) },
+		"Figure7":   func(b *bytes.Buffer) { Figure7(b, failedResults()) },
+		"Breakdown": func(b *bytes.Buffer) { Breakdown(b, failedResults()) },
+		"Expansion": func(b *bytes.Buffer) { Expansion(b, failedResults()) },
+	}
+	for name, f := range renders {
+		out := render(f)
+		if !strings.Contains(out, "QCD") {
+			t.Errorf("%s omits the failed program entirely:\n%s", name, out)
+		}
+		if !strings.Contains(out, "n/a") {
+			t.Errorf("%s renders no n/a for the failed program:\n%s", name, out)
+		}
+		// The successful programs must still be fully rendered.
+		if !strings.Contains(out, "GCC") || !strings.Contains(out, "BPS") {
+			t.Errorf("%s lost a successful program:\n%s", name, out)
+		}
+	}
+}
+
+func TestAllWithFailuresHasBanner(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { All(b, failedResults(), model.Paper) })
+	if !strings.Contains(out, "WARNING: 1 benchmark(s) failed") {
+		t.Errorf("All missing failure banner:\n%.400s", out)
+	}
+	if !strings.Contains(out, "chaos") {
+		t.Error("banner omits the underlying error")
+	}
+	// No banner when everything succeeded.
+	out = render(func(b *bytes.Buffer) { All(b, fakeResults(), model.Paper) })
+	if strings.Contains(out, "WARNING") {
+		t.Error("failure banner printed for all-success results")
+	}
+}
+
+func TestCSVRendersNAForFailedPrograms(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { CSV(b, failedResults()) })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1+3*6 {
+		t.Errorf("CSV lines = %d, want %d (failed program keeps its rows)", len(lines), 1+3*6)
+	}
+	if !strings.Contains(out, "qcd,NH,n/a") {
+		t.Errorf("CSV missing n/a rows:\n%s", out)
+	}
+	// SessionsCSV: a failed program has no sessions, so no rows.
+	out = render(func(b *bytes.Buffer) { SessionsCSV(b, failedResults()) })
+	if strings.Contains(out, "qcd") {
+		t.Error("SessionsCSV invented sessions for a failed program")
+	}
+}
+
+func TestFigureSVGWithFailedProgram(t *testing.T) {
+	out := render(func(b *bytes.Buffer) { Figure7SVG(b, failedResults()) })
+	for _, want := range []string{"QCD", "n/a", "GCC", "BPS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
 		}
 	}
 }

@@ -43,6 +43,9 @@ func FigureSVG(w io.Writer, title string, results []*exp.ProgramResult,
 
 	maxVal := minVal
 	for _, r := range results {
+		if r.Err != nil {
+			continue
+		}
 		for _, s := range model.Strategies {
 			if v := get(r.Summaries[s]); v > maxVal {
 				maxVal = v
@@ -87,6 +90,14 @@ func FigureSVG(w io.Writer, title string, results []*exp.ProgramResult,
 		barW := (grpW - grpGap) / float64(len(model.Strategies))
 		for gi, r := range results {
 			gx := float64(left) + grpW*float64(gi) + grpGap/2
+			if r.Err != nil {
+				// Failed benchmark: keep its x-axis slot, mark it n/a.
+				fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle" fill="#999">%s</text>`+"\n",
+					gx+(grpW-grpGap)/2, top+plotH-6, na)
+				fmt.Fprintf(w, `<text x="%.1f" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+					gx+(grpW-grpGap)/2, top+plotH+20, paperName(r.Program))
+				continue
+			}
 			for si, s := range model.Strategies {
 				v := get(r.Summaries[s])
 				x := gx + float64(si)*barW

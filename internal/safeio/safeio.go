@@ -1,0 +1,69 @@
+// Package safeio writes files atomically and durably. Every CLI
+// output artifact (trace files, CSVs, SVGs) goes through WriteFile, so
+// a crash, a full disk, or a chaos-injected fault mid-write can never
+// leave a torn half-file under the final name: readers observe either
+// the previous contents or the complete new contents, nothing else.
+//
+// The recipe is the classic one: write to a temporary file in the
+// destination's directory (rename is only atomic within a filesystem),
+// flush and fsync it, close it, rename it over the destination, and
+// best-effort fsync the directory so the rename itself is durable.
+// Any error unlinks the temporary file and leaves the destination
+// untouched.
+package safeio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically writes the output of render to path. The render
+// callback receives a buffered writer; its error (and every I/O error
+// from flush, sync, close, or rename) aborts the write, removes the
+// temporary file, and leaves any existing file at path untouched.
+func WriteFile(path string, render func(w io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("safeio: %w", err)
+	}
+	tmpName := tmp.Name()
+	// Until the rename succeeds, every exit path must unlink the temp
+	// file; afterwards it no longer exists under tmpName.
+	renamed := false
+	defer func() {
+		if !renamed {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	bw := bufio.NewWriter(tmp)
+	if err := render(bw); err != nil {
+		return fmt.Errorf("safeio: writing %s: %w", path, err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("safeio: flushing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("safeio: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("safeio: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("safeio: %w", err)
+	}
+	renamed = true
+	// Durability of the rename itself: fsync the directory. Best
+	// effort — some filesystems (and platforms) refuse to sync a
+	// directory handle, and the rename has already happened atomically.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

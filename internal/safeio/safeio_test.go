@@ -1,0 +1,96 @@
+package safeio
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "hello world\n")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello world\n" {
+		t.Fatalf("content = %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileOverwritesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "new")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new" {
+		t.Fatalf("content = %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileRenderErrorLeavesOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := os.WriteFile(path, []byte("precious"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("render exploded")
+	err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage that must never land")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped render error", err)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "precious" {
+		t.Fatalf("destination clobbered: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), func(w io.Writer) error {
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+// assertNoTempFiles checks that no *.tmp-* intermediate survives, on
+// success or failure.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}

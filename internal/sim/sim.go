@@ -44,6 +44,7 @@ import (
 	"sync"
 
 	"edb/internal/arch"
+	"edb/internal/fault"
 	"edb/internal/objects"
 	"edb/internal/sessions"
 	"edb/internal/trace"
@@ -156,7 +157,14 @@ func Run(tr *trace.Trace, set *sessions.Set) (*Output, error) {
 // Sequential replays the trace against the session set on the calling
 // goroutine — the original one-pass engine, kept fully independent of
 // the sharded path so the two can check each other differentially.
+//
+// Replay entry is an injection point (fault.SiteSimReplay, keyed by
+// program name); with no active chaos plan the check is one atomic
+// load per replay, never per event.
 func Sequential(tr *trace.Trace, set *sessions.Set) (*Output, error) {
+	if err := fault.Inject(fault.SiteSimReplay, tr.Program); err != nil {
+		return nil, fmt.Errorf("sim: replaying %s: %w", tr.Program, err)
+	}
 	s := &simulator{
 		set: set,
 		out: &Output{
@@ -326,6 +334,9 @@ func contains(xs []int32, x int32) bool {
 // because each session's counters are accumulated by exactly one worker
 // in full trace order. shards is clamped to [1, len(set.Sessions)].
 func Sharded(tr *trace.Trace, set *sessions.Set, shards int) (*Output, error) {
+	if err := fault.Inject(fault.SiteSimReplay, tr.Program); err != nil {
+		return nil, fmt.Errorf("sim: replaying %s: %w", tr.Program, err)
+	}
 	n := len(set.Sessions)
 	if shards < 1 {
 		shards = 1

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzTraceRead hammers the binary decoder: arbitrary input must either
+// decode into a trace that re-encodes and re-decodes to the same value,
+// or fail with an error — never crash, hang, or over-allocate. The seed
+// corpus combines in-memory seeds (a valid v2 file, a legacy v1 file,
+// truncations and mutations of both) with the checked-in
+// testdata/fuzz/FuzzTraceRead corpus derived from the five benchmark
+// workloads' traces (regenerate with EDB_REGEN_FUZZ_CORPUS=1, see
+// corpusgen_test.go).
+func FuzzTraceRead(f *testing.F) {
+	var v2 bytes.Buffer
+	if err := sampleTrace().Write(&v2); err != nil {
+		f.Fatal(err)
+	}
+	v1 := writeV1(sampleTrace())
+	seeds := [][]byte{
+		v2.Bytes(),
+		v1,
+		v2.Bytes()[:len(v2.Bytes())/2],
+		v1[:len(v1)/2],
+		[]byte(magic),
+		[]byte(magic + "\x02\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"), // absurd payload length
+		[]byte(magic + "\x01\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"), // absurd v1 string length
+		{},
+	}
+	// One-byte mutants of the valid files reach deep decoder branches.
+	for _, base := range [][]byte{v2.Bytes(), v1} {
+		for i := 0; i < len(base); i += 7 {
+			mut := append([]byte(nil), base...)
+			mut[i] ^= 0x40
+			seeds = append(seeds, mut)
+		}
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; crashing is not
+		}
+		// Anything the decoder accepts must round-trip exactly through
+		// the current writer.
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		tr2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded trace: %v", err)
+		}
+		if tr2.Program != tr.Program || tr2.BaseCycles != tr.BaseCycles || tr2.Instret != tr.Instret {
+			t.Fatalf("round-trip header drift: %+v vs %+v", tr2, tr)
+		}
+		if !reflect.DeepEqual(tr2.Events, tr.Events) {
+			t.Fatal("round-trip event drift")
+		}
+		if !reflect.DeepEqual(tr2.Objects.All(), tr.Objects.All()) {
+			t.Fatal("round-trip object-table drift")
+		}
+	})
+}

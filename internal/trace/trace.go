@@ -16,11 +16,14 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"edb/internal/arch"
+	"edb/internal/fault"
 	"edb/internal/objects"
 )
 
@@ -92,170 +95,371 @@ func (t *Trace) Counts() (installs, removes, writes int) {
 	return
 }
 
+// Binary format. Version 2 (current) is corruption-safe:
+//
+//	"EDBT"  uvarint(version=2)  uvarint(len(payload))  crc32-IEEE(4B LE)
+//	payload...
+//
+// where the payload is the version-1 body (program, base cycles,
+// instret, object table, event stream) and the CRC covers exactly the
+// payload bytes. Read verifies the checksum before decoding, bounds
+// every count against the bytes that could plausibly back it, and
+// reports failures with the absolute byte offset of the offending
+// field. Version-1 files (no length/checksum, body streamed directly
+// after the version) are still read.
 const (
-	magic   = "EDBT"
-	version = 1
+	magic     = "EDBT"
+	version   = 2
+	versionV1 = 1
+
+	// maxStringLen caps decoded string lengths.
+	maxStringLen = 1 << 20
+	// maxAllocCtx caps an object's allocation-context frame count.
+	maxAllocCtx = 1 << 12
+	// maxObjectSize caps a decoded object's SizeBytes (the simulated
+	// machine is 32-bit; nothing larger can exist).
+	maxObjectSize = 1 << 32
+	// maxPayload caps the version-2 payload length (and therefore the
+	// decoder's single allocation).
+	maxPayload = 1 << 31
+	// maxPrealloc caps count-driven slice preallocation: a version-1
+	// stream declares counts before the bytes that back them, so the
+	// decoder never trusts a declared count for more than this many
+	// entries up front — larger (legitimate) streams grow by append.
+	maxPrealloc = 1 << 16
+
+	// minObjectBytes / minEventBytes are the smallest possible encodings
+	// of one object-table entry (kind + 2 string lengths + size + ctx
+	// count) and one event (kind + 3 uvarints); version-2 count caps are
+	// derived from these and the remaining payload bytes.
+	minObjectBytes = 5
+	minEventBytes  = 4
 )
 
-// Write serialises the trace in the binary format.
+// Write serialises the trace in the current (version 2) binary format:
+// the body is encoded to an in-memory payload, checksummed, and written
+// behind a length-prefixed header so readers can verify integrity
+// before decoding.
 func (t *Trace) Write(w io.Writer) error {
+	if err := fault.Inject(fault.SiteTraceWrite, t.Program); err != nil {
+		return fmt.Errorf("trace: writing %s: %w", t.Program, err)
+	}
+	var body bytes.Buffer
+	body.Grow(64 + 8*len(t.Events))
+	t.writeBody(&body)
+	payload := body.Bytes()
+	sum := crc32.ChecksumIEEE(payload)
+	// Chaos hook: flip one payload bit *after* the checksum is taken,
+	// modelling at-rest corruption that Read must detect.
+	fault.Mutate(fault.SiteTraceCorrupt, t.Program, payload)
+
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.WriteString(magic); err != nil {
 		return err
 	}
-	var scratch [binary.MaxVarintLen64]byte
-	putUvarint := func(v uint64) error {
-		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
+	var scratch [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(scratch[:], version)
+	n += binary.PutUvarint(scratch[n:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(scratch[n:], sum)
+	if _, err := bw.Write(scratch[:n+4]); err != nil {
 		return err
 	}
-	putString := func(s string) error {
-		if err := putUvarint(uint64(len(s))); err != nil {
-			return err
-		}
-		_, err := bw.WriteString(s)
+	if _, err := bw.Write(payload); err != nil {
 		return err
-	}
-	if err := putUvarint(version); err != nil {
-		return err
-	}
-	if err := putString(t.Program); err != nil {
-		return err
-	}
-	if err := putUvarint(t.BaseCycles); err != nil {
-		return err
-	}
-	if err := putUvarint(t.Instret); err != nil {
-		return err
-	}
-
-	// Object table.
-	objs := t.Objects.All()
-	if err := putUvarint(uint64(len(objs))); err != nil {
-		return err
-	}
-	for _, o := range objs {
-		if err := bw.WriteByte(byte(o.Kind)); err != nil {
-			return err
-		}
-		if err := putString(o.Func); err != nil {
-			return err
-		}
-		if err := putString(o.Name); err != nil {
-			return err
-		}
-		if err := putUvarint(uint64(o.SizeBytes)); err != nil {
-			return err
-		}
-		if err := putUvarint(uint64(len(o.AllocCtx))); err != nil {
-			return err
-		}
-		for _, f := range o.AllocCtx {
-			if err := putString(f); err != nil {
-				return err
-			}
-		}
-	}
-
-	// Event stream.
-	if err := putUvarint(uint64(len(t.Events))); err != nil {
-		return err
-	}
-	for _, e := range t.Events {
-		if err := bw.WriteByte(byte(e.Kind)); err != nil {
-			return err
-		}
-		if e.Kind != EvWrite {
-			if err := putUvarint(uint64(e.Obj)); err != nil {
-				return err
-			}
-		}
-		if err := putUvarint(uint64(e.BA)); err != nil {
-			return err
-		}
-		if err := putUvarint(uint64(e.EA - e.BA)); err != nil {
-			return err
-		}
-		if e.Kind == EvWrite {
-			if err := putUvarint(uint64(e.PC)); err != nil {
-				return err
-			}
-		}
 	}
 	return bw.Flush()
 }
 
-// Read deserialises a trace written by Write.
+// writeBody encodes the version-independent trace body into buf.
+// bytes.Buffer writes cannot fail, so no errors flow here.
+func (t *Trace) writeBody(buf *bytes.Buffer) {
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	putString := func(s string) {
+		putUvarint(uint64(len(s)))
+		buf.WriteString(s)
+	}
+	putString(t.Program)
+	putUvarint(t.BaseCycles)
+	putUvarint(t.Instret)
+
+	// Object table.
+	objs := t.Objects.All()
+	putUvarint(uint64(len(objs)))
+	for _, o := range objs {
+		buf.WriteByte(byte(o.Kind))
+		putString(o.Func)
+		putString(o.Name)
+		putUvarint(uint64(o.SizeBytes))
+		putUvarint(uint64(len(o.AllocCtx)))
+		for _, f := range o.AllocCtx {
+			putString(f)
+		}
+	}
+
+	// Event stream.
+	putUvarint(uint64(len(t.Events)))
+	for _, e := range t.Events {
+		buf.WriteByte(byte(e.Kind))
+		if e.Kind != EvWrite {
+			putUvarint(uint64(e.Obj))
+		}
+		putUvarint(uint64(e.BA))
+		putUvarint(uint64(e.EA - e.BA))
+		if e.Kind == EvWrite {
+			putUvarint(uint64(e.PC))
+		}
+	}
+}
+
+// decoder reads the trace body while tracking the absolute file offset
+// of every field, so malformed input is rejected with a byte-precise
+// diagnostic. remaining, when non-negative, bounds how many body bytes
+// can still exist (version 2 knows the payload length up front) and is
+// used to reject count fields no stream of that size could back.
+type decoder struct {
+	r   *bufio.Reader
+	off int64 // absolute offset of the next unread byte
+	// remaining body bytes, or -1 when unknown (version-1 streams).
+	remaining int64
+}
+
+func (d *decoder) errAt(off int64, format string, args ...any) error {
+	return fmt.Errorf("trace: byte offset "+fmt.Sprint(off)+": "+format, args...)
+}
+
+func (d *decoder) readByte(what string) (byte, error) {
+	b, err := d.r.ReadByte()
+	if err != nil {
+		return 0, d.errAt(d.off, "reading %s: %w", what, noEOF(err))
+	}
+	d.off++
+	if d.remaining >= 0 {
+		d.remaining--
+	}
+	return b, nil
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	start := d.off
+	var v uint64
+	var shift uint
+	for {
+		b, err := d.r.ReadByte()
+		if err != nil {
+			return 0, d.errAt(start, "reading %s: %w", what, noEOF(err))
+		}
+		d.off++
+		if d.remaining >= 0 {
+			d.remaining--
+		}
+		if shift >= 64 || (shift == 63 && b > 1) {
+			return 0, d.errAt(start, "%s: uvarint overflows 64 bits", what)
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+	}
+}
+
+func (d *decoder) str(what string) (string, error) {
+	start := d.off
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", d.errAt(start, "%s length %d exceeds cap %d", what, n, maxStringLen)
+	}
+	if d.remaining >= 0 && int64(n) > d.remaining {
+		return "", d.errAt(start, "%s length %d exceeds %d remaining payload bytes",
+			what, n, d.remaining)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", d.errAt(d.off, "reading %s: %w", what, noEOF(err))
+	}
+	d.off += int64(n)
+	if d.remaining >= 0 {
+		d.remaining -= int64(n)
+	}
+	return string(buf), nil
+}
+
+// count reads a count field and sanity-checks it: each counted entry
+// occupies at least minBytes, so a count no remaining stream could back
+// is rejected before any allocation happens.
+func (d *decoder) count(what string, minBytes int64) (uint64, error) {
+	start := d.off
+	n, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if d.remaining >= 0 && int64(n) > d.remaining/minBytes {
+		return 0, d.errAt(start,
+			"%s %d needs >= %d bytes but only %d payload bytes remain",
+			what, n, int64(n)*minBytes, d.remaining)
+	}
+	return n, nil
+}
+
+// noEOF converts a bare io.EOF into io.ErrUnexpectedEOF: inside a
+// structure, running out of bytes is always truncation.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// prealloc bounds a count-driven preallocation.
+func prealloc(n uint64) int {
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return int(n)
+}
+
+// Read deserialises a trace written by Write. It reads both the current
+// checksummed version-2 format and legacy version-1 files. Malformed
+// input — truncation, flipped bits, counts the stream cannot back —
+// is rejected with an error naming the byte offset of the offending
+// field; version-2 corruption is caught by the payload checksum before
+// decoding begins.
 func Read(r io.Reader) (*Trace, error) {
+	if err := fault.Inject(fault.SiteTraceRead, ""); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
 	br := bufio.NewReaderSize(r, 1<<16)
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
+		return nil, fmt.Errorf("trace: byte offset 0: reading magic: %w", noEOF(err))
 	}
 	if string(head) != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", head)
+		return nil, fmt.Errorf("trace: byte offset 0: bad magic %q", head)
 	}
-	getUvarint := func() (uint64, error) { return binary.ReadUvarint(br) }
-	getString := func() (string, error) {
-		n, err := getUvarint()
-		if err != nil {
-			return "", err
-		}
-		if n > 1<<20 {
-			return "", fmt.Errorf("trace: unreasonable string length %d", n)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return "", err
-		}
-		return string(buf), nil
-	}
-	v, err := getUvarint()
+	d := &decoder{r: br, off: int64(len(magic)), remaining: -1}
+	v, err := d.uvarint("version")
 	if err != nil {
 		return nil, err
 	}
-	if v != version {
-		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	switch v {
+	case versionV1:
+		// Legacy stream: the body follows directly, length unknown.
+		return d.readBody()
+	case version:
+		lenOff := d.off
+		plen, err := d.uvarint("payload length")
+		if err != nil {
+			return nil, err
+		}
+		if plen > maxPayload {
+			return nil, d.errAt(lenOff, "payload length %d exceeds cap %d", plen, maxPayload)
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return nil, d.errAt(d.off, "reading checksum: %w", noEOF(err))
+		}
+		d.off += 4
+		want := binary.LittleEndian.Uint32(crcBuf[:])
+		// Read the payload through a bounded copy: the declared length is
+		// attacker-controlled, so the buffer grows only as bytes actually
+		// arrive — a lying length field cannot demand a huge allocation.
+		var pbuf bytes.Buffer
+		if plen < maxPrealloc {
+			pbuf.Grow(int(plen))
+		}
+		n, err := io.Copy(&pbuf, io.LimitReader(br, int64(plen)))
+		if err != nil {
+			return nil, d.errAt(d.off+n, "reading payload: %w", noEOF(err))
+		}
+		if uint64(n) != plen {
+			return nil, d.errAt(d.off+n,
+				"truncated payload: read %d of %d bytes: %w", n, plen, io.ErrUnexpectedEOF)
+		}
+		payload := pbuf.Bytes()
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, d.errAt(d.off,
+				"payload checksum mismatch: computed %08x, stored %08x (%d payload bytes)",
+				got, want, plen)
+		}
+		pd := &decoder{
+			r:         bufio.NewReaderSize(bytes.NewReader(payload), 1<<16),
+			off:       d.off,
+			remaining: int64(plen),
+		}
+		t, err := pd.readBody()
+		if err != nil {
+			return nil, err
+		}
+		if pd.remaining != 0 {
+			return nil, pd.errAt(pd.off, "%d trailing payload bytes after trace body", pd.remaining)
+		}
+		return t, nil
+	default:
+		return nil, fmt.Errorf("trace: byte offset %d: unsupported version %d", len(magic), v)
 	}
+}
+
+// readBody decodes the version-independent trace body.
+func (d *decoder) readBody() (*Trace, error) {
 	t := &Trace{Objects: objects.NewTable()}
-	if t.Program, err = getString(); err != nil {
+	var err error
+	if t.Program, err = d.str("program name"); err != nil {
 		return nil, err
 	}
-	if t.BaseCycles, err = getUvarint(); err != nil {
+	if t.BaseCycles, err = d.uvarint("base cycles"); err != nil {
 		return nil, err
 	}
-	if t.Instret, err = getUvarint(); err != nil {
+	if t.Instret, err = d.uvarint("instret"); err != nil {
 		return nil, err
 	}
 
-	nObjs, err := getUvarint()
+	nObjs, err := d.count("object count", minObjectBytes)
 	if err != nil {
 		return nil, err
 	}
 	for i := uint64(0); i < nObjs; i++ {
 		var o objects.Object
-		kb, err := br.ReadByte()
+		kindOff := d.off
+		kb, err := d.readByte("object kind")
 		if err != nil {
 			return nil, err
+		}
+		if kb > uint8(objects.KindHeap) {
+			return nil, d.errAt(kindOff, "object %d: bad kind %d", i, kb)
 		}
 		o.Kind = objects.Kind(kb)
-		if o.Func, err = getString(); err != nil {
+		if o.Func, err = d.str("object func"); err != nil {
 			return nil, err
 		}
-		if o.Name, err = getString(); err != nil {
+		if o.Name, err = d.str("object name"); err != nil {
 			return nil, err
 		}
-		sz, err := getUvarint()
+		szOff := d.off
+		sz, err := d.uvarint("object size")
 		if err != nil {
 			return nil, err
+		}
+		if sz > maxObjectSize {
+			return nil, d.errAt(szOff, "object %d: size %d exceeds cap %d", i, sz, uint64(maxObjectSize))
 		}
 		o.SizeBytes = int(sz)
-		nCtx, err := getUvarint()
+		nCtx, err := d.count("alloc-context count", 1)
 		if err != nil {
 			return nil, err
 		}
+		if nCtx > maxAllocCtx {
+			return nil, d.errAt(szOff, "object %d: %d alloc-context frames exceeds cap %d",
+				i, nCtx, maxAllocCtx)
+		}
 		for j := uint64(0); j < nCtx; j++ {
-			f, err := getString()
+			f, err := d.str("alloc-context frame")
 			if err != nil {
 				return nil, err
 			}
@@ -264,40 +468,41 @@ func Read(r io.Reader) (*Trace, error) {
 		t.Objects.Add(o)
 	}
 
-	nEvents, err := getUvarint()
+	nEvents, err := d.count("event count", minEventBytes)
 	if err != nil {
 		return nil, err
 	}
-	t.Events = make([]Event, 0, nEvents)
+	t.Events = make([]Event, 0, prealloc(nEvents))
 	for i := uint64(0); i < nEvents; i++ {
 		var e Event
-		kb, err := br.ReadByte()
+		kindOff := d.off
+		kb, err := d.readByte("event kind")
 		if err != nil {
 			return nil, err
 		}
 		e.Kind = EventKind(kb)
 		if e.Kind > EvWrite {
-			return nil, fmt.Errorf("trace: bad event kind %d", kb)
+			return nil, d.errAt(kindOff, "event %d: bad kind %d", i, kb)
 		}
 		if e.Kind != EvWrite {
-			obj, err := getUvarint()
+			obj, err := d.uvarint("event object")
 			if err != nil {
 				return nil, err
 			}
 			e.Obj = objects.ID(obj)
 		}
-		ba, err := getUvarint()
+		ba, err := d.uvarint("event base address")
 		if err != nil {
 			return nil, err
 		}
-		length, err := getUvarint()
+		length, err := d.uvarint("event length")
 		if err != nil {
 			return nil, err
 		}
 		e.BA = arch.Addr(ba)
 		e.EA = e.BA + arch.Addr(length)
 		if e.Kind == EvWrite {
-			pc, err := getUvarint()
+			pc, err := d.uvarint("event pc")
 			if err != nil {
 				return nil, err
 			}

@@ -127,6 +127,9 @@ func New(m *kernel.Machine, program string) *Tracer {
 	}
 
 	cpu := m.CPU
+	// Label the core's fault-injection site with the program name so
+	// chaos plans can target one benchmark's trace run deterministically.
+	cpu.FaultKey = program
 	cpu.OnStore = t.onStore
 	cpu.OnCall = t.onCall
 	cpu.OnRet = t.onRet
