@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck lint build test race chaos fuzz bench-pipeline bench-codepatch-opt
+.PHONY: ci vet staticcheck lint build test race chaos fuzz bench-pipeline bench-codepatch-opt obsv-bench
 
-ci: vet staticcheck build lint race chaos
+ci: vet staticcheck build lint race chaos obsv-bench
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,21 @@ chaos:
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceRead -fuzztime $(FUZZTIME) ./internal/trace/
+
+# Observability disabled-path gate: re-measures the pipeline
+# benchmarks with observation off against BENCH_pipeline.json and
+# fails on regression. Allocation counts are the precision gate
+# (deterministic per Go version; compared at ~0% tolerance — the
+# disabled path must be a nil check, so a single stray allocation
+# fails). Wall-clock is gated at baseline*(1+OBSV_SLACK): the test's
+# strict default is 5%, but the shared-vCPU CI host class shows ±17%
+# run-to-run noise, so CI runs with OBSV_SLACK=0.25 — tight enough to
+# catch a real disabled-path slowdown, loose enough not to flake.
+# Override on a quiet dedicated host: make obsv-bench OBSV_SLACK=0.05
+OBSV_SLACK ?= 0.25
+obsv-bench:
+	EDB_OBSV_BENCH=1 EDB_OBSV_BENCH_SLACK=$(OBSV_SLACK) $(GO) test -run TestObsvBenchGate -count=1 -v .
+	$(GO) test -run '^$$' -bench 'BenchmarkSpanDisabled|BenchmarkEventDisabled|BenchmarkMetricsDisabled' -benchmem ./internal/obsv/
 
 # Regenerate the parallel-pipeline baseline recorded in
 # BENCH_pipeline.json / EXPERIMENTS.md.

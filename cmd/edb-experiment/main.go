@@ -17,6 +17,10 @@
 //	                                       # n/a rows instead of failing
 //	edb-experiment -timeout 5m             # bound the whole run
 //	edb-experiment -retries 2              # retry transient failures
+//	edb-experiment -progress               # live stderr status line
+//	edb-experiment -trace-out t.json       # Perfetto-loadable span trace
+//	edb-experiment -timeline-out t.txt     # human-readable span timeline
+//	edb-experiment -metrics-out m.prom     # Prometheus-format metrics
 //
 // Output is byte-identical for every -workers value: the pipeline's
 // parallelism never changes results, only wall-clock time. File
@@ -38,6 +42,7 @@ import (
 
 	"edb/internal/exp"
 	"edb/internal/model"
+	"edb/internal/obsv"
 	"edb/internal/report"
 	"edb/internal/safeio"
 )
@@ -58,6 +63,10 @@ func main() {
 		"report partial results (failed benchmarks as n/a) instead of aborting on the first failure")
 	timeout := flag.Duration("timeout", 0, "bound the whole run (0 = no deadline)")
 	retries := flag.Int("retries", 0, "retry a benchmark up to N times after a transient failure")
+	progressFlag := flag.Bool("progress", false, "stream a live per-phase status line to stderr")
+	traceOut := flag.String("trace-out", "", "write pipeline spans as Chrome trace_event JSON (Perfetto-loadable) to this file")
+	timelineOut := flag.String("timeline-out", "", "write pipeline spans as a human-readable text timeline to this file")
+	metricsOut := flag.String("metrics-out", "", "write pipeline metrics in Prometheus text format to this file")
 	flag.Parse()
 
 	cfg := exp.Config{
@@ -69,13 +78,47 @@ func main() {
 	if *programs != "" {
 		cfg.Programs = strings.Split(*programs, ",")
 	}
+	ctx := context.Background()
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-		cfg.Context = ctx
+	}
+	// Observation sinks: spans/metrics are collected only when an output
+	// (or -progress) asks for them, so the default path stays unobserved.
+	var tr *obsv.Tracer
+	if *traceOut != "" || *timelineOut != "" {
+		tr = obsv.NewTracer(0)
+		cfg.Tracer = tr
+	}
+	var ms *obsv.Metrics
+	if *metricsOut != "" {
+		ms = obsv.NewMetrics()
+		cfg.Metrics = ms
+	}
+	var prog *progress
+	if *progressFlag {
+		prog = newProgress(os.Stderr)
+		cfg.Observer = prog
 	}
 	fmt.Fprintf(os.Stderr, "running experiment (scale %d, %d workers)...\n", *scale, *workers)
-	results, err := exp.Run(cfg)
+	results, err := exp.RunContext(ctx, cfg)
+	if prog != nil {
+		prog.Close()
+	}
+	// Observation artifacts are flushed even when the run failed: a
+	// partial trace of a failed run is exactly when you want the trace.
+	if tr != nil {
+		if *traceOut != "" {
+			writeAtomic(*traceOut, tr.WriteChromeTrace)
+		}
+		if *timelineOut != "" {
+			writeAtomic(*timelineOut, tr.WriteText)
+		}
+	}
+	if ms != nil {
+		writeAtomic(*metricsOut, ms.WritePrometheus)
+	}
 	partial := false
 	if err != nil {
 		if re, ok := err.(*exp.RunError); ok && *keepGoing {

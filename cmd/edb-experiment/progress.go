@@ -1,0 +1,126 @@
+// Live progress rendering for the -progress flag: an exp.Observer that
+// maintains a single overwritten stderr status line showing per-phase
+// activity, replay throughput, and N-of-M benchmark completion.
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progress implements exp.Observer. Callbacks arrive concurrently from
+// every worker goroutine, so all state lives under one mutex; rendering
+// is a single Fprintf per callback (the pipeline calls observers
+// inline, so no callback may block on anything slower than stderr).
+type progress struct {
+	w io.Writer
+
+	mu      sync.Mutex
+	phases  map[string]string // program -> current phase
+	done    int
+	total   int
+	evRate  float64 // latest replay events/sec
+	started time.Time
+	lastLen int
+}
+
+func newProgress(w io.Writer) *progress {
+	return &progress{w: w, phases: make(map[string]string), started: time.Now()}
+}
+
+func (p *progress) PhaseStarted(program, phase string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.phases[program] = phase
+	p.render()
+}
+
+func (p *progress) PhaseFinished(program, phase string, d time.Duration, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.phases[program] == phase {
+		delete(p.phases, program)
+	}
+	if err != nil {
+		// Failures get their own durable line above the status line.
+		p.clearLocked()
+		fmt.Fprintf(p.w, "%-8s %s failed after %v: %v\n", program, phase, d.Round(time.Millisecond), err)
+	}
+	p.render()
+}
+
+func (p *progress) ReplayProgress(program string, events int64, d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if secs := d.Seconds(); secs > 0 {
+		p.evRate = float64(events) / secs
+	}
+	p.render()
+}
+
+func (p *progress) BenchmarkFinished(program string, done, total int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done, p.total = done, total
+	delete(p.phases, program)
+	status := "ok"
+	if err != nil {
+		status = "FAILED"
+	}
+	// One durable line per finished benchmark, then redraw the status.
+	p.clearLocked()
+	fmt.Fprintf(p.w, "[%d/%d] %-8s %s (%.1fs elapsed)\n",
+		done, total, program, status, time.Since(p.started).Seconds())
+	p.render()
+}
+
+// Close erases the status line when the run ends.
+func (p *progress) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clearLocked()
+}
+
+// render redraws the one-line status: active program:phase pairs plus
+// the latest replay throughput. Caller holds p.mu.
+func (p *progress) render() {
+	line := ""
+	for _, prog := range sortedKeys(p.phases) {
+		if line != "" {
+			line += "  "
+		}
+		line += prog + ":" + p.phases[prog]
+	}
+	if p.evRate > 0 {
+		line += fmt.Sprintf("  [%.2fM ev/s]", p.evRate/1e6)
+	}
+	p.clearLocked()
+	fmt.Fprint(p.w, line)
+	p.lastLen = len(line)
+}
+
+// clearLocked erases the current status line with a CR + space pad.
+// Caller holds p.mu.
+func (p *progress) clearLocked() {
+	if p.lastLen == 0 {
+		return
+	}
+	fmt.Fprintf(p.w, "\r%*s\r", p.lastLen, "")
+	p.lastLen = 0
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion sort: the map holds at most one entry per worker.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

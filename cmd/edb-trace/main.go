@@ -8,6 +8,7 @@
 //	edb-trace -program gcc -o gcc.trace
 //	edb-trace -program bps -text | head
 //	edb-trace -source prog.mc -o prog.trace   # trace your own mini-C
+//	edb-trace -program gcc -v -o gcc.trace    # phase timeline on stderr
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"edb/internal/arch"
 	"edb/internal/kernel"
 	"edb/internal/minic"
+	"edb/internal/obsv"
 	"edb/internal/progs"
 	"edb/internal/safeio"
 	"edb/internal/tracer"
@@ -32,7 +34,15 @@ func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
 	text := flag.Bool("text", false, "write the human-readable text format")
 	fuel := flag.Uint64("fuel", 2_000_000_000, "instruction budget")
+	verbose := flag.Bool("v", false, "print a per-phase span timeline to stderr when done")
 	flag.Parse()
+
+	// -v wires an obsv tracer around each phase; disabled, the spans
+	// are inert nil-tracer no-ops.
+	var spans *obsv.Tracer
+	if *verbose {
+		spans = obsv.NewTracer(0)
+	}
 
 	var src, name string
 	switch {
@@ -55,7 +65,9 @@ func main() {
 		fail(fmt.Errorf("one of -program or -source is required"))
 	}
 
+	sp := spans.StartSpan("compile")
 	img, err := minic.CompileToImage(src)
+	sp.End()
 	if err != nil {
 		fail(err)
 	}
@@ -63,15 +75,22 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	sp = spans.StartSpan("tracegen")
+	sp.Attr("program", name)
 	tr, err := tracer.New(m, name).Run(*fuel)
 	if err != nil {
+		sp.Attr("error", err.Error())
+		sp.End()
 		fail(err)
 	}
+	sp.Int("events", int64(len(tr.Events)))
+	sp.End()
 
 	render := tr.Write
 	if *text {
 		render = tr.WriteText
 	}
+	sp = spans.StartSpan("write")
 	if *out != "" {
 		// Atomic write: temp file + fsync + rename, so an error (or a
 		// crash) mid-write never leaves a torn trace under -o's name —
@@ -91,9 +110,15 @@ func main() {
 			fail(err)
 		}
 	}
+	sp.End()
 	ins, rem, wr := tr.Counts()
 	fmt.Fprintf(os.Stderr, "%s: %d objects, %d installs, %d removes, %d writes, %.3f simulated seconds\n",
 		name, tr.Objects.Len(), ins, rem, wr, tr.BaseSeconds())
+	if spans != nil {
+		if err := spans.WriteText(os.Stderr); err != nil {
+			fail(err)
+		}
+	}
 }
 
 func fail(err error) {

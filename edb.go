@@ -30,18 +30,49 @@
 //	results, _ := edb.RunExperiment(edb.ExperimentConfig{})
 //	edb.WriteReport(os.Stdout, results)
 //
+// # Observability
+//
+// Every pipeline phase can stream spans, metrics, and progress
+// callbacks with zero cost when disabled:
+//
+//	tr, ms := edb.NewTracer(0), edb.NewMetrics()
+//	cfg := edb.ExperimentConfig{Tracer: tr, Metrics: ms}
+//	results, _ := edb.RunExperimentContext(ctx, cfg)
+//	tr.WriteChromeTrace(f)         // load in Perfetto
+//	ms.WritePrometheus(os.Stdout)  // Prometheus text format
+//
+// # Errors
+//
+// Failures carry typed errors; use errors.As instead of string
+// matching:
+//
+//	results, err := edb.RunExperiment(cfg)
+//	var re *edb.RunError
+//	if errors.As(err, &re) {
+//		for _, f := range re.Failures {
+//			log.Printf("%s failed: %v", f.Program, f.Err)
+//		}
+//	}
+//	var we *edb.WorkerError
+//	if errors.As(err, &we) {
+//		log.Printf("panic in %s:\n%s", we.Program, we.Stack)
+//	}
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for
 // paper-versus-measured results.
 package edb
 
 import (
+	"context"
 	"io"
 
 	"edb/internal/arch"
 	"edb/internal/calib"
 	"edb/internal/debug"
 	"edb/internal/exp"
+	"edb/internal/fault"
 	"edb/internal/model"
+	"edb/internal/obsv"
 	"edb/internal/progs"
 	"edb/internal/report"
 )
@@ -99,8 +130,50 @@ const (
 // instrumentation, and returns a ready debugging session. pageSize is
 // PageSize4K or PageSize8K (0 selects 4K) and matters only for
 // VirtualMemory.
+//
+// Launch is the positional form kept for compatibility; new code
+// should prefer LaunchOpts, which replaces the magic pageSize argument
+// with functional options.
 func Launch(src string, strat Strategy, pageSize int) (*Session, error) {
-	return debug.Launch(src, strat, pageSize)
+	return LaunchOpts(src, strat, WithPageSize(pageSize))
+}
+
+// Option configures LaunchOpts.
+type Option func(*debug.LaunchConfig)
+
+// WithPageSize sets the machine page size (PageSize4K or PageSize8K;
+// 0 selects 4K). It matters only for the VirtualMemory strategy.
+func WithPageSize(n int) Option {
+	return func(c *debug.LaunchConfig) { c.PageSize = n }
+}
+
+// WithObserver streams launch and run spans (compile, patch, assemble,
+// attach, run) into tr. A nil tracer is the disabled path and costs
+// nothing.
+func WithObserver(tr *Tracer) Option {
+	return func(c *debug.LaunchConfig) { c.Obs = tr }
+}
+
+// WithFaultPlan activates a chaos-injection plan (process-wide; see
+// internal/fault) before the launch pipeline runs, so the plan's rules
+// apply to this session's compile and execution.
+func WithFaultPlan(p *FaultPlan) Option {
+	return func(c *debug.LaunchConfig) { c.FaultPlan = p }
+}
+
+// LaunchOpts is Launch with functional options:
+//
+//	session, err := edb.LaunchOpts(src, edb.VirtualMemory,
+//		edb.WithPageSize(edb.PageSize8K),
+//		edb.WithObserver(tr))
+//
+// With no options it is identical to Launch(src, strat, 0).
+func LaunchOpts(src string, strat Strategy, opts ...Option) (*Session, error) {
+	var c debug.LaunchConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return debug.LaunchWith(src, strat, c)
 }
 
 // Timings is a timing profile for the analytical models (Table 2).
@@ -126,6 +199,15 @@ type ProgramResult = exp.ProgramResult
 // sessions, benchmark harnesses — skip phase 1 entirely.
 func RunExperiment(cfg ExperimentConfig) ([]*ProgramResult, error) {
 	return exp.Run(cfg)
+}
+
+// RunExperimentContext is RunExperiment under an explicit context —
+// the context-first form that replaces the deprecated
+// ExperimentConfig.Context field. Cancellation stops claiming new
+// benchmarks and interrupts retry backoff; benchmarks already past
+// their last context check run to completion.
+func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) ([]*ProgramResult, error) {
+	return exp.RunContext(ctx, cfg)
 }
 
 // ResetExperimentCache drops the per-process compile/trace cache used
@@ -169,6 +251,72 @@ func MeasureHostTimings() HostTimings { return calib.Measure() }
 // the paper's OS/hardware service costs by serviceSpeedup.
 func HostProfile(h HostTimings, serviceSpeedup float64) Timings {
 	return calib.HostProfile(h, serviceSpeedup)
+}
+
+// Tracer is the span/event collector of the observability layer: a
+// ring-buffered, allocation-conscious recorder of pipeline phases.
+// Wire one into ExperimentConfig.Tracer or WithObserver, then export
+// with WriteText (human timeline), WriteChromeTrace (Perfetto), or
+// WriteJSONL. A nil *Tracer is valid everywhere and records nothing.
+type Tracer = obsv.Tracer
+
+// NewTracer builds a span collector holding up to capacity records
+// (0 = a generous default); when full, the oldest records are dropped
+// and counted.
+func NewTracer(capacity int) *Tracer { return obsv.NewTracer(capacity) }
+
+// Span is one open span returned by Tracer.StartSpan.
+type Span = obsv.Span
+
+// SpanRecord is one completed span or instant event in a Tracer.
+type SpanRecord = obsv.Record
+
+// Metrics is the counter/gauge/histogram registry of the observability
+// layer. Wire one into ExperimentConfig.Metrics, then export with
+// WritePrometheus or read programmatically via Snapshot.
+type Metrics = obsv.Metrics
+
+// NewMetrics builds an empty metrics registry.
+func NewMetrics() *Metrics { return obsv.NewMetrics() }
+
+// MetricsSnapshot is a point-in-time copy of every registered metric,
+// from Metrics.Snapshot.
+type MetricsSnapshot = obsv.Snapshot
+
+// Observer receives live pipeline progress callbacks (phase
+// started/finished, replay events/sec, N-of-M benchmarks finished).
+// Wire an implementation into ExperimentConfig.Observer.
+type Observer = exp.Observer
+
+// WorkerError is a benchmark worker panic contained and converted into
+// an error. Recover it with errors.As:
+//
+//	var we *edb.WorkerError
+//	if errors.As(err, &we) { log.Printf("panic in %s", we.Program) }
+type WorkerError = exp.WorkerError
+
+// RunError aggregates per-benchmark failures from a KeepGoing
+// experiment run. Recover it with errors.As:
+//
+//	var re *edb.RunError
+//	if errors.As(err, &re) { ... re.Failures ... }
+type RunError = exp.RunError
+
+// ProgramFailure names one benchmark's terminal error inside a
+// RunError.
+type ProgramFailure = exp.ProgramFailure
+
+// FaultPlan is a deterministic chaos-injection plan (see
+// internal/fault); activate one per process via WithFaultPlan or
+// fault.Activate to exercise failure paths.
+type FaultPlan = fault.Plan
+
+// FaultRule is one site/key/kind rule inside a FaultPlan.
+type FaultRule = fault.Rule
+
+// NewFaultPlan builds a chaos plan from a seed and rules.
+func NewFaultPlan(seed int64, rules ...FaultRule) *FaultPlan {
+	return fault.NewPlan(seed, rules...)
 }
 
 // BreakState describes why Session.RunUntilBreak returned.

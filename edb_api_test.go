@@ -1,0 +1,167 @@
+package edb_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"edb"
+)
+
+// TestLaunchOptsEquivalence: LaunchOpts with no options behaves exactly
+// like the positional Launch — same hits, same output.
+func TestLaunchOptsEquivalence(t *testing.T) {
+	run := func(launch func() (*edb.Session, error)) (int, string) {
+		s, err := launch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.BreakOnData("total"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return len(s.Hits()), s.Output()
+	}
+	h1, o1 := run(func() (*edb.Session, error) { return edb.Launch(demo, edb.CodePatch, 0) })
+	h2, o2 := run(func() (*edb.Session, error) { return edb.LaunchOpts(demo, edb.CodePatch) })
+	if h1 != h2 || o1 != o2 {
+		t.Errorf("LaunchOpts differs from Launch: hits %d/%d output %q/%q", h1, h2, o1, o2)
+	}
+}
+
+// TestLaunchOptsPageSize: WithPageSize reaches the VirtualMemory
+// strategy (8K pages protect wider ranges, so the session still works).
+func TestLaunchOptsPageSize(t *testing.T) {
+	s, err := edb.LaunchOpts(demo, edb.VirtualMemory, edb.WithPageSize(edb.PageSize8K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.BreakOnData("total"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Hits()) != 4 {
+		t.Errorf("hits = %d, want 4", len(s.Hits()))
+	}
+}
+
+// TestLaunchOptsObserver: WithObserver collects launch + run spans,
+// all well-formed, and the Chrome export round-trips.
+func TestLaunchOptsObserver(t *testing.T) {
+	tr := edb.NewTracer(0)
+	s, err := edb.LaunchOpts(demo, edb.TrapPatch, edb.WithObserver(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if open := tr.Open(); open != 0 {
+		t.Fatalf("%d spans left open", open)
+	}
+	want := map[string]bool{"launch": false, "compile": false, "patch": false,
+		"assemble": false, "attach": false, "run": false}
+	for _, r := range tr.Records() {
+		if _, ok := want[r.Name]; ok {
+			want[r.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("no %q span", name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+}
+
+// TestRunExperimentContextParity: the context-first entry point yields
+// results identical to RunExperiment.
+func TestRunExperimentContextParity(t *testing.T) {
+	cfg := edb.ExperimentConfig{Programs: []string{"bps"}, Workers: 1}
+	a, err := edb.RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := edb.RunExperimentContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 1 || len(b) != 1 || !reflect.DeepEqual(a[0].Summaries, b[0].Summaries) {
+		t.Errorf("context entry point diverges: %+v vs %+v", a, b)
+	}
+}
+
+// TestRunExperimentContextCancelled: cancellation surfaces as an error
+// through the public facade.
+func TestRunExperimentContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	edb.ResetExperimentCache()
+	defer edb.ResetExperimentCache()
+	if _, err := edb.RunExperimentContext(ctx, edb.ExperimentConfig{Programs: []string{"bps"}}); err == nil {
+		t.Fatal("cancelled context: want error")
+	}
+}
+
+// TestTypedErrorsAs: the re-exported error types are errors.As-able —
+// the documented replacement for string matching.
+func TestTypedErrorsAs(t *testing.T) {
+	edb.ResetExperimentCache()
+	defer edb.ResetExperimentCache()
+	// A benchmark that cannot exist fails every pipeline; KeepGoing
+	// aggregates the failure into a RunError.
+	_, err := edb.RunExperiment(edb.ExperimentConfig{
+		Programs: []string{"no-such-benchmark"}, KeepGoing: true,
+	})
+	if err == nil {
+		t.Fatal("want aggregated failure")
+	}
+	var re *edb.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("errors.As(*edb.RunError) failed on %T: %v", err, err)
+	}
+	if len(re.Failures) != 1 || re.Failures[0].Program != "no-such-benchmark" {
+		t.Errorf("failures = %+v", re.Failures)
+	}
+	if !re.Failed("no-such-benchmark") {
+		t.Error("Failed() lookup broken")
+	}
+}
+
+// TestMetricsFacade: the re-exported Metrics registry flows through an
+// experiment run and exports Prometheus text.
+func TestMetricsFacade(t *testing.T) {
+	ms := edb.NewMetrics()
+	edb.ResetExperimentCache()
+	defer edb.ResetExperimentCache()
+	cfg := edb.ExperimentConfig{Programs: []string{"bps"}, Workers: 1}
+	cfg.Metrics = ms
+	if _, err := edb.RunExperimentContext(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	var snap edb.MetricsSnapshot = ms.Snapshot()
+	if snap.Counters[`edb_benchmarks_total{result="ok"}`] != 1 {
+		t.Errorf("benchmark counter: %v", snap.Counters)
+	}
+	var buf bytes.Buffer
+	if err := ms.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("edb_benchmarks_total")) {
+		t.Errorf("prometheus dump missing counter:\n%s", buf.String())
+	}
+}

@@ -22,9 +22,11 @@ import (
 	"edb/internal/core/trappatch"
 	"edb/internal/core/vmwms"
 	"edb/internal/core/wms"
+	"edb/internal/fault"
 	"edb/internal/hw"
 	"edb/internal/kernel"
 	"edb/internal/minic"
+	"edb/internal/obsv"
 )
 
 // Strategy selects the WMS implementation backing a session.
@@ -102,47 +104,86 @@ type Session struct {
 	// LocalInstallFailures counts local-monitor installs rejected by the
 	// backend (hardware register exhaustion).
 	LocalInstallFailures int
+
+	// obs receives run spans when the session was built by LaunchWith
+	// with a tracer (nil otherwise — the free path).
+	obs *obsv.Tracer
+}
+
+// LaunchConfig configures LaunchWith. The zero value matches
+// Launch(src, strat, 0): default page size, no observation, no fault
+// plan.
+type LaunchConfig struct {
+	// PageSize is the machine page size (0 = arch.PageSize4K). It
+	// matters only for the VirtualMemory strategy.
+	PageSize int
+	// Obs, when non-nil, receives launch and run spans (compile, patch,
+	// assemble, attach, run). A nil tracer records nothing and costs a
+	// nil check.
+	Obs *obsv.Tracer
+	// FaultPlan, when non-nil, is activated (process-wide — see
+	// fault.Activate) before the launch pipeline runs, so chaos rules
+	// apply to this session's compile and execution.
+	FaultPlan *fault.Plan
 }
 
 // Launch compiles src with the mini-C compiler, applies whatever
 // compile-time patching the strategy requires, loads the image, and
 // attaches the WMS backend. pageSize matters only for VirtualMemory.
 func Launch(src string, strat Strategy, pageSize int) (*Session, error) {
+	return LaunchWith(src, strat, LaunchConfig{PageSize: pageSize})
+}
+
+// LaunchWith is Launch with explicit configuration: observation spans
+// around every launch phase and an optional fault plan.
+func LaunchWith(src string, strat Strategy, c LaunchConfig) (*Session, error) {
+	pageSize := c.PageSize
 	if pageSize == 0 {
 		pageSize = arch.PageSize4K
 	}
+	if c.FaultPlan != nil {
+		fault.Activate(c.FaultPlan)
+	}
+	launch := c.Obs.StartSpan("launch")
+	launch.Attr("strategy", string(strat))
+	defer launch.End()
+	sp := c.Obs.StartSpan("compile")
 	prog, err := minic.Compile(src)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	var tpRes *trappatch.PatchResult
+	sp = c.Obs.StartSpan("patch")
 	switch strat {
 	case TrapPatch:
-		if tpRes, err = trappatch.Patch(prog); err != nil {
-			return nil, err
-		}
+		tpRes, err = trappatch.Patch(prog)
 	case CodePatch:
-		if _, err = codepatch.Patch(prog); err != nil {
-			return nil, err
-		}
+		_, err = codepatch.Patch(prog)
 	case CodePatchOpt:
-		if _, err = codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true}); err != nil {
-			return nil, err
-		}
+		_, err = codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true})
 	case NativeHardware, VirtualMemory:
 		// No compile-time transformation.
 	default:
-		return nil, fmt.Errorf("debug: unknown strategy %q", strat)
+		err = fmt.Errorf("debug: unknown strategy %q", strat)
 	}
-	img, err := asm.Assemble(prog)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = c.Obs.StartSpan("assemble")
+	img, err := asm.Assemble(prog)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sp = c.Obs.StartSpan("attach")
+	defer sp.End()
 	m, err := kernel.NewMachine(img, pageSize)
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{Strategy: strat, Machine: m, Image: img, bps: make(map[string]*Breakpoint)}
+	s := &Session{Strategy: strat, Machine: m, Image: img, bps: make(map[string]*Breakpoint), obs: c.Obs}
 	notify := s.onHit
 	switch strat {
 	case NativeHardware:
@@ -266,7 +307,18 @@ func (s *Session) Breakpoints() []*Breakpoint {
 }
 
 // Run executes the debuggee to completion.
-func (s *Session) Run(fuel uint64) error { return s.Machine.Run(fuel) }
+func (s *Session) Run(fuel uint64) error {
+	sp := s.obs.StartSpan("run")
+	sp.Attr("strategy", string(s.Strategy))
+	err := s.Machine.Run(fuel)
+	sp.Int("cycles", int64(s.Machine.CPU.Cycles))
+	sp.Int("hits", int64(len(s.log)))
+	if err != nil {
+		sp.Attr("error", err.Error())
+	}
+	sp.End()
+	return err
+}
 
 // Hits returns the notification log.
 func (s *Session) Hits() []Hit { return s.log }

@@ -102,7 +102,12 @@ func keyFor(p progs.Program) cacheKey {
 // cacheEntry), and the entry mutex is released by defer, so a build
 // that panics (chaos injection, genuine bug) leaves the entry clean
 // and unlocked for the next caller.
-func cachedArtifacts(p progs.Program) (*artifacts, error) {
+//
+// Observation (o may be nil = disabled): a request served from the
+// cache — including one that merely waited for another goroutine's
+// in-flight build — counts as a hit; a request that runs the build
+// counts as a miss and wraps the build in a PhaseBuild span.
+func cachedArtifacts(p progs.Program, o *obs) (*artifacts, error) {
 	key := keyFor(p)
 	cacheMu.Lock()
 	e := cache[key]
@@ -115,9 +120,13 @@ func cachedArtifacts(p progs.Program) (*artifacts, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.art != nil {
+		o.cacheResult(p.Name, true)
 		return e.art, nil
 	}
-	art, err := buildArtifacts(p)
+	o.cacheResult(p.Name, false)
+	ps := o.phase(p.Name, PhaseBuild)
+	art, err := buildArtifacts(p, o)
+	ps.done(err)
 	if err != nil {
 		return nil, err
 	}
@@ -127,16 +136,20 @@ func cachedArtifacts(p progs.Program) (*artifacts, error) {
 
 // buildArtifacts runs the uncached pipeline: compile, assemble, trace
 // one run (phase 1), and take the static code-size measurements.
-func buildArtifacts(p progs.Program) (*artifacts, error) {
+func buildArtifacts(p progs.Program, o *obs) (*artifacts, error) {
 	if err := fault.Inject(fault.SiteBuildArtifacts, p.Name); err != nil {
 		return nil, fmt.Errorf("exp: building artifacts for %s: %w", p.Name, err)
 	}
 	builds.Add(1)
+	ps := o.phase(p.Name, PhaseCompile)
 	prog, err := minic.Compile(p.Source)
+	ps.done(err)
 	if err != nil {
 		return nil, fmt.Errorf("exp: compiling %s: %w", p.Name, err)
 	}
+	ps = o.phase(p.Name, PhaseAssemble)
 	img, err := asm.Assemble(prog)
+	ps.done(err)
 	if err != nil {
 		return nil, fmt.Errorf("exp: assembling %s: %w", p.Name, err)
 	}
@@ -144,13 +157,21 @@ func buildArtifacts(p progs.Program) (*artifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: machine for %s: %w", p.Name, err)
 	}
+	ps = o.phase(p.Name, PhaseTracegen)
 	tr, err := tracer.New(m, p.Name).Run(p.Fuel)
+	events := int64(-1)
+	if tr != nil {
+		events = int64(len(tr.Events))
+	}
+	ps.doneTraced(err, events)
 	if err != nil {
 		return nil, fmt.Errorf("exp: tracing %s: %w", p.Name, err)
 	}
 	a := &artifacts{tr: tr}
 	stores, total := img.CountStores()
 	a.storeFraction = float64(stores) / float64(total)
+	ps = o.phase(p.Name, PhaseMeasure)
+	defer ps.done(nil)
 	// Code-expansion estimate for CodePatch (patches a fresh compile).
 	if prog2, err := minic.Compile(p.Source); err == nil {
 		if pr, err := codepatch.Patch(prog2); err == nil {

@@ -178,7 +178,7 @@ func chaosTrace(t *testing.T) (*trace.Trace, []byte) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	art, err := cachedArtifacts(p)
+	art, err := cachedArtifacts(p, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	rtdebug "runtime/debug"
@@ -18,6 +19,7 @@ import (
 
 	"edb/internal/fault"
 	"edb/internal/model"
+	"edb/internal/obsv"
 	"edb/internal/progs"
 	"edb/internal/sessions"
 	"edb/internal/sim"
@@ -44,6 +46,13 @@ type Config struct {
 	// context.Background(). Cancellation is observed between pipeline
 	// phases, so a deadline bounds the run to roughly one phase's
 	// granularity.
+	//
+	// Deprecated: carrying a context in a struct hides the caller's
+	// cancellation scope. Pass the context as an argument instead:
+	// RunContext(ctx, cfg) (or edb.RunExperimentContext). This field
+	// remains honored for one release — Run consults it, and
+	// RunContext falls back to it when called with a background
+	// context — and will then be removed.
 	Context context.Context
 	// KeepGoing turns the pipeline from fail-fast into gracefully
 	// degrading: instead of cancelling the pool on the first failure,
@@ -61,6 +70,26 @@ type Config struct {
 	// attempt and is capped at 8x. Zero defaults to 2ms (kept tiny: the
 	// "remote service" being backed off is an in-process pipeline).
 	RetryBackoff time.Duration
+
+	// Tracer, when non-nil, collects a span for every phase boundary
+	// of the pipeline — per-benchmark compile, assemble, tracegen,
+	// session discovery, replay (with per-shard spans), model
+	// evaluation — plus instant events for cache hits/misses, retries,
+	// contained panics, and chaos-fault firings. Export the collected
+	// stream with the obsv exporters (text timeline, Chrome
+	// trace_event JSON for Perfetto, JSONL). Nil disables span
+	// collection at zero cost.
+	Tracer *obsv.Tracer
+	// Metrics, when non-nil, receives pipeline counters, gauges, and
+	// histograms (cache hit/miss, retries, worker panics, per-phase
+	// wall-time histograms, replay events/sec). Nil disables at zero
+	// cost.
+	Metrics *obsv.Metrics
+	// Observer, when non-nil, receives live progress callbacks (phase
+	// started/finished, N-of-M benchmarks, replay events/sec feed).
+	// Implementations must be concurrency-safe when Workers > 1. Nil
+	// disables at zero cost.
+	Observer Observer
 }
 
 func (c *Config) withDefaults() Config {
@@ -76,9 +105,6 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.Workers < 1 {
 		out.Workers = runtime.GOMAXPROCS(0)
-	}
-	if out.Context == nil {
-		out.Context = context.Background()
 	}
 	if out.Retries < 0 {
 		out.Retries = 0
@@ -238,17 +264,23 @@ func RunProgram(p progs.Program, timings model.Timings) (*ProgramResult, error) 
 // build and before the analysis pass), so a deadline bounds the run to
 // roughly one phase's granularity.
 func RunProgramContext(ctx context.Context, p progs.Program, timings model.Timings) (*ProgramResult, error) {
+	return runProgram(ctx, p, timings, nil)
+}
+
+// runProgram is RunProgramContext with the run's observation bundle
+// threaded through (nil = disabled).
+func runProgram(ctx context.Context, p progs.Program, timings model.Timings, o *obs) (*ProgramResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", p.Name, err)
 	}
-	art, err := cachedArtifacts(p)
+	art, err := cachedArtifacts(p, o)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", p.Name, err)
 	}
-	res, err := analyze(art.tr, timings, art.elideFrac, art.fastFrac)
+	res, err := analyze(art.tr, timings, art.elideFrac, art.fastFrac, o)
 	if err != nil {
 		return nil, err
 	}
@@ -266,17 +298,23 @@ func RunProgramContext(ctx context.Context, p progs.Program, timings model.Timin
 // unknown, so the CPOpt column degenerates to CP; RunProgram threads
 // the real fractions through.
 func Analyze(tr *trace.Trace, timings model.Timings) (*ProgramResult, error) {
-	return analyze(tr, timings, 0, 0)
+	return analyze(tr, timings, 0, 0, nil)
 }
 
 // analyze is Analyze with the dynamic CP-opt check-class fractions of
-// the traced program's writes.
-func analyze(tr *trace.Trace, timings model.Timings, elideFrac, fastFrac float64) (*ProgramResult, error) {
+// the traced program's writes and the run's observation bundle.
+func analyze(tr *trace.Trace, timings model.Timings, elideFrac, fastFrac float64, o *obs) (*ProgramResult, error) {
+	ps := o.phase(tr.Program, PhaseDiscover)
 	set := sessions.Discover(tr)
-	out, err := sim.Run(tr, set)
+	ps.done(nil)
+	ps = o.phase(tr.Program, PhaseReplay)
+	out, err := sim.RunWithOptions(tr, set, sim.Options{Obs: o.simObs()})
+	ps.doneEvents(err, int64(len(tr.Events)))
 	if err != nil {
 		return nil, fmt.Errorf("exp: simulating %s: %w", tr.Program, err)
 	}
+	ps = o.phase(tr.Program, PhaseModel)
+	defer ps.done(nil)
 	res := &ProgramResult{
 		Program:        tr.Program,
 		BaseSeconds:    tr.BaseSeconds(),
@@ -357,27 +395,31 @@ func toModelCounting(c sim.Counting) model.Counting {
 // converting a panic anywhere in the pipeline (a chaos injection, or a
 // genuine bug in one benchmark's compile/trace/replay) into a typed
 // *WorkerError instead of letting one goroutine kill the process.
-func runProtected(ctx context.Context, p progs.Program, timings model.Timings) (res *ProgramResult, err error) {
+func runProtected(ctx context.Context, p progs.Program, timings model.Timings, o *obs) (res *ProgramResult, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			res = nil
 			err = &WorkerError{Program: p.Name, Value: v, Stack: rtdebug.Stack()}
 		}
 	}()
-	return RunProgramContext(ctx, p, timings)
+	return runProgram(ctx, p, timings, o)
 }
 
 // runWithRetry wraps runProtected in the bounded-retry policy: only
 // failures classified transient (fault.IsTransient) are retried, at
 // most c.Retries times, with a per-attempt backoff that doubles from
 // c.RetryBackoff and is capped at 8x. The sleep is context-aware.
-func runWithRetry(c *Config, p progs.Program) (*ProgramResult, error) {
+func runWithRetry(ctx context.Context, c *Config, p progs.Program, o *obs) (*ProgramResult, error) {
 	var err error
 	for attempt := 0; ; attempt++ {
 		var res *ProgramResult
-		res, err = runProtected(c.Context, p, c.Timings)
+		res, err = runProtected(ctx, p, c.Timings, o)
 		if err == nil {
 			return res, nil
+		}
+		var we *WorkerError
+		if errors.As(err, &we) {
+			o.workerPanic(p.Name)
 		}
 		if !fault.IsTransient(err) {
 			return nil, err
@@ -386,15 +428,16 @@ func runWithRetry(c *Config, p progs.Program) (*ProgramResult, error) {
 			return nil, fmt.Errorf("exp: %s: giving up after %d attempts: %w",
 				p.Name, attempt+1, err)
 		}
+		o.retry(p.Name, attempt+1, err)
 		backoff := c.RetryBackoff << uint(attempt)
 		if max := 8 * c.RetryBackoff; backoff > max {
 			backoff = max
 		}
 		timer := time.NewTimer(backoff)
 		select {
-		case <-c.Context.Done():
+		case <-ctx.Done():
 			timer.Stop()
-			return nil, fmt.Errorf("exp: %s: %w", p.Name, c.Context.Err())
+			return nil, fmt.Errorf("exp: %s: %w", p.Name, ctx.Err())
 		case <-timer.C:
 		}
 	}
@@ -422,18 +465,52 @@ func runWithRetry(c *Config, p progs.Program) (*ProgramResult, error) {
 // programs come back as placeholder results (Err != nil) in their
 // Programs slot, and Run returns the partial results together with a
 // *RunError listing the failures in Programs order.
+//
+// Run is the struct-context compatibility entry point: it honors the
+// deprecated Config.Context field. New code should call RunContext.
 func Run(cfg Config) ([]*ProgramResult, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run under a caller-supplied context — the context-first
+// form. ctx cancels or deadlines the whole run; cancellation is
+// observed between pipeline phases, so a deadline bounds the run to
+// roughly one phase's granularity.
+//
+// Compatibility shim: when ctx is nil or context.Background() and the
+// deprecated Config.Context field is set, that field is used, so
+// callers migrating one layer at a time keep their old behaviour.
+func RunContext(ctx context.Context, cfg Config) ([]*ProgramResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Context != nil && ctx == context.Background() {
+		ctx = cfg.Context
+	}
 	c := cfg.withDefaults()
 	n := len(c.Programs)
 	out := make([]*ProgramResult, n)
 	errs := make([]error, n)
 
+	o := newObs(&c, n)
+	if o != nil {
+		// Surface chaos-fault firings through this run's sinks. The
+		// hook is process-global (like fault plans themselves); the
+		// previous hook is restored on return.
+		prev := fault.SetOnFire(o.faultFired)
+		defer fault.SetOnFire(prev)
+	}
+
 	runOne := func(i int) error {
 		p, err := progs.ByName(c.Programs[i], c.Scale)
 		if err != nil {
+			o.benchmarkDone(c.Programs[i], err)
 			return err
 		}
-		out[i], err = runWithRetry(&c, p)
+		ps := o.phase(p.Name, PhaseBenchmark)
+		out[i], err = runWithRetry(ctx, &c, p, o)
+		ps.done(err)
+		o.benchmarkDone(p.Name, err)
 		return err
 	}
 

@@ -338,14 +338,14 @@ func TestCacheSurvivesBuildPanic(t *testing.T) {
 					t.Error("expected injected panic to escape cachedArtifacts")
 				}
 			}()
-			cachedArtifacts(p)
+			cachedArtifacts(p, nil)
 		}()
 		// The entry's mutex must have been released by the deferred
 		// unlock; a rebuild on the same key succeeds (with a timeout so
 		// a deadlocked entry fails fast instead of hanging the suite).
 		done := make(chan error, 1)
 		go func() {
-			_, err := cachedArtifacts(p)
+			_, err := cachedArtifacts(p, nil)
 			done <- err
 		}()
 		select {

@@ -245,6 +245,38 @@ func SeededRule(seed int64, site Site, keys []string, kinds ...Kind) Rule {
 // disabled and every site is a single atomic load.
 var active atomic.Pointer[Plan]
 
+// onFire is the optional observation hook: when set, every firing
+// injection (any kind, Corrupt included) reports (site, key, kind)
+// after the plan's bookkeeping completes and outside the plan lock.
+// The pipeline observability layer (internal/obsv via internal/exp)
+// uses it to surface chaos firings as trace events and metrics. It
+// costs nothing unless a plan is active — the hook is only consulted
+// on the firing path.
+var onFire atomic.Pointer[func(Site, string, Kind)]
+
+// SetOnFire installs fn as the process-wide firing observation hook
+// and returns the previously installed hook (nil if none), so callers
+// can restore it. Passing nil clears the hook. The hook must be fast
+// and must not call back into the active plan.
+func SetOnFire(fn func(Site, string, Kind)) (prev func(Site, string, Kind)) {
+	var p *func(Site, string, Kind)
+	if fn != nil {
+		p = &fn
+	}
+	old := onFire.Swap(p)
+	if old == nil {
+		return nil
+	}
+	return *old
+}
+
+// fireHook invokes the observation hook, if any.
+func fireHook(site Site, key string, kind Kind) {
+	if fn := onFire.Load(); fn != nil {
+		(*fn)(site, key, kind)
+	}
+}
+
 // Activate installs p as the process-wide fault plan. Passing nil
 // disables injection. Tests own this global: production code never
 // activates a plan.
@@ -322,6 +354,7 @@ func (p *Plan) inject(site Site, key string) error {
 	p.fired[site]++
 	kind := r.Kind
 	p.mu.Unlock()
+	fireHook(site, key, kind)
 	e := &Error{Site: site, Key: key, Kind: kind, Invocation: inv}
 	if kind == Panic {
 		panic(&PanicValue{Err: e})
@@ -347,14 +380,16 @@ func (p *Plan) mutate(site Site, key string, data []byte) bool {
 		return false
 	}
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	ck := countKey{site: site, key: key}
 	inv := p.counts[ck]
 	p.counts[ck] = inv + 1
 	if p.match(site, key, inv, true) == nil {
+		p.mu.Unlock()
 		return false
 	}
 	p.fired[site]++
+	p.mu.Unlock()
+	fireHook(site, key, Corrupt)
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|%s|%s|%d|%d", p.seed, site, key, inv, len(data))
 	bit := h.Sum64() % uint64(len(data)*8)

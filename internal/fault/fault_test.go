@@ -206,3 +206,59 @@ func TestKindString(t *testing.T) {
 		}
 	}
 }
+
+// TestOnFireHook: the observation hook sees every firing injection
+// (inject and mutate paths), with the prior hook restorable.
+func TestOnFireHook(t *testing.T) {
+	type firing struct {
+		site Site
+		key  string
+		kind Kind
+	}
+	var got []firing
+	prev := SetOnFire(func(s Site, k string, kind Kind) {
+		got = append(got, firing{s, k, kind})
+	})
+	defer func() {
+		Deactivate()
+		SetOnFire(prev)
+	}()
+
+	Activate(NewPlan(1,
+		Rule{Site: SiteSimReplay, Key: "gcc", Kind: Transient, Times: 1},
+		Rule{Site: SiteTraceCorrupt, Kind: Corrupt, Times: 1},
+	))
+	if err := Inject(SiteSimReplay, "gcc"); err == nil {
+		t.Fatal("expected injected error")
+	}
+	if err := Inject(SiteSimReplay, "gcc"); err != nil {
+		t.Fatalf("rule window exceeded, got %v", err)
+	}
+	if err := Inject(SiteBuildArtifacts, "gcc"); err != nil {
+		t.Fatalf("unarmed site fired: %v", err)
+	}
+	data := []byte{0, 0, 0, 0}
+	if !Mutate(SiteTraceCorrupt, "bps", data) {
+		t.Fatal("expected mutation")
+	}
+	want := []firing{
+		{SiteSimReplay, "gcc", Transient},
+		{SiteTraceCorrupt, "bps", Corrupt},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("hook saw %d firings (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("firing[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	// Cleared hook: further firings are silent.
+	SetOnFire(nil)
+	Activate(NewPlan(1, Rule{Site: SiteSimReplay, Key: "gcc", Kind: Transient, Times: 1}))
+	_ = Inject(SiteSimReplay, "gcc")
+	if len(got) != 2 {
+		t.Fatalf("cleared hook still fired: %d records", len(got))
+	}
+}

@@ -1,0 +1,360 @@
+// The metrics half of the observability substrate: a registry of
+// counters, gauges, and histograms with lock-free hot paths, a
+// Prometheus-text-format dump, and a consistent snapshot API.
+//
+// Series naming: a metric name is either a bare identifier
+// ("edb_cache_hits_total") or an identifier with a Prometheus label
+// set baked in ("edb_phase_seconds{phase=\"replay\"}"). The registry
+// treats the full string as the series key; the Prometheus writer
+// splits it so histogram suffixes (_bucket/_sum/_count) land on the
+// base name with the labels merged in, producing output any
+// Prometheus parser accepts.
+//
+// Disabled path: the convenience mutators (Add, Inc, Set, Observe)
+// are no-ops on a nil *Metrics — one nil check, no map lookup. Hot
+// code that keeps a resolved *Counter/*Gauge/*Histogram handle pays
+// one atomic op per update.
+
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing cumulative count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d (d < 0 is ignored: counters are
+// monotone).
+func (c *Counter) Add(d int64) {
+	if d > 0 {
+		c.v.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefSecondsBuckets is the default histogram bucketing: exponential
+// seconds buckets spanning 1 ms to 100 s — sized for pipeline phase
+// wall times.
+var DefSecondsBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// Histogram is a fixed-bucket cumulative histogram. Observations are
+// lock-free; Snapshot and the Prometheus writer read the atomics
+// without stopping writers (bucket counts, total, and sum are each
+// individually consistent — the standard Prometheus scrape semantics).
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Metrics is a registry of named series. The zero value is not usable;
+// call NewMetrics. All methods are safe for concurrent use, and the
+// convenience mutators (Add, Inc, Set, Observe) are no-ops on a nil
+// receiver — the disabled path.
+type Metrics struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. Requires a non-nil registry (resolve handles only on the
+// enabled path; use Add/Inc for nil-safe one-shot updates).
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.counters[name]
+	if c == nil {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (nil bounds selects
+// DefSecondsBuckets). Later calls ignore bounds.
+func (m *Metrics) Histogram(name string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefSecondsBuckets
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.histograms[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		m.histograms[name] = h
+	}
+	return h
+}
+
+// Add increments the named counter by d. No-op on a nil registry.
+func (m *Metrics) Add(name string, d int64) {
+	if m == nil {
+		return
+	}
+	m.Counter(name).Add(d)
+}
+
+// Inc increments the named counter by one. No-op on a nil registry.
+func (m *Metrics) Inc(name string) {
+	if m == nil {
+		return
+	}
+	m.Counter(name).Inc()
+}
+
+// Set sets the named gauge. No-op on a nil registry.
+func (m *Metrics) Set(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.Gauge(name).Set(v)
+}
+
+// Observe records v into the named histogram (DefSecondsBuckets on
+// first use). No-op on a nil registry.
+func (m *Metrics) Observe(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.Histogram(name, nil).Observe(v)
+}
+
+// HistogramSnapshot is one histogram's state at snapshot time.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (ascending; +Inf implicit).
+	Bounds []float64
+	// Counts are per-bucket (non-cumulative) counts, len(Bounds)+1
+	// with the overflow bucket last.
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot is a point-in-time copy of every registered series.
+type Snapshot struct {
+	Counters   map[string]int64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the registry's current state. Nil-safe (returns an
+// empty snapshot).
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, c := range m.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range m.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range m.histograms {
+		hs := HistogramSnapshot{
+			Bounds: h.bounds,
+			Counts: make([]uint64, len(h.counts)),
+			Count:  h.Count(),
+			Sum:    h.Sum(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// splitName separates a series name into its base identifier and the
+// label body (the text inside the braces, "" if unlabelled).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+		labels = strings.TrimSuffix(name[i+1:], "}")
+		return base, labels
+	}
+	return name, ""
+}
+
+// joinLabels renders a label body plus an extra label as "{a,b}".
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatLe(b float64) string {
+	if math.IsInf(b, +1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// WritePrometheus dumps every series in the Prometheus text exposition
+// format, sorted by series name, with one # TYPE line per base name.
+// Nil-safe (writes nothing).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	if m == nil {
+		return nil
+	}
+	snap := m.Snapshot()
+
+	typed := make(map[string]bool) // base names already TYPE-declared
+	emitType := func(base, typ string) string {
+		if typed[base] {
+			return ""
+		}
+		typed[base] = true
+		return "# TYPE " + base + " " + typ + "\n"
+	}
+
+	var names []string
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, labels := splitName(name)
+		if _, err := fmt.Fprintf(w, "%s%s%s %d\n",
+			emitType(base, "counter"), base, joinLabels(labels, ""), snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, labels := splitName(name)
+		if _, err := fmt.Fprintf(w, "%s%s%s %g\n",
+			emitType(base, "gauge"), base, joinLabels(labels, ""), snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		base, labels := splitName(name)
+		if _, err := io.WriteString(w, emitType(base, "histogram")); err != nil {
+			return err
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			bound := math.Inf(+1)
+			if i < len(h.Bounds) {
+				bound = h.Bounds[i]
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				base, joinLabels(labels, `le="`+formatLe(bound)+`"`), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", base, joinLabels(labels, ""), h.Sum); err != nil {
+			return err
+		}
+		// _count must equal the +Inf bucket, so derive it from the same
+		// cumulative sum rather than the separately-read total.
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, joinLabels(labels, ""), cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

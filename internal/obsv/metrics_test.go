@@ -1,0 +1,153 @@
+package obsv
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilMetricsIsInert(t *testing.T) {
+	var m *Metrics
+	m.Add("c", 3)
+	m.Inc("c")
+	m.Set("g", 1.5)
+	m.Observe("h", 0.25)
+	s := m.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatal("nil metrics must snapshot empty")
+	}
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil metrics WritePrometheus: err=%v out=%q", err, b.String())
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	m := NewMetrics()
+	m.Add("edb_cache_hits_total", 2)
+	m.Inc("edb_cache_hits_total")
+	m.Counter("edb_cache_hits_total").Add(-5) // ignored: counters are monotone
+	if got := m.Counter("edb_cache_hits_total").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	m.Set("edb_replay_events_per_sec", 1.5e6)
+	if got := m.Gauge("edb_replay_events_per_sec").Value(); got != 1.5e6 {
+		t.Fatalf("gauge = %v", got)
+	}
+	h := m.Histogram("edb_phase_seconds", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("hist count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 5 + 50; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Fatalf("hist sum = %v, want %v", h.Sum(), want)
+	}
+	s := m.Snapshot()
+	hs := s.Histograms["edb_phase_seconds"]
+	// le semantics: 0.1 lands in the le="0.1" bucket.
+	if want := []uint64{2, 1, 1, 1}; len(hs.Counts) != 4 ||
+		hs.Counts[0] != want[0] || hs.Counts[1] != want[1] ||
+		hs.Counts[2] != want[2] || hs.Counts[3] != want[3] {
+		t.Fatalf("bucket counts = %v, want %v", hs.Counts, want)
+	}
+}
+
+// promLine matches the Prometheus text exposition format: comments or
+// `name{labels} value`.
+var promLine = regexp.MustCompile(`^(# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+(Inf|NaN)?)$`)
+
+// TestPrometheusFormat: the dump is parsable line-by-line, declares
+// types once per base name, merges baked-in labels with le, and emits
+// cumulative monotone buckets with _count equal to the +Inf bucket.
+func TestPrometheusFormat(t *testing.T) {
+	m := NewMetrics()
+	m.Add("edb_retries_total", 2)
+	m.Add(`edb_cache_total{result="hit"}`, 7)
+	m.Add(`edb_cache_total{result="miss"}`, 5)
+	m.Set("edb_workers", 4)
+	m.Histogram(`edb_phase_seconds{phase="replay"}`, []float64{0.1, 1}).Observe(0.5)
+	m.Histogram(`edb_phase_seconds{phase="compile"}`, []float64{0.1, 1}).Observe(0.05)
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !promLine.MatchString(line) {
+			t.Errorf("unparsable exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE edb_retries_total counter\n",
+		"# TYPE edb_cache_total counter\n",
+		`edb_cache_total{result="hit"} 7` + "\n",
+		`edb_cache_total{result="miss"} 5` + "\n",
+		"# TYPE edb_workers gauge\nedb_workers 4\n",
+		"# TYPE edb_phase_seconds histogram\n",
+		`edb_phase_seconds_bucket{phase="replay",le="1"} 1` + "\n",
+		`edb_phase_seconds_bucket{phase="replay",le="+Inf"} 1` + "\n",
+		`edb_phase_seconds_count{phase="replay"} 1` + "\n",
+		`edb_phase_seconds_sum{phase="compile"} 0.05` + "\n",
+		`edb_phase_seconds_bucket{phase="compile",le="0.1"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE edb_phase_seconds histogram"); n != 1 {
+		t.Errorf("TYPE declared %d times, want once", n)
+	}
+}
+
+// TestMetricsSnapshotRace hammers every series type from concurrent
+// writers while snapshotting and dumping — the -race gate for the
+// registry (`go test -race ./internal/obsv/`).
+func TestMetricsSnapshotRace(t *testing.T) {
+	m := NewMetrics()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Inc("edb_cache_hits_total")
+				m.Set("edb_workers", float64(g))
+				m.Observe(`edb_phase_seconds{phase="replay"}`, float64(i%10)/10)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		s := m.Snapshot()
+		if s.Counters["edb_cache_hits_total"] < 0 {
+			t.Error("negative counter")
+		}
+		var b strings.Builder
+		if err := m.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	// Final consistency: the histogram's cumulative +Inf bucket equals
+	// its count once writers stop.
+	s := m.Snapshot()
+	hs := s.Histograms[`edb_phase_seconds{phase="replay"}`]
+	var cum uint64
+	for _, c := range hs.Counts {
+		cum += c
+	}
+	if cum != hs.Count {
+		t.Fatalf("bucket total %d != count %d", cum, hs.Count)
+	}
+}

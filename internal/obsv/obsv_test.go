@@ -1,0 +1,129 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilTracerIsInert: the disabled path — every method on a nil
+// tracer and its spans is a safe no-op.
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x")
+	sp.Attr("k", "v")
+	sp.Int("n", 1)
+	sp.Float("f", 1.5)
+	sp.End()
+	sp.End() // double-End safe too
+	tr.Event("e")
+	if tr.Records() != nil || tr.Len() != 0 || tr.Open() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report empty state")
+	}
+	tr.Reset()
+}
+
+// TestSpanLifecycle: spans record name, attrs, non-negative durations,
+// and the open-span counter balances.
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer(16)
+	sp := tr.StartSpan("phase")
+	if got := tr.Open(); got != 1 {
+		t.Fatalf("Open() = %d, want 1", got)
+	}
+	sp.Attr("program", "gcc")
+	sp.Int("events", 42)
+	sp.End()
+	sp.End() // second End must not double-record
+	if got := tr.Open(); got != 0 {
+		t.Fatalf("Open() after End = %d, want 0", got)
+	}
+	tr.Event("tick", KV{Key: "k", Val: "v"})
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	r := recs[0]
+	if r.Name != "phase" || r.Kind != KindSpan || r.Dur < 0 {
+		t.Fatalf("bad span record: %+v", r)
+	}
+	if len(r.Attrs) != 2 || r.Attrs[0] != (KV{"program", "gcc"}) || r.Attrs[1] != (KV{"events", "42"}) {
+		t.Fatalf("bad attrs: %+v", r.Attrs)
+	}
+	if e := recs[1]; e.Kind != KindEvent || e.Dur != 0 || e.Name != "tick" {
+		t.Fatalf("bad event record: %+v", e)
+	}
+	if recs[0].Seq >= recs[1].Seq {
+		t.Fatalf("Seq not increasing: %d then %d", recs[0].Seq, recs[1].Seq)
+	}
+}
+
+// TestRingOverwrite: a full ring drops the oldest records and counts
+// them.
+func TestRingOverwrite(t *testing.T) {
+	now := int64(0)
+	tr := NewTracerWithClock(4, func() int64 { now++; return now })
+	for i := 0; i < 7; i++ {
+		sp := tr.StartSpan(strings.Repeat("s", i+1))
+		sp.End()
+	}
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	recs := tr.Records()
+	if len(recs) != 4 {
+		t.Fatalf("Len = %d, want 4", len(recs))
+	}
+	// Oldest-first order survives the wrap.
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Seq >= recs[i].Seq {
+			t.Fatalf("records out of order at %d: %d >= %d", i, recs[i-1].Seq, recs[i].Seq)
+		}
+	}
+	if recs[0].Name != "ssss" {
+		t.Fatalf("oldest surviving record = %q, want \"ssss\"", recs[0].Name)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("Reset did not clear the ring")
+	}
+}
+
+// TestBackwardsClockClamps: a (test) clock stepping backwards must not
+// produce negative durations.
+func TestBackwardsClockClamps(t *testing.T) {
+	times := []int64{100, 50}
+	i := 0
+	tr := NewTracerWithClock(4, func() int64 { v := times[i]; i++; return v })
+	sp := tr.StartSpan("x")
+	sp.End()
+	if d := tr.Records()[0].Dur; d != 0 {
+		t.Fatalf("Dur = %d, want clamped 0", d)
+	}
+}
+
+// TestConcurrentSpans: many goroutines record concurrently without
+// losing the open/closed balance (run under -race in CI).
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := tr.StartSpan("worker")
+				sp.Int("g", int64(g))
+				sp.End()
+				tr.Event("tick")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := tr.Open(); got != 0 {
+		t.Fatalf("Open() = %d, want 0", got)
+	}
+	if got := tr.Len() + int(tr.Dropped()); got != 8*200*2 {
+		t.Fatalf("records+dropped = %d, want %d", got, 8*200*2)
+	}
+}

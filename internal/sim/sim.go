@@ -41,11 +41,13 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"edb/internal/arch"
 	"edb/internal/fault"
 	"edb/internal/objects"
+	"edb/internal/obsv"
 	"edb/internal/sessions"
 	"edb/internal/trace"
 )
@@ -142,16 +144,46 @@ type simulator struct {
 // (one full event-stream scan per worker) outweighs the parallelism.
 const ShardThreshold = 64
 
+// Options parameterises a replay beyond the trace and session set.
+// The zero value reproduces Run's behaviour exactly.
+type Options struct {
+	// Shards selects the engine: 0 auto-selects (Sharded across
+	// GOMAXPROCS workers when the host has spare cores and the session
+	// population is at least ShardThreshold), 1 forces Sequential, and
+	// >1 forces Sharded with that worker count.
+	Shards int
+	// Obs, when non-nil, receives replay-engine spans: the
+	// write-resolution producer pass and one span per shard worker
+	// (with its session index range), so a Perfetto timeline shows the
+	// replay fan-out. Nil disables observation at zero cost; results
+	// are bit-identical either way (observation never feeds back).
+	Obs *obsv.Tracer
+}
+
 // Run replays the trace against the session set, picking the replay
 // engine automatically: Sharded across GOMAXPROCS workers when the host
 // has spare cores and the session population is at least
 // ShardThreshold, Sequential otherwise. Both engines produce
 // bit-identical output.
 func Run(tr *trace.Trace, set *sessions.Set) (*Output, error) {
-	if w := runtime.GOMAXPROCS(0); w > 1 && len(set.Sessions) >= ShardThreshold {
-		return Sharded(tr, set, w)
+	return RunWithOptions(tr, set, Options{})
+}
+
+// RunWithOptions is Run with explicit engine selection and
+// observability sinks (see Options).
+func RunWithOptions(tr *trace.Trace, set *sessions.Set, o Options) (*Output, error) {
+	shards := o.Shards
+	if shards == 0 {
+		if w := runtime.GOMAXPROCS(0); w > 1 && len(set.Sessions) >= ShardThreshold {
+			shards = w
+		} else {
+			shards = 1
+		}
 	}
-	return Sequential(tr, set)
+	if shards > 1 {
+		return sharded(tr, set, shards, o.Obs)
+	}
+	return sequential(tr, set, o.Obs)
 }
 
 // Sequential replays the trace against the session set on the calling
@@ -162,8 +194,19 @@ func Run(tr *trace.Trace, set *sessions.Set) (*Output, error) {
 // program name); with no active chaos plan the check is one atomic
 // load per replay, never per event.
 func Sequential(tr *trace.Trace, set *sessions.Set) (*Output, error) {
+	return sequential(tr, set, nil)
+}
+
+func sequential(tr *trace.Trace, set *sessions.Set, obs *obsv.Tracer) (*Output, error) {
 	if err := fault.Inject(fault.SiteSimReplay, tr.Program); err != nil {
 		return nil, fmt.Errorf("sim: replaying %s: %w", tr.Program, err)
+	}
+	if obs != nil {
+		sp := obs.StartSpan("replay-sequential")
+		sp.Attr("program", tr.Program)
+		sp.Int("sessions", int64(len(set.Sessions)))
+		sp.Int("events", int64(len(tr.Events)))
+		defer sp.End()
 	}
 	s := &simulator{
 		set: set,
@@ -334,6 +377,10 @@ func contains(xs []int32, x int32) bool {
 // because each session's counters are accumulated by exactly one worker
 // in full trace order. shards is clamped to [1, len(set.Sessions)].
 func Sharded(tr *trace.Trace, set *sessions.Set, shards int) (*Output, error) {
+	return sharded(tr, set, shards, nil)
+}
+
+func sharded(tr *trace.Trace, set *sessions.Set, shards int, obs *obsv.Tracer) (*Output, error) {
 	if err := fault.Inject(fault.SiteSimReplay, tr.Program); err != nil {
 		return nil, fmt.Errorf("sim: replaying %s: %w", tr.Program, err)
 	}
@@ -344,7 +391,17 @@ func Sharded(tr *trace.Trace, set *sessions.Set, shards int) (*Output, error) {
 	if shards > n {
 		shards = n
 	}
+	if obs != nil {
+		sp := obs.StartSpan("replay-sharded")
+		sp.Attr("program", tr.Program)
+		sp.Int("sessions", int64(n))
+		sp.Int("events", int64(len(tr.Events)))
+		sp.Int("shards", int64(shards))
+		defer sp.End()
+	}
+	resolveSpan := obs.StartSpan("replay-resolve")
 	resolved, totalWrites, err := tr.ResolveWrites()
+	resolveSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", tr.Program, err)
 	}
@@ -370,6 +427,12 @@ func Sharded(tr *trace.Trace, set *sessions.Set, shards int) (*Output, error) {
 		wg.Add(1)
 		go func(lo, hi int32) {
 			defer wg.Done()
+			if obs != nil {
+				sp := obs.StartSpan("replay-shard")
+				sp.Attr("program", tr.Program)
+				sp.Attr("sessions", strconv.Itoa(int(lo))+".."+strconv.Itoa(int(hi)))
+				defer sp.End()
+			}
 			replayShard(tr, set, resolved, lo, hi, out.PerSession[lo:hi])
 		}(lo, hi)
 	}
