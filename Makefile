@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck lint build test race chaos fuzz bench-pipeline bench-codepatch-opt obsv-bench
+.PHONY: ci vet staticcheck lint build test race chaos fuzz cover replay-gate bench-pipeline bench-replay bench-codepatch-opt obsv-bench
 
-ci: vet staticcheck build lint race chaos obsv-bench
+ci: vet staticcheck build lint race chaos cover obsv-bench replay-gate
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,34 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceRead -fuzztime $(FUZZTIME) ./internal/trace/
 
+# Coverage gate for the replay core's packages: statement coverage of
+# internal/sim and internal/sessions must not fall below the recorded
+# floors (set just under the flat-memory PR's levels — 95.0% / 100% at
+# the time of recording, up from 88.6% / 98.2% before it). A new replay
+# feature landing without property/oracle coverage fails here.
+cover:
+	@set -e; \
+	for spec in internal/sim:92.0 internal/sessions:99.0; do \
+		pkg=$${spec%%:*}; floor=$${spec##*:}; \
+		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage output (test failure?)"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% (floor $$floor%)"; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit (p+0 < f+0) ? 1 : 0 }' || { \
+			echo "cover: $$pkg coverage $$pct% fell below floor $$floor%"; exit 1; }; \
+	done
+
+# Replay-core regression gate: re-measures the phase-2 replay
+# benchmarks against BENCH_replay_core.json and fails on a >10% ns/op
+# regression or allocation growth (the static half — the committed
+# numbers must show the flat rewrite's >=2x time / >=5x alloc win —
+# runs inside the ordinary test suite). Like obsv-bench, wall-clock is
+# gated at baseline*(1+REPLAY_SLACK); the shared-vCPU CI host class is
+# noisy, so CI runs with the looser default below. Override on a quiet
+# dedicated host: make replay-gate REPLAY_SLACK=0.10
+REPLAY_SLACK ?= 0.25
+replay-gate:
+	EDB_REPLAY_BENCH=1 EDB_REPLAY_BENCH_SLACK=$(REPLAY_SLACK) $(GO) test -run TestReplayBenchGate -count=1 -v .
+
 # Observability disabled-path gate: re-measures the pipeline
 # benchmarks with observation off against BENCH_pipeline.json and
 # fails on regression. Allocation counts are the precision gate
@@ -78,6 +106,14 @@ obsv-bench:
 # BENCH_pipeline.json / EXPERIMENTS.md.
 bench-pipeline:
 	$(GO) test -bench 'BenchmarkSimReplay|BenchmarkExpRun' -benchmem -run '^$$' .
+
+# Regenerate the flat replay-core baseline recorded in
+# BENCH_replay_core.json: the end-to-end engine matrix (with and
+# without a shared prepass) plus the white-box prepass/replay-core
+# split.
+bench-replay:
+	$(GO) test -bench 'BenchmarkSimReplay' -benchmem -run '^$$' .
+	$(GO) test -bench 'BenchmarkPrepass$$|BenchmarkReplayCore' -benchmem -run '^$$' ./internal/sim/
 
 # Regenerate the CodePatch check-optimisation ablation recorded in
 # BENCH_codepatch_opt.json.

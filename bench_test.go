@@ -44,7 +44,7 @@ var (
 	fixErr     error
 )
 
-func fixtures(b *testing.B) (*trace.Trace, *sessions.Set, *sim.Output) {
+func fixtures(b testing.TB) (*trace.Trace, *sessions.Set, *sim.Output) {
 	b.Helper()
 	fixOnce.Do(func() {
 		p, err := progs.ByName("bps", 1)
@@ -236,14 +236,30 @@ func BenchmarkLiveStrategy(b *testing.B) {
 // BenchmarkSimReplay compares the two phase-2 replay engines on the
 // bps trace (the suite's largest session population): the sequential
 // one-pass simulator against the session-sharded engine at several
-// shard counts. On a multi-core host the sharded engine's wall-clock
-// should drop roughly with the shard count until sharding overhead
-// dominates; on one core it quantifies the fan-out overhead instead.
+// shard counts. The plain variants recompute the trace prepass per
+// replay (a cold standalone run); the -prepassed variants share one
+// precomputed prepass across iterations, which is what internal/exp
+// pays after caching the prepass with the trace artifact. On a
+// multi-core host the sharded engine's wall-clock should drop roughly
+// with the shard count until sharding overhead dominates; on one core
+// it quantifies the fan-out overhead instead.
 func BenchmarkSimReplay(b *testing.B) {
 	tr, set, _ := fixtures(b)
+	pp, err := sim.Prepare(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := sim.Sequential(tr, set); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(set.Sessions)), "sessions")
+	})
+	b.Run("sequential-prepassed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunWithOptions(tr, set, sim.Options{Shards: 1, Prepass: pp}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -259,6 +275,14 @@ func BenchmarkSimReplay(b *testing.B) {
 		b.Run(fmt.Sprintf("sharded-%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := sim.Sharded(tr, set, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(set.Sessions)), "sessions")
+		})
+		b.Run(fmt.Sprintf("sharded-%d-prepassed", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunWithOptions(tr, set, sim.Options{Shards: k, Prepass: pp}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -280,7 +280,7 @@ func runProgram(ctx context.Context, p progs.Program, timings model.Timings, o *
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("exp: %s: %w", p.Name, err)
 	}
-	res, err := analyze(art.tr, timings, art.elideFrac, art.fastFrac, o)
+	res, err := analyze(art.tr, art.pp, timings, art.elideFrac, art.fastFrac, o)
 	if err != nil {
 		return nil, err
 	}
@@ -298,17 +298,19 @@ func runProgram(ctx context.Context, p progs.Program, timings model.Timings, o *
 // unknown, so the CPOpt column degenerates to CP; RunProgram threads
 // the real fractions through.
 func Analyze(tr *trace.Trace, timings model.Timings) (*ProgramResult, error) {
-	return analyze(tr, timings, 0, 0, nil)
+	return analyze(tr, nil, timings, 0, 0, nil)
 }
 
-// analyze is Analyze with the dynamic CP-opt check-class fractions of
-// the traced program's writes and the run's observation bundle.
-func analyze(tr *trace.Trace, timings model.Timings, elideFrac, fastFrac float64, o *obs) (*ProgramResult, error) {
+// analyze is Analyze with the trace's precomputed replay prepass (nil
+// makes the replay engine compute it), the dynamic CP-opt check-class
+// fractions of the traced program's writes, and the run's observation
+// bundle.
+func analyze(tr *trace.Trace, pp *sim.Prepass, timings model.Timings, elideFrac, fastFrac float64, o *obs) (*ProgramResult, error) {
 	ps := o.phase(tr.Program, PhaseDiscover)
 	set := sessions.Discover(tr)
 	ps.done(nil)
 	ps = o.phase(tr.Program, PhaseReplay)
-	out, err := sim.RunWithOptions(tr, set, sim.Options{Obs: o.simObs()})
+	out, err := sim.RunWithOptions(tr, set, sim.Options{Obs: o.simObs(), Prepass: pp})
 	ps.doneEvents(err, int64(len(tr.Events)))
 	if err != nil {
 		return nil, fmt.Errorf("exp: simulating %s: %w", tr.Program, err)

@@ -35,6 +35,10 @@ const (
 	// PhaseTracegen executes the workload under the tracer (the
 	// dominant cost of a cold build).
 	PhaseTracegen = "tracegen"
+	// PhasePrepass computes the trace's replay prepass (write
+	// resolution + dense page remap), cached with the trace so every
+	// later replay of the artifact shares it.
+	PhasePrepass = "prepass"
 	// PhaseMeasure takes the static code-size and check-plan
 	// measurements (CodePatch expansion, CP-opt class fractions).
 	PhaseMeasure = "measure"

@@ -84,23 +84,60 @@ func (s *Session) Label() string {
 
 // Set is the full collection of sessions discovered for one trace,
 // along with the object → sessions membership index the simulator needs.
+//
+// The membership index is stored in CSR (compressed sparse row) layout:
+// one flat int32 array of session indices (Members) plus a per-object
+// offset array (MemberOff), so object id's member sessions are
+// Members[MemberOff[id]:MemberOff[id+1]]. Compared with the previous
+// [][]int32 layout, CSR removes ~one slice header (24 B) and one heap
+// object per program object, stores every membership list contiguously
+// (the replay hot loop walks them millions of times), and turns
+// MembershipRange into pure offset arithmetic over one backing array.
 type Set struct {
 	Sessions []Session
-	// Membership[objID] lists the indices of sessions containing that
-	// object, in strictly ascending order (Discover appends session
-	// indices as it mints them). Index 0 of the slice is unused (object
-	// IDs start at 1). The sortedness is an invariant the sharded
-	// simulator (internal/sim.Sharded) relies on: it lets a shard owning
-	// the contiguous session range [lo, hi) binary-search straight to
-	// its members via MembershipRange.
-	Membership [][]int32
+
+	// MemberOff and Members form the CSR membership index.
+	//
+	// MemberOff has NumObjects()+2 entries: object IDs start at 1, so
+	// MemberOff[0] == MemberOff[1] == 0 and the sessions containing
+	// object id are Members[MemberOff[id]:MemberOff[id+1]].
+	//
+	// Within one object's span the session indices are strictly
+	// ascending (NewSet appends session indices in session order). The
+	// sortedness is an invariant the sharded simulator
+	// (internal/sim.Sharded) relies on: it lets a shard owning the
+	// contiguous session range [lo, hi) binary-search straight to its
+	// members via MembershipRange. Use the Membership accessor rather
+	// than indexing these directly.
+	MemberOff []int32
+	Members   []int32
 }
 
-// MembershipRange returns the subslice of Membership[id] whose session
-// indices fall in [lo, hi). It relies on the ascending-order invariant
-// documented on Membership and never allocates.
+// NumObjects returns the largest object ID the membership index covers.
+func (s *Set) NumObjects() int {
+	if len(s.MemberOff) < 2 {
+		return 0
+	}
+	return len(s.MemberOff) - 2
+}
+
+// Membership is the compatibility accessor over the CSR index: it
+// returns the session indices containing object id, in strictly
+// ascending order, as a zero-copy subslice of Members. Callers must
+// not mutate the result. IDs outside [1, NumObjects()] return nil.
+func (s *Set) Membership(id objects.ID) []int32 {
+	if id < 1 || int(id) > s.NumObjects() {
+		return nil
+	}
+	return s.Members[s.MemberOff[id]:s.MemberOff[id+1]]
+}
+
+// MembershipRange returns the subslice of Membership(id) whose session
+// indices fall in [lo, hi). The CSR row is located by pure offset
+// arithmetic; the [lo, hi) trim is a binary search within the row,
+// relying on the ascending-order invariant. Never allocates.
 func (s *Set) MembershipRange(id objects.ID, lo, hi int32) []int32 {
-	m := s.Membership[id]
+	m := s.Membership(id)
 	i := sort.Search(len(m), func(k int) bool { return m[k] >= lo })
 	j := i + sort.Search(len(m[i:]), func(k int) bool { return m[i+k] >= hi })
 	return m[i:j]
@@ -115,16 +152,59 @@ func (s *Set) CountByType() [NumTypes]int {
 	return out
 }
 
+// NewSet builds a Set from an explicit session list, renumbering
+// Session.Index to the slice position and constructing the CSR
+// membership index over object IDs [1, numObjects]. Discover uses it;
+// tests use it to build permuted or synthetic session populations.
+//
+// The CSR build is two-pass (count, then fill) over the sessions in
+// index order, which both avoids per-object append growth and
+// establishes the ascending-order invariant documented on Set.
+func NewSet(sess []Session, numObjects int) *Set {
+	set := &Set{Sessions: sess}
+	for i := range set.Sessions {
+		set.Sessions[i].Index = i
+	}
+	set.MemberOff = make([]int32, numObjects+2)
+	counts := set.MemberOff // alias: reuse as the per-object counter pass
+	total := 0
+	for i := range set.Sessions {
+		for _, id := range set.Sessions[i].Objects {
+			if id < 1 || int(id) > numObjects {
+				panic(fmt.Sprintf("sessions: session %d references object %d outside [1, %d]",
+					i, id, numObjects))
+			}
+			counts[id+1]++
+			total++
+		}
+	}
+	for i := 1; i < len(set.MemberOff); i++ {
+		set.MemberOff[i] += set.MemberOff[i-1]
+	}
+	set.Members = make([]int32, total)
+	// next[id] is the insertion cursor for object id's row; seed from the
+	// finished prefix sums (MemberOff[id] is the row start).
+	next := make([]int32, numObjects+1)
+	for id := 1; id <= numObjects; id++ {
+		next[id] = set.MemberOff[id]
+	}
+	for i := range set.Sessions {
+		for _, id := range set.Sessions[i].Objects {
+			set.Members[next[id]] = int32(i)
+			next[id]++
+		}
+	}
+	return set
+}
+
 // Discover enumerates every instance of the five session types present
 // in the trace.
 func Discover(tr *trace.Trace) *Set {
-	set := &Set{}
 	objs := tr.Objects.All()
+	var sess []Session
 
-	add := func(s Session) int {
-		s.Index = len(set.Sessions)
-		set.Sessions = append(set.Sessions, s)
-		return s.Index
+	add := func(s Session) {
+		sess = append(sess, s)
 	}
 
 	// OneLocalAuto: one session per local automatic variable.
@@ -169,12 +249,5 @@ func Discover(tr *trace.Trace) *Set {
 		add(Session{Type: AllHeapInFunc, Func: f, Objects: heapByFunc[f]})
 	}
 
-	// Build the membership index.
-	set.Membership = make([][]int32, len(objs)+1)
-	for i := range set.Sessions {
-		for _, id := range set.Sessions[i].Objects {
-			set.Membership[id] = append(set.Membership[id], int32(i))
-		}
-	}
-	return set
+	return NewSet(sess, len(objs))
 }

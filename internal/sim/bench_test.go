@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"testing"
+
+	"edb/internal/sessions"
+)
+
+// White-box benchmarks splitting the replay cost into its two halves —
+// the one-time trace prepass and the per-(session set, timing profile)
+// replay core — on the bps workload (the suite's largest session
+// population). The package-level BenchmarkSimReplay (repo root)
+// measures the public engines end to end; these isolate where the time
+// goes and are the numbers BENCH_replay_core.json records for the
+// flat-memory core.
+
+// BenchmarkPrepass measures sim.Prepare alone: what internal/exp pays
+// once per (benchmark, scale) artifact, amortised across every replay
+// of the cached trace.
+func BenchmarkPrepass(b *testing.B) {
+	tr := workloadTrace(b, "bps")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prepare(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events")
+}
+
+// BenchmarkReplayCore measures the flat replay core alone, with the
+// prepass precomputed and shared across iterations: the marginal cost
+// of one more replay of a cached artifact.
+func BenchmarkReplayCore(b *testing.B) {
+	tr := workloadTrace(b, "bps")
+	set := sessions.Discover(tr)
+	pp, err := Prepare(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		per := make([]Counting, len(set.Sessions))
+		var pages [2]pageTab
+		replayRange(tr, set, pp, 0, int32(len(set.Sessions)), per, &pages)
+		finishCounters(per, pp.TotalWrites)
+	}
+	b.ReportMetric(float64(len(tr.Events)), "events")
+}

@@ -360,7 +360,7 @@ func TestShardedDegenerate(t *testing.T) {
 			}
 		}
 	}
-	empty := &sessions.Set{Membership: make([][]int32, tr.Objects.Len()+1)}
+	empty := sessions.NewSet(nil, tr.Objects.Len())
 	sh, err := Sharded(tr, empty, 4)
 	if err != nil {
 		t.Fatal(err)

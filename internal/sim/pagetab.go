@@ -1,0 +1,276 @@
+package sim
+
+// pageTab is the dense, arena-backed replacement for the old
+// map[pageNumber]*pageSet: one per-page session multiset per touched
+// page of one page size, addressed by the prepass's dense page index.
+//
+// Layout: refs is indexed by dense page index and points each page at
+// a block inside one shared arena of sessCount entries. Blocks are
+// power-of-two sized; a page that outgrows its block moves to a block
+// of a larger class and the old block goes on a per-class free list
+// for reuse by other pages. The arena only ever grows (amortised
+// doubling), so a full replay performs a handful of allocations total
+// where the map layout performed one per live page.
+//
+// Two ideas make the hot operations cheap:
+//
+//   - Interval-credit active-page accounting. Each page carries a
+//     cumulative write counter (pageRef.wtotal, never reset) and each
+//     entry records the counter's value when its session's count last
+//     rose from zero (sessCount.base). A write is then a single
+//     unconditional increment; the session's ActivePageMiss share for
+//     the whole active interval, wtotal − base, is credited once when
+//     the count returns to zero (and once at end of replay for entries
+//     still active — settle). This replaces the old per-write
+//     O(population) scan with O(1), the dominant algorithmic win of
+//     the flat rewrite. Hit writes over-credit their sessions by
+//     exactly one each; finishCounters cancels that in closed form.
+//
+//   - Tombstones. When a session's count returns to zero the entry is
+//     kept in place (count == 0) instead of being compacted away.
+//     Stack and hot heap pages cycle the same sessions between active
+//     and inactive constantly; with tombstones a re-install is a
+//     binary search plus an in-place 0→1 bump, and a remove is a
+//     binary search plus a decrement — O(|members| · log population)
+//     with no entry shifting. Entries are only ever inserted (sorted,
+//     by backward merge) the first time a session touches the page, so
+//     a block holds at most one entry per session ever active on the
+//     page and blocks strictly grow.
+//
+// Entries within a block are kept sorted by session index; member
+// lists (one object's sessions) are tiny, so install/remove binary-
+// search per member rather than merging against the full population.
+type pageTab struct {
+	refs  []pageRef
+	arena []sessCount
+	// free[class] holds arena offsets of recycled blocks of size
+	// 1<<class, populated when pages outgrow their block.
+	free [31][]int32
+}
+
+// sessCount is one entry of a per-page session multiset: the session's
+// live monitor count on the page and, while the count is non-zero, the
+// page's cumulative write counter at the instant the count left zero
+// (the interval-credit baseline). count == 0 entries are tombstones.
+type sessCount struct {
+	sess  int32
+	count int32
+	base  uint64
+}
+
+// pageRef locates one page's block: entries live at
+// arena[off : off+n], block capacity is 1<<class. off == 0 means the
+// page never had a block (arena slot 0 is a reserved dummy so the
+// zero pageRef is "empty"). wtotal is the page's cumulative write
+// counter (see pageTab).
+type pageRef struct {
+	off    int32
+	n      int32
+	class  int32
+	wtotal uint64
+}
+
+// init sizes the table for nPages dense pages and seeds the arena with
+// the reserved dummy slot. The arena capacity hint assumes most
+// touched pages hold at least one entry at some point.
+func (t *pageTab) init(nPages int32) {
+	t.refs = make([]pageRef, nPages)
+	t.arena = make([]sessCount, 1, 1+2*int(nPages))
+}
+
+// alloc returns the offset of a block of size 1<<class, reusing a
+// free-listed block when one exists and growing the arena otherwise.
+func (t *pageTab) alloc(class int32) int32 {
+	if fl := t.free[class]; len(fl) > 0 {
+		off := fl[len(fl)-1]
+		t.free[class] = fl[:len(fl)-1]
+		return off
+	}
+	off := len(t.arena)
+	need := off + (1 << class)
+	if need > cap(t.arena) {
+		newCap := 2 * cap(t.arena)
+		if newCap < need {
+			newCap = need
+		}
+		na := make([]sessCount, len(t.arena), newCap)
+		copy(na, t.arena)
+		t.arena = na
+	}
+	t.arena = t.arena[:need]
+	return int32(off)
+}
+
+// ensure grows r's block (moving its entries) until it can hold need
+// entries, recycling the outgrown block on the free list.
+func (t *pageTab) ensure(r *pageRef, need int32) {
+	if r.off != 0 && need <= 1<<r.class {
+		return
+	}
+	class := int32(0)
+	if r.off != 0 {
+		class = r.class
+	}
+	for (1 << class) < need {
+		class++
+	}
+	noff := t.alloc(class)
+	if r.off != 0 {
+		copy(t.arena[noff:noff+r.n], t.arena[r.off:r.off+r.n])
+		t.free[r.class] = append(t.free[r.class], r.off)
+	}
+	r.off = noff
+	r.class = class
+}
+
+// entries returns the entry block of dense page pi — including
+// count == 0 tombstones — sorted by session index, or nil when the
+// page never held an entry. The slice aliases the arena and is
+// invalidated by the next install.
+func (t *pageTab) entries(pi int32) []sessCount {
+	r := &t.refs[pi]
+	if r.n == 0 {
+		return nil
+	}
+	return t.arena[r.off : r.off+r.n]
+}
+
+// livePages counts pages with at least one active (count > 0) entry —
+// the balance check the property suite asserts after install/remove-
+// balanced traces (everything protected must have been unprotected).
+func (t *pageTab) livePages() int {
+	n := 0
+	for i := range t.refs {
+		r := &t.refs[i]
+		for _, e := range t.arena[r.off : r.off+r.n] {
+			if e.count > 0 {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// pendingCredit sums the uncredited active exposure, Σ wtotal − base
+// over active entries: what settle would credit if the replay ended
+// now. Zero after a balanced trace (no entry is active), asserted by
+// the engine's internal tests.
+func (t *pageTab) pendingCredit() uint64 {
+	var n uint64
+	for i := range t.refs {
+		r := &t.refs[i]
+		for _, e := range t.arena[r.off : r.off+r.n] {
+			if e.count > 0 {
+				n += r.wtotal - e.base
+			}
+		}
+	}
+	return n
+}
+
+// find binary-searches the sorted entry block for session s and
+// returns its index, or -1 when absent.
+func find(es []sessCount, s int32) int {
+	i, j := 0, len(es)
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		if es[h].sess < s {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	if i < len(es) && es[i].sess == s {
+		return i
+	}
+	return -1
+}
+
+// install raises the (sorted, distinct) member sessions' counts on
+// page pi. Members already holding an entry — active or tombstone —
+// are bumped in place; a 0→1 transition charges a VMProtect on per and
+// (re)bases the entry's interval credit at the current wtotal. Members
+// new to the page are inserted in sorted position by one backward
+// merge.
+func (t *pageTab) install(pi int32, members []int32, per []Counting, lo int32, psi int) {
+	r := &t.refs[pi]
+	es := t.arena[r.off : r.off+r.n]
+	newCnt := int32(0)
+	for _, s := range members {
+		k := find(es, s)
+		if k < 0 {
+			newCnt++
+			continue
+		}
+		if es[k].count == 0 {
+			per[s-lo].VM[psi].Protects++
+			es[k].base = r.wtotal
+		}
+		es[k].count++
+	}
+	if newCnt == 0 {
+		return
+	}
+
+	t.ensure(r, r.n+newCnt)
+	es = t.arena[r.off : r.off+r.n+newCnt]
+	// Backward merge: shift existing entries right past the insertion
+	// points, materialising the new members in sorted position. Members
+	// found above were already bumped and are copied untouched.
+	src := r.n - 1
+	dst := r.n + newCnt - 1
+	m := len(members) - 1
+	for dst > src {
+		switch {
+		case src >= 0 && (m < 0 || es[src].sess >= members[m]):
+			if m >= 0 && es[src].sess == members[m] {
+				m-- // already bumped in the first pass
+			}
+			es[dst] = es[src]
+			dst--
+			src--
+		default: // members[m] is new to the page
+			es[dst] = sessCount{sess: members[m], count: 1, base: r.wtotal}
+			per[members[m]-lo].VM[psi].Protects++
+			dst--
+			m--
+		}
+	}
+	r.n += newCnt
+}
+
+// remove lowers the (sorted, distinct) member sessions' counts on page
+// pi. A 1→0 transition charges a VMUnprotect on per and credits the
+// closed interval's write exposure, wtotal − base, as ActivePageMiss;
+// the entry stays behind as a tombstone. Members with no active entry
+// are ignored (mirroring the old engine's no-op decrement).
+func (t *pageTab) remove(pi int32, members []int32, per []Counting, lo int32, psi int) {
+	r := &t.refs[pi]
+	es := t.arena[r.off : r.off+r.n]
+	for _, s := range members {
+		k := find(es, s)
+		if k < 0 || es[k].count == 0 {
+			continue
+		}
+		es[k].count--
+		if es[k].count == 0 {
+			per[s-lo].VM[psi].Unprotects++
+			per[s-lo].VM[psi].ActivePageMiss += r.wtotal - es[k].base
+		}
+	}
+}
+
+// settle credits every still-active entry's open interval, wtotal −
+// base, as ActivePageMiss (end of replay). Call exactly once.
+func (t *pageTab) settle(per []Counting, lo int32, psi int) {
+	for i := range t.refs {
+		r := &t.refs[i]
+		es := t.arena[r.off : r.off+r.n]
+		for k := range es {
+			if es[k].count > 0 {
+				per[es[k].sess-lo].VM[psi].ActivePageMiss += r.wtotal - es[k].base
+			}
+		}
+	}
+}

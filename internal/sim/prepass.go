@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"fmt"
+
+	"edb/internal/arch"
+	"edb/internal/objects"
+	"edb/internal/trace"
+)
+
+// Prepass is the immutable, session-independent index a replay engine
+// consumes instead of hashing raw addresses per event. It is computed
+// once per trace (sim.Prepare) and can then be shared — concurrently
+// and across runs — by any number of replay engines, shard workers,
+// and timing-profile sweeps (internal/exp caches it next to the trace
+// in the per-(benchmark, scale) artifact cache).
+//
+// Three indexes are precomputed:
+//
+//   - Resolved[i]: the object whose live monitor the i-th event hits
+//     when it is a write (0 for installs, removes, and writes to
+//     unmonitored words). This is the only part of a replay that needs
+//     the global word → object map, and it is independent of any
+//     session, so replay engines never touch word state at all.
+//
+//   - A dense page remap per simulated page size: the set of pages ever
+//     spanned by an install or remove event is compacted to indexes
+//     [0, NumPages), assigned in ascending page-number order. Because
+//     every page inside one event's span is by definition touched, an
+//     event's span maps to *consecutive* dense indexes — so per event
+//     only the dense index of its first page is stored (evPage), and
+//     replay reconstructs the span with pure arithmetic
+//     (arch.PagesSpanned). Engines replace map[pageNumber] hashing
+//     with dense-slice indexing sized exactly NumPages.
+//
+//   - For write events, evPage holds the dense index of the written
+//     page (or -1 when no monitor ever touches that page, which lets
+//     replay skip the page lookup entirely).
+type Prepass struct {
+	// Resolved is parallel to the trace's Events; see above.
+	Resolved []objects.ID
+	// TotalWrites is the number of write events in the trace.
+	TotalWrites uint64
+	// NumPages[psi] is the number of distinct pages (page size
+	// PageSizes[psi]) spanned by at least one install/remove event.
+	NumPages [2]int32
+
+	// evPage[psi][i] is the dense page index for event i: the first
+	// spanned page for installs/removes, the written page (or -1) for
+	// writes. Indexed like PageSizes.
+	evPage [2][]int32
+}
+
+// Events returns the number of trace events the prepass was built
+// over, for mismatch checks.
+func (pp *Prepass) Events() int { return len(pp.evPage[0]) }
+
+// pageRemap is the prepass-internal raw→dense page index map for one
+// page size: a dense int32 table over [minPage, maxPage] of the pages
+// touched by install/remove events. The simulated machine's segments
+// span a few tens of thousands of pages at most, so the table is small
+// (4 B per page of address-space range) and lookups are one bounds
+// check and one array index — no hashing.
+type pageRemap struct {
+	minPage uint32
+	table   []int32 // dense index, or -1 for untouched pages
+}
+
+func (m *pageRemap) lookup(pn uint32) int32 {
+	if pn < m.minPage || pn >= m.minPage+uint32(len(m.table)) {
+		return -1
+	}
+	return m.table[pn-m.minPage]
+}
+
+// Prepare computes the trace prepass. It validates event kinds (the
+// only structural validation replay needs) and otherwise assumes a
+// well-formed trace as produced by the tracer or trace.Read.
+func Prepare(tr *trace.Trace) (*Prepass, error) {
+	nEv := len(tr.Events)
+	pp := &Prepass{Resolved: make([]objects.ID, nEv)}
+
+	// Pass 1: validate kinds and find each page size's touched range.
+	var minP, maxP [2]uint32
+	touched := false
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		switch e.Kind {
+		case trace.EvInstall, trace.EvRemove:
+			for psi, psz := range PageSizes {
+				first, last := arch.PagesSpanned(e.BA, e.EA, psz)
+				if first > last {
+					continue // empty range; Validate rejects these
+				}
+				if !touched || first < minP[psi] {
+					minP[psi] = first
+				}
+				if !touched || last > maxP[psi] {
+					maxP[psi] = last
+				}
+			}
+			touched = true
+		case trace.EvWrite:
+		default:
+			return nil, fmt.Errorf("sim: unknown event kind %d", e.Kind)
+		}
+	}
+
+	// Pass 2: mark touched pages, then assign dense indexes in
+	// ascending page order so one event's span is always consecutive.
+	var remap [2]pageRemap
+	for psi := range remap {
+		if !touched {
+			continue
+		}
+		remap[psi].minPage = minP[psi]
+		remap[psi].table = make([]int32, maxP[psi]-minP[psi]+1)
+	}
+	if touched {
+		for i := range tr.Events {
+			e := &tr.Events[i]
+			if e.Kind != trace.EvInstall && e.Kind != trace.EvRemove {
+				continue
+			}
+			for psi, psz := range PageSizes {
+				first, last := arch.PagesSpanned(e.BA, e.EA, psz)
+				for pn := first; pn <= last; pn++ {
+					remap[psi].table[pn-minP[psi]] = 1
+				}
+			}
+		}
+		for psi := range remap {
+			n := int32(0)
+			for k, v := range remap[psi].table {
+				if v == 0 {
+					remap[psi].table[k] = -1
+					continue
+				}
+				remap[psi].table[k] = n
+				n++
+			}
+			pp.NumPages[psi] = n
+		}
+	}
+
+	// Pass 3: per-event dense page indexes, plus write resolution over
+	// a flat word table indexed by (dense 4 KiB page, word-in-page).
+	for psi := range pp.evPage {
+		pp.evPage[psi] = make([]int32, nEv)
+	}
+	words := make([]objects.ID, int(pp.NumPages[0])*wordsPerPage)
+	for i := range tr.Events {
+		e := &tr.Events[i]
+		switch e.Kind {
+		case trace.EvInstall:
+			for psi, psz := range PageSizes {
+				first, _ := arch.PagesSpanned(e.BA, e.EA, psz)
+				pp.evPage[psi][i] = remap[psi].lookup(first)
+			}
+			for a := e.BA; a < e.EA; a += arch.WordBytes {
+				dp := remap[0].lookup(uint32(a) >> 12)
+				words[int(dp)*wordsPerPage+int(a%4096)/4] = e.Obj
+			}
+		case trace.EvRemove:
+			for psi, psz := range PageSizes {
+				first, _ := arch.PagesSpanned(e.BA, e.EA, psz)
+				pp.evPage[psi][i] = remap[psi].lookup(first)
+			}
+			for a := e.BA; a < e.EA; a += arch.WordBytes {
+				dp := remap[0].lookup(uint32(a) >> 12)
+				idx := int(dp)*wordsPerPage + int(a%4096)/4
+				if words[idx] == e.Obj {
+					words[idx] = 0
+				}
+			}
+		case trace.EvWrite:
+			pp.TotalWrites++
+			dp4 := remap[0].lookup(uint32(e.BA) >> 12)
+			pp.evPage[0][i] = dp4
+			pp.evPage[1][i] = remap[1].lookup(uint32(e.BA) >> 13)
+			if dp4 >= 0 {
+				pp.Resolved[i] = words[int(dp4)*wordsPerPage+int(e.BA%4096)/4]
+			}
+		}
+	}
+	return pp, nil
+}
+
+// wordsPerPage is the number of machine words in a 4 KiB page, the
+// granularity of the prepass word-ownership table.
+const wordsPerPage = arch.PageSize4K / arch.WordBytes

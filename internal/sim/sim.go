@@ -18,24 +18,32 @@
 //
 // Page-granular statistics are computed for 4 KiB and 8 KiB pages in the
 // same pass. A naive per-session replay would cost |sessions| × |trace|;
-// this implementation is a single pass that maintains (a) a word →
-// object index, (b) the object → session membership from discovery, and
-// (c) per-page session multisets.
+// this implementation is a single pass over a flat-memory layout built
+// by a one-time trace prepass (Prepare):
 //
-// Two equivalent replay engines are provided. Sequential is the
-// original single-goroutine pass. Sharded partitions the sessions into
-// K contiguous index ranges and replays the shared immutable trace once
-// per shard concurrently: the session-independent word→object
-// resolution is produced by one sequential producer pass
-// (trace.ResolveWrites), then broadcast to the shard workers, each of
-// which maintains page multisets and counters only for its own
-// sessions. Because every session is processed by exactly one worker in
-// full trace order, the merged result is bit-identical to Sequential —
-// a property the differential oracle suite (oracle_test.go) asserts for
-// every shard count against the naive per-session replay. Run picks the
-// engine automatically: Sharded when GOMAXPROCS > 1 and the session
-// population is large enough to amortise the fan-out, Sequential
-// otherwise.
+//   - the prepass resolves every write to the object it hits and remaps
+//     the touched pages of each page size to dense indexes, so the
+//     replay loop indexes flat slices instead of hashing raw page
+//     numbers (see Prepass);
+//   - object → session membership is the CSR index of sessions.Set —
+//     one offset lookup and a shared flat int32 array, no per-object
+//     slice headers;
+//   - per-page session multisets live in an arena-backed dense table
+//     (pageTab) with sorted entries, replacing one heap allocation per
+//     live page with a handful of arena growths per replay.
+//
+// Two replay engines are provided; both consume the same immutable
+// prepass and drive the same flat replay core, so their outputs are
+// bit-identical by construction (and the differential oracle suite,
+// oracle_test.go, re-proves it against a naive per-session replay for
+// every shard count). Sequential replays all sessions on the calling
+// goroutine. Sharded partitions the sessions into K contiguous index
+// ranges and replays the shared trace once per shard concurrently:
+// each worker owns a disjoint dense counter range (a subslice of
+// PerSession) and its own page tables, so no locks are needed and the
+// merge is a no-op. Run picks the engine automatically: Sharded when
+// GOMAXPROCS > 1 and the session population is large enough to
+// amortise the fan-out, Sequential otherwise.
 package sim
 
 import (
@@ -43,10 +51,10 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"edb/internal/arch"
 	"edb/internal/fault"
-	"edb/internal/objects"
 	"edb/internal/obsv"
 	"edb/internal/sessions"
 	"edb/internal/trace"
@@ -82,63 +90,6 @@ type Output struct {
 	Set        *sessions.Set
 }
 
-// sessCount is one entry of a per-page session multiset.
-type sessCount struct {
-	sess  int32
-	count int32
-}
-
-// pageSet is a small multiset of sessions keyed by session index.
-// Linear operations: per-page session populations are small (the locals
-// of the live frames on a stack page, or the heap sessions containing
-// objects on a heap page).
-type pageSet struct {
-	entries []sessCount
-}
-
-// inc increments the count for s and reports whether it was absent (the
-// 0→1 transition the VM model charges a protect for).
-func (p *pageSet) inc(s int32) bool {
-	for i := range p.entries {
-		if p.entries[i].sess == s {
-			p.entries[i].count++
-			return false
-		}
-	}
-	p.entries = append(p.entries, sessCount{sess: s, count: 1})
-	return true
-}
-
-// dec decrements the count for s and reports whether it reached zero
-// (the 1→0 transition charged as an unprotect).
-func (p *pageSet) dec(s int32) bool {
-	for i := range p.entries {
-		if p.entries[i].sess == s {
-			p.entries[i].count--
-			if p.entries[i].count == 0 {
-				last := len(p.entries) - 1
-				p.entries[i] = p.entries[last]
-				p.entries = p.entries[:last]
-				return true
-			}
-			return false
-		}
-	}
-	return false
-}
-
-// wordPage maps the words of one 4 KiB region to object IDs.
-type wordPage [1024]objects.ID
-
-// Simulator carries the replay state.
-type simulator struct {
-	set *sessions.Set
-	out *Output
-
-	words map[uint32]*wordPage
-	pages [2]map[uint32]*pageSet
-}
-
 // ShardThreshold is the session count below which Run prefers the
 // Sequential engine: with few sessions the per-shard fan-out overhead
 // (one full event-stream scan per worker) outweighs the parallelism.
@@ -152,12 +103,20 @@ type Options struct {
 	// population is at least ShardThreshold), 1 forces Sequential, and
 	// >1 forces Sharded with that worker count.
 	Shards int
-	// Obs, when non-nil, receives replay-engine spans: the
-	// write-resolution producer pass and one span per shard worker
-	// (with its session index range), so a Perfetto timeline shows the
-	// replay fan-out. Nil disables observation at zero cost; results
-	// are bit-identical either way (observation never feeds back).
+	// Obs, when non-nil, receives replay-engine spans: the trace
+	// prepass (when not supplied via Prepass), one span per shard
+	// worker (with its session index range), and an events-per-second
+	// attribute on the replay span, so a Perfetto timeline shows the
+	// replay fan-out and throughput. Nil disables observation at zero
+	// cost; results are bit-identical either way (observation never
+	// feeds back).
 	Obs *obsv.Tracer
+	// Prepass supplies a precomputed trace prepass (Prepare). It must
+	// have been built from exactly this trace; replays under different
+	// session sets, shard counts, and timing profiles can all share
+	// one prepass (internal/exp caches it with the trace). Nil makes
+	// the engine compute it on entry.
+	Prepass *Prepass
 }
 
 // Run replays the trace against the session set, picking the replay
@@ -169,8 +128,8 @@ func Run(tr *trace.Trace, set *sessions.Set) (*Output, error) {
 	return RunWithOptions(tr, set, Options{})
 }
 
-// RunWithOptions is Run with explicit engine selection and
-// observability sinks (see Options).
+// RunWithOptions is Run with explicit engine selection, a shareable
+// precomputed prepass, and observability sinks (see Options).
 func RunWithOptions(tr *trace.Trace, set *sessions.Set, o Options) (*Output, error) {
 	shards := o.Shards
 	if shards == 0 {
@@ -181,206 +140,124 @@ func RunWithOptions(tr *trace.Trace, set *sessions.Set, o Options) (*Output, err
 		}
 	}
 	if shards > 1 {
-		return sharded(tr, set, shards, o.Obs)
+		return sharded(tr, set, shards, o.Obs, o.Prepass)
 	}
-	return sequential(tr, set, o.Obs)
+	return sequential(tr, set, o.Obs, o.Prepass)
 }
 
 // Sequential replays the trace against the session set on the calling
-// goroutine — the original one-pass engine, kept fully independent of
-// the sharded path so the two can check each other differentially.
+// goroutine.
 //
 // Replay entry is an injection point (fault.SiteSimReplay, keyed by
 // program name); with no active chaos plan the check is one atomic
 // load per replay, never per event.
 func Sequential(tr *trace.Trace, set *sessions.Set) (*Output, error) {
-	return sequential(tr, set, nil)
+	return sequential(tr, set, nil, nil)
 }
 
-func sequential(tr *trace.Trace, set *sessions.Set, obs *obsv.Tracer) (*Output, error) {
+// ensurePrepass returns pp when supplied (after checking it matches
+// the trace) and computes it otherwise, under a replay-prepass span
+// when observed.
+func ensurePrepass(tr *trace.Trace, pp *Prepass, obs *obsv.Tracer) (*Prepass, error) {
+	if pp != nil {
+		if pp.Events() != len(tr.Events) {
+			return nil, fmt.Errorf("sim: %s: prepass covers %d events, trace has %d (built from a different trace?)",
+				tr.Program, pp.Events(), len(tr.Events))
+		}
+		return pp, nil
+	}
+	if obs != nil {
+		sp := obs.StartSpan("replay-prepass")
+		sp.Attr("program", tr.Program)
+		sp.Int("events", int64(len(tr.Events)))
+		defer sp.End()
+	}
+	return Prepare(tr)
+}
+
+func sequential(tr *trace.Trace, set *sessions.Set, obs *obsv.Tracer, pp *Prepass) (*Output, error) {
 	if err := fault.Inject(fault.SiteSimReplay, tr.Program); err != nil {
 		return nil, fmt.Errorf("sim: replaying %s: %w", tr.Program, err)
 	}
+	var start time.Time
 	if obs != nil {
 		sp := obs.StartSpan("replay-sequential")
 		sp.Attr("program", tr.Program)
 		sp.Int("sessions", int64(len(set.Sessions)))
 		sp.Int("events", int64(len(tr.Events)))
-		defer sp.End()
-	}
-	s := &simulator{
-		set: set,
-		out: &Output{
-			Program:    tr.Program,
-			BaseCycles: tr.BaseCycles,
-			PerSession: make([]Counting, len(set.Sessions)),
-			Set:        set,
-		},
-		words: make(map[uint32]*wordPage),
-	}
-	for i := range s.pages {
-		s.pages[i] = make(map[uint32]*pageSet)
-	}
-
-	for i := range tr.Events {
-		e := &tr.Events[i]
-		switch e.Kind {
-		case trace.EvInstall:
-			s.install(e)
-		case trace.EvRemove:
-			s.remove(e)
-		case trace.EvWrite:
-			s.write(e)
-		default:
-			return nil, fmt.Errorf("sim: unknown event kind %d", e.Kind)
-		}
-	}
-
-	// MonitorMiss_σ = total writes − MonitorHit_σ: the software
-	// strategies check *every* write instruction regardless of which
-	// monitors are active.
-	for i := range s.out.PerSession {
-		c := &s.out.PerSession[i]
-		c.Misses = s.out.TotalWrites - c.Hits
-	}
-	return s.out, nil
-}
-
-func (s *simulator) setWords(ba, ea arch.Addr, id objects.ID) {
-	for a := ba; a < ea; a += arch.WordBytes {
-		pn := uint32(a) >> 12
-		pg := s.words[pn]
-		if pg == nil {
-			pg = &wordPage{}
-			s.words[pn] = pg
-		}
-		pg[(a%4096)/4] = id
-	}
-}
-
-func (s *simulator) clearWords(ba, ea arch.Addr, id objects.ID) {
-	for a := ba; a < ea; a += arch.WordBytes {
-		pn := uint32(a) >> 12
-		pg := s.words[pn]
-		if pg == nil {
-			continue
-		}
-		idx := (a % 4096) / 4
-		if pg[idx] == id {
-			pg[idx] = 0
-		}
-	}
-}
-
-func (s *simulator) objectAt(a arch.Addr) objects.ID {
-	pg := s.words[uint32(a)>>12]
-	if pg == nil {
-		return 0
-	}
-	return pg[(a%4096)/4]
-}
-
-func (s *simulator) install(e *trace.Event) {
-	members := s.set.Membership[e.Obj]
-	s.setWords(e.BA, e.EA, e.Obj)
-	for _, sess := range members {
-		s.out.PerSession[sess].Installs++
-	}
-	for psi, psz := range PageSizes {
-		first, last := arch.PagesSpanned(e.BA, e.EA, psz)
-		for pn := first; pn <= last; pn++ {
-			ps := s.pages[psi][pn]
-			if ps == nil {
-				ps = &pageSet{}
-				s.pages[psi][pn] = ps
+		start = time.Now()
+		defer func() {
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				sp.Float("events_per_sec", float64(len(tr.Events))/secs)
 			}
-			for _, sess := range members {
-				if ps.inc(sess) {
-					s.out.PerSession[sess].VM[psi].Protects++
-				}
-			}
-		}
+			sp.End()
+		}()
 	}
+	pp, err := ensurePrepass(tr, pp, obs)
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{
+		Program:     tr.Program,
+		BaseCycles:  tr.BaseCycles,
+		TotalWrites: pp.TotalWrites,
+		PerSession:  make([]Counting, len(set.Sessions)),
+		Set:         set,
+	}
+	var pages [2]pageTab
+	replayRange(tr, set, pp, 0, int32(len(set.Sessions)), out.PerSession, &pages)
+	finishCounters(out.PerSession, pp.TotalWrites)
+	return out, nil
 }
 
-func (s *simulator) remove(e *trace.Event) {
-	members := s.set.Membership[e.Obj]
-	s.clearWords(e.BA, e.EA, e.Obj)
-	for _, sess := range members {
-		s.out.PerSession[sess].Removes++
+// finishCounters derives the counters that fall out of closed-form
+// identities rather than per-event work:
+//
+//   - MonitorMiss_σ = total writes − MonitorHit_σ: the software
+//     strategies check *every* write instruction regardless of which
+//     monitors are active.
+//
+//   - VMActivePageMiss_σ: the epoch write counters credit every write
+//     on a page to the page's whole population — including the
+//     sessions whose monitor the write hit, which the definition
+//     excludes. A hit write resolves to a live object (its install has
+//     no matching remove yet, or the prepass word table would have
+//     been cleared), so every session containing that object holds a
+//     positive count on the written page at that instant, for both
+//     page sizes: each hit over-credits its sessions by exactly one,
+//     and the total correction is MonitorHit_σ. The trace validity
+//     invariants (trace.Validate + ValidateExclusive: removes match
+//     installs, words are exclusively owned) are what make the
+//     argument airtight; the differential oracle suite re-checks the
+//     identity against a naive per-write-exclusion replay.
+func finishCounters(per []Counting, totalWrites uint64) {
+	for i := range per {
+		c := &per[i]
+		c.Misses = totalWrites - c.Hits
+		c.VM[0].ActivePageMiss -= c.Hits
+		c.VM[1].ActivePageMiss -= c.Hits
 	}
-	for psi, psz := range PageSizes {
-		first, last := arch.PagesSpanned(e.BA, e.EA, psz)
-		for pn := first; pn <= last; pn++ {
-			ps := s.pages[psi][pn]
-			if ps == nil {
-				continue
-			}
-			for _, sess := range members {
-				if ps.dec(sess) {
-					s.out.PerSession[sess].VM[psi].Unprotects++
-				}
-			}
-			if len(ps.entries) == 0 {
-				delete(s.pages[psi], pn)
-			}
-		}
-	}
-}
-
-func (s *simulator) write(e *trace.Event) {
-	s.out.TotalWrites++
-	var hitSessions []int32
-	if obj := s.objectAt(e.BA); obj != 0 {
-		hitSessions = s.set.Membership[obj]
-		for _, sess := range hitSessions {
-			s.out.PerSession[sess].Hits++
-		}
-	}
-	for psi, psz := range PageSizes {
-		ps := s.pages[psi][uint32(e.BA)/uint32(psz)]
-		if ps == nil {
-			continue
-		}
-		for _, e2 := range ps.entries {
-			if !contains(hitSessions, e2.sess) {
-				s.out.PerSession[e2.sess].VM[psi].ActivePageMiss++
-			}
-		}
-	}
-}
-
-func contains(xs []int32, x int32) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
 }
 
 // Sharded replays the trace against the session set using `shards`
 // concurrent workers, each owning a contiguous range of session
 // indices.
 //
-// The event stream is read once by a sequential producer pass
-// (trace.ResolveWrites) that resolves every write to the object it hits
-// — the only part of the replay that needs the global word→object index
-// — and the resulting immutable (events, resolved) pair is then
-// consumed by all shard workers in parallel. Each worker maintains
-// per-page session multisets and counting variables for its own
-// sessions only, so the total page-multiset work across workers matches
-// the sequential engine's. Workers write into disjoint subslices of
-// PerSession; no locks are needed and the merge is a no-op.
+// All workers share the immutable prepass (write resolution + dense
+// page remap); each maintains arena-backed page tables and counting
+// variables for its own sessions only, so the total page-multiset work
+// across workers matches the sequential engine's. Workers write into
+// disjoint subslices of PerSession; no locks are needed and the merge
+// is a no-op.
 //
 // Results are bit-identical to Sequential for every shard count,
 // because each session's counters are accumulated by exactly one worker
 // in full trace order. shards is clamped to [1, len(set.Sessions)].
 func Sharded(tr *trace.Trace, set *sessions.Set, shards int) (*Output, error) {
-	return sharded(tr, set, shards, nil)
+	return sharded(tr, set, shards, nil, nil)
 }
 
-func sharded(tr *trace.Trace, set *sessions.Set, shards int, obs *obsv.Tracer) (*Output, error) {
+func sharded(tr *trace.Trace, set *sessions.Set, shards int, obs *obsv.Tracer, pp *Prepass) (*Output, error) {
 	if err := fault.Inject(fault.SiteSimReplay, tr.Program); err != nil {
 		return nil, fmt.Errorf("sim: replaying %s: %w", tr.Program, err)
 	}
@@ -391,24 +268,29 @@ func sharded(tr *trace.Trace, set *sessions.Set, shards int, obs *obsv.Tracer) (
 	if shards > n {
 		shards = n
 	}
+	var start time.Time
 	if obs != nil {
 		sp := obs.StartSpan("replay-sharded")
 		sp.Attr("program", tr.Program)
 		sp.Int("sessions", int64(n))
 		sp.Int("events", int64(len(tr.Events)))
 		sp.Int("shards", int64(shards))
-		defer sp.End()
+		start = time.Now()
+		defer func() {
+			if secs := time.Since(start).Seconds(); secs > 0 {
+				sp.Float("events_per_sec", float64(len(tr.Events))/secs)
+			}
+			sp.End()
+		}()
 	}
-	resolveSpan := obs.StartSpan("replay-resolve")
-	resolved, totalWrites, err := tr.ResolveWrites()
-	resolveSpan.End()
+	pp, err := ensurePrepass(tr, pp, obs)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %s: %w", tr.Program, err)
 	}
 	out := &Output{
 		Program:     tr.Program,
 		BaseCycles:  tr.BaseCycles,
-		TotalWrites: totalWrites,
+		TotalWrites: pp.TotalWrites,
 		PerSession:  make([]Counting, n),
 		Set:         set,
 	}
@@ -433,33 +315,41 @@ func sharded(tr *trace.Trace, set *sessions.Set, shards int, obs *obsv.Tracer) (
 				sp.Attr("sessions", strconv.Itoa(int(lo))+".."+strconv.Itoa(int(hi)))
 				defer sp.End()
 			}
-			replayShard(tr, set, resolved, lo, hi, out.PerSession[lo:hi])
+			var pages [2]pageTab
+			replayRange(tr, set, pp, lo, hi, out.PerSession[lo:hi], &pages)
 		}(lo, hi)
 	}
 	wg.Wait()
 
-	for i := range out.PerSession {
-		c := &out.PerSession[i]
-		c.Misses = totalWrites - c.Hits
-	}
+	finishCounters(out.PerSession, pp.TotalWrites)
 	return out, nil
 }
 
-// replayShard replays the full event stream for the sessions in
-// [lo, hi). per is the PerSession subslice for that range (per[0] is
-// session lo). resolved is the trace.ResolveWrites annotation: the
-// object each write event hits, indexed by event position.
-func replayShard(tr *trace.Trace, set *sessions.Set, resolved []objects.ID,
-	lo, hi int32, per []Counting) {
-	var pages [2]map[uint32]*pageSet
+// replayRange is the flat replay core shared by both engines: it
+// replays the full event stream for the sessions in [lo, hi),
+// accumulating into per (the PerSession subslice for that range;
+// per[0] is session lo) and the caller-owned page tables. pp is the
+// immutable trace prepass; the core performs no hashing and no
+// per-event allocation — membership lookups are CSR offset arithmetic,
+// page lookups dense-slice indexing, and page multisets arena-backed.
+//
+// Event kinds were validated by Prepare; anything else is skipped.
+func replayRange(tr *trace.Trace, set *sessions.Set, pp *Prepass,
+	lo, hi int32, per []Counting, pages *[2]pageTab) {
 	for psi := range pages {
-		pages[psi] = make(map[uint32]*pageSet)
+		pages[psi].init(pp.NumPages[psi])
 	}
+	full := lo == 0 && hi == int32(len(set.Sessions))
 	for i := range tr.Events {
 		e := &tr.Events[i]
 		switch e.Kind {
 		case trace.EvInstall:
-			members := set.MembershipRange(e.Obj, lo, hi)
+			var members []int32
+			if full {
+				members = set.Membership(e.Obj)
+			} else {
+				members = set.MembershipRange(e.Obj, lo, hi)
+			}
 			if len(members) == 0 {
 				continue
 			}
@@ -468,21 +358,18 @@ func replayShard(tr *trace.Trace, set *sessions.Set, resolved []objects.ID,
 			}
 			for psi, psz := range PageSizes {
 				first, last := arch.PagesSpanned(e.BA, e.EA, psz)
-				for pn := first; pn <= last; pn++ {
-					ps := pages[psi][pn]
-					if ps == nil {
-						ps = &pageSet{}
-						pages[psi][pn] = ps
-					}
-					for _, sess := range members {
-						if ps.inc(sess) {
-							per[sess-lo].VM[psi].Protects++
-						}
-					}
+				base := pp.evPage[psi][i]
+				for k := int32(0); k <= int32(last-first); k++ {
+					pages[psi].install(base+k, members, per, lo, psi)
 				}
 			}
 		case trace.EvRemove:
-			members := set.MembershipRange(e.Obj, lo, hi)
+			var members []int32
+			if full {
+				members = set.Membership(e.Obj)
+			} else {
+				members = set.MembershipRange(e.Obj, lo, hi)
+			}
 			if len(members) == 0 {
 				continue
 			}
@@ -491,41 +378,39 @@ func replayShard(tr *trace.Trace, set *sessions.Set, resolved []objects.ID,
 			}
 			for psi, psz := range PageSizes {
 				first, last := arch.PagesSpanned(e.BA, e.EA, psz)
-				for pn := first; pn <= last; pn++ {
-					ps := pages[psi][pn]
-					if ps == nil {
-						continue
-					}
-					for _, sess := range members {
-						if ps.dec(sess) {
-							per[sess-lo].VM[psi].Unprotects++
-						}
-					}
-					if len(ps.entries) == 0 {
-						delete(pages[psi], pn)
-					}
+				base := pp.evPage[psi][i]
+				for k := int32(0); k <= int32(last-first); k++ {
+					pages[psi].remove(base+k, members, per, lo, psi)
 				}
 			}
 		case trace.EvWrite:
-			var hitSessions []int32
-			if obj := resolved[i]; obj != 0 {
-				hitSessions = set.MembershipRange(obj, lo, hi)
+			if obj := pp.Resolved[i]; obj != 0 {
+				var hitSessions []int32
+				if full {
+					hitSessions = set.Membership(obj)
+				} else {
+					hitSessions = set.MembershipRange(obj, lo, hi)
+				}
 				for _, sess := range hitSessions {
 					per[sess-lo].Hits++
 				}
 			}
-			for psi, psz := range PageSizes {
-				ps := pages[psi][uint32(e.BA)/uint32(psz)]
-				if ps == nil {
-					continue
-				}
-				for _, e2 := range ps.entries {
-					if !contains(hitSessions, e2.sess) {
-						per[e2.sess-lo].VM[psi].ActivePageMiss++
-					}
-				}
+			// O(1) active-page accounting: bump the page's cumulative
+			// write counter; each session's share is credited as
+			// wtotal − base when its active interval closes (pageTab
+			// remove/settle). Hit sessions are over-credited by
+			// exactly one per hit; finishCounters subtracts Hits to
+			// cancel it (see the invariant documented there).
+			if pi := pp.evPage[0][i]; pi >= 0 {
+				pages[0].refs[pi].wtotal++
+			}
+			if pi := pp.evPage[1][i]; pi >= 0 {
+				pages[1].refs[pi].wtotal++
 			}
 		}
+	}
+	for psi := range pages {
+		pages[psi].settle(per, lo, psi)
 	}
 }
 
