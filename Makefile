@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck lint build test race chaos fuzz cover replay-gate bench-pipeline bench-replay bench-codepatch-opt obsv-bench
+.PHONY: ci vet staticcheck lint build test race chaos fuzz cover replay-gate trace-gate bench-pipeline bench-replay bench-trace bench-codepatch-opt obsv-bench
 
-ci: vet staticcheck build lint race chaos cover obsv-bench replay-gate
+ci: vet staticcheck build lint race chaos cover obsv-bench replay-gate trace-gate
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,7 @@ race:
 chaos:
 	$(GO) test -race ./internal/fault/
 	$(GO) test -race -run 'TestChaos|TestWorkerPanic|TestContext|TestKeepGoing|TestRetry|TestPermanentFault|TestCacheDoesNotMemoise|TestCacheSurvives' ./internal/exp/
+	$(GO) test -race -run 'TestV3|TestOpenStreamFaultInjection|TestReadRejects|TestWriteFaultInjection|TestCorruptionInjection|TestReadFaultInjection' ./internal/trace/
 
 # Fuzz smoke: the trace-decoder fuzz target over its checked-in corpus
 # (truncated real workload traces + regression crashers) plus a short
@@ -63,10 +64,12 @@ fuzz:
 # internal/sim and internal/sessions must not fall below the recorded
 # floors (set just under the flat-memory PR's levels — 95.0% / 100% at
 # the time of recording, up from 88.6% / 98.2% before it). A new replay
-# feature landing without property/oracle coverage fails here.
+# feature landing without property/oracle coverage fails here. The
+# columnar trace store PR added internal/trace at a 90% floor (the
+# corruption matrix + round-trip suites sit well above it).
 cover:
 	@set -e; \
-	for spec in internal/sim:92.0 internal/sessions:99.0; do \
+	for spec in internal/sim:92.0 internal/sessions:99.0 internal/trace:90.0; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage output (test failure?)"; exit 1; fi; \
@@ -86,6 +89,19 @@ cover:
 REPLAY_SLACK ?= 0.25
 replay-gate:
 	EDB_REPLAY_BENCH=1 EDB_REPLAY_BENCH_SLACK=$(REPLAY_SLACK) $(GO) test -run TestReplayBenchGate -count=1 -v .
+
+# Trace-store regression gate: re-measures both from-file replay paths
+# (v2 read + in-memory sequential vs v3 streamed block-skip) on the
+# sparse bps monitor set and fails unless the streamed path still runs
+# at >=2x the v2 events/sec live, and within TRACE_SLACK of the
+# committed BENCH_trace_store.json ns/op. The 2x ratio takes no slack
+# (both sides are measured back-to-back on the same host); the
+# regression check uses the same noisy-CI default as replay-gate.
+# Regenerate the baseline with: EDB_REGEN_TRACE_BENCH=1 go test -run
+# TestTraceBenchGate -count=1 .
+TRACE_SLACK ?= 0.25
+trace-gate:
+	EDB_TRACE_BENCH=1 EDB_TRACE_BENCH_SLACK=$(TRACE_SLACK) $(GO) test -run TestTraceBenchGate -count=1 -v .
 
 # Observability disabled-path gate: re-measures the pipeline
 # benchmarks with observation off against BENCH_pipeline.json and
@@ -114,6 +130,12 @@ bench-pipeline:
 bench-replay:
 	$(GO) test -bench 'BenchmarkSimReplay' -benchmem -run '^$$' .
 	$(GO) test -bench 'BenchmarkPrepass$$|BenchmarkReplayCore' -benchmem -run '^$$' ./internal/sim/
+
+# Regenerate the trace-store comparison recorded in
+# BENCH_trace_store.json / EXPERIMENTS.md (the committed baseline file
+# itself is rewritten by EDB_REGEN_TRACE_BENCH=1, not by this target).
+bench-trace:
+	$(GO) test -bench 'BenchmarkTraceReplayFile|BenchmarkTraceCodec' -benchmem -run '^$$' .
 
 # Regenerate the CodePatch check-optimisation ablation recorded in
 # BENCH_codepatch_opt.json.

@@ -1,14 +1,19 @@
 // Command edb-trace runs phase 1 of the experiment for one benchmark:
 // it compiles the workload, executes it under the tracer, and writes the
 // program event trace (InstallMonitorEvent / RemoveMonitorEvent /
-// WriteEvent) in the binary trace format, or as text with -text.
+// WriteEvent) in the binary trace format — row-oriented v2 by default,
+// columnar streaming v3 with -v3 — or as text with -text. -convert
+// re-encodes an existing trace file (any version) instead of tracing.
 //
 // Usage:
 //
 //	edb-trace -program gcc -o gcc.trace
 //	edb-trace -program bps -text | head
-//	edb-trace -source prog.mc -o prog.trace   # trace your own mini-C
-//	edb-trace -program gcc -v -o gcc.trace    # phase timeline on stderr
+//	edb-trace -source prog.mc -o prog.trace     # trace your own mini-C
+//	edb-trace -program gcc -v -o gcc.trace      # phase timeline on stderr
+//	edb-trace -program bps -v3 -o bps.v3.trace  # columnar block format
+//	edb-trace -convert old.trace -v3 -o new.v3.trace
+//	edb-trace -convert bps.v3.trace -o bps.trace  # v3 back to v2
 package main
 
 import (
@@ -24,18 +29,27 @@ import (
 	"edb/internal/obsv"
 	"edb/internal/progs"
 	"edb/internal/safeio"
+	"edb/internal/trace"
 	"edb/internal/tracer"
 )
 
 func main() {
 	program := flag.String("program", "", "benchmark name (gcc, ctex, spice, qcd, bps)")
 	source := flag.String("source", "", "trace a mini-C source file instead of a benchmark")
+	convert := flag.String("convert", "", "re-encode an existing trace file (any version) instead of tracing")
 	scale := flag.Int("scale", 1, "workload run-length multiplier")
 	out := flag.String("o", "", "output file (default: stdout)")
 	text := flag.Bool("text", false, "write the human-readable text format")
+	v3 := flag.Bool("v3", false, "write the columnar streaming format (trace format v3)")
+	blockEvents := flag.Int("block-events", trace.DefaultBlockEvents,
+		"events per v3 block (with -v3)")
 	fuel := flag.Uint64("fuel", 2_000_000_000, "instruction budget")
 	verbose := flag.Bool("v", false, "print a per-phase span timeline to stderr when done")
 	flag.Parse()
+
+	if *text && *v3 {
+		fail(fmt.Errorf("-text and -v3 are mutually exclusive"))
+	}
 
 	// -v wires an obsv tracer around each phase; disabled, the spans
 	// are inert nil-tracer no-ops.
@@ -44,58 +58,80 @@ func main() {
 		spans = obsv.NewTracer(0)
 	}
 
-	var src, name string
-	switch {
-	case *program != "":
-		p, err := progs.ByName(*program, *scale)
+	var tr *trace.Trace
+	if *convert != "" {
+		if *program != "" || *source != "" {
+			fail(fmt.Errorf("-convert excludes -program and -source"))
+		}
+		f, err := os.Open(*convert)
 		if err != nil {
 			fail(err)
 		}
-		src, name = p.Source, p.Name
-		if p.Fuel > 0 {
-			*fuel = p.Fuel
-		}
-	case *source != "":
-		data, err := os.ReadFile(*source)
-		if err != nil {
-			fail(err)
-		}
-		src, name = string(data), *source
-	default:
-		fail(fmt.Errorf("one of -program or -source is required"))
-	}
-
-	sp := spans.StartSpan("compile")
-	img, err := minic.CompileToImage(src)
-	sp.End()
-	if err != nil {
-		fail(err)
-	}
-	m, err := kernel.NewMachine(img, arch.PageSize4K)
-	if err != nil {
-		fail(err)
-	}
-	sp = spans.StartSpan("tracegen")
-	sp.Attr("program", name)
-	tr, err := tracer.New(m, name).Run(*fuel)
-	if err != nil {
-		sp.Attr("error", err.Error())
+		sp := spans.StartSpan("read")
+		sp.Attr("file", *convert)
+		tr, err = trace.Read(bufio.NewReaderSize(f, 1<<16))
+		f.Close()
 		sp.End()
-		fail(err)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		var src, name string
+		switch {
+		case *program != "":
+			p, err := progs.ByName(*program, *scale)
+			if err != nil {
+				fail(err)
+			}
+			src, name = p.Source, p.Name
+			if p.Fuel > 0 {
+				*fuel = p.Fuel
+			}
+		case *source != "":
+			data, err := os.ReadFile(*source)
+			if err != nil {
+				fail(err)
+			}
+			src, name = string(data), *source
+		default:
+			fail(fmt.Errorf("one of -program, -source, or -convert is required"))
+		}
+
+		sp := spans.StartSpan("compile")
+		img, err := minic.CompileToImage(src)
+		sp.End()
+		if err != nil {
+			fail(err)
+		}
+		m, err := kernel.NewMachine(img, arch.PageSize4K)
+		if err != nil {
+			fail(err)
+		}
+		sp = spans.StartSpan("tracegen")
+		sp.Attr("program", name)
+		tr, err = tracer.New(m, name).Run(*fuel)
+		if err != nil {
+			sp.Attr("error", err.Error())
+			sp.End()
+			fail(err)
+		}
+		sp.Int("events", int64(len(tr.Events)))
+		sp.End()
 	}
-	sp.Int("events", int64(len(tr.Events)))
-	sp.End()
 
 	render := tr.Write
-	if *text {
+	switch {
+	case *text:
 		render = tr.WriteText
+	case *v3:
+		render = func(w io.Writer) error { return tr.WriteV3Blocks(w, *blockEvents) }
 	}
-	sp = spans.StartSpan("write")
+	sp := spans.StartSpan("write")
 	if *out != "" {
 		// Atomic write: temp file + fsync + rename, so an error (or a
 		// crash) mid-write never leaves a torn trace under -o's name —
-		// a truncated v2 trace would be rejected by every reader, but a
-		// torn text dump would just be silently wrong.
+		// a truncated v2/v3 trace would be rejected by every reader, but
+		// a torn text dump would just be silently wrong.
 		if err := safeio.WriteFile(*out, func(w io.Writer) error {
 			return render(w)
 		}); err != nil {
@@ -113,7 +149,7 @@ func main() {
 	sp.End()
 	ins, rem, wr := tr.Counts()
 	fmt.Fprintf(os.Stderr, "%s: %d objects, %d installs, %d removes, %d writes, %.3f simulated seconds\n",
-		name, tr.Objects.Len(), ins, rem, wr, tr.BaseSeconds())
+		tr.Program, tr.Objects.Len(), ins, rem, wr, tr.BaseSeconds())
 	if spans != nil {
 		if err := spans.WriteText(os.Stderr); err != nil {
 			fail(err)

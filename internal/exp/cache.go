@@ -32,7 +32,12 @@ type artifacts struct {
 	// remap), computed once here so every analysis pass — each timing
 	// profile, every REPL re-run — shares it instead of re-deriving it
 	// per replay. Immutable, like the trace it indexes.
-	pp            *sim.Prepass
+	pp *sim.Prepass
+	// bidx is the trace's v3 block index (per-block page-touch
+	// summaries at the default blocking), cached with the trace so
+	// streaming replays and skip-rate analyses share one computation
+	// instead of re-summarising the event stream. Immutable.
+	bidx          *trace.BlockIndex
 	storeFraction float64
 	expansion     float64
 
@@ -180,7 +185,10 @@ func buildArtifacts(p progs.Program, o *obs) (*artifacts, error) {
 	if err != nil {
 		return nil, fmt.Errorf("exp: prepass for %s: %w", p.Name, err)
 	}
-	a := &artifacts{tr: tr, pp: pp}
+	ps = o.phase(p.Name, PhaseBlockIndex)
+	bidx := tr.BuildBlockIndex(0)
+	ps.done(nil)
+	a := &artifacts{tr: tr, pp: pp, bidx: bidx}
 	stores, total := img.CountStores()
 	a.storeFraction = float64(stores) / float64(total)
 	ps = o.phase(p.Name, PhaseMeasure)

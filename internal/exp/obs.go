@@ -39,6 +39,10 @@ const (
 	// resolution + dense page remap), cached with the trace so every
 	// later replay of the artifact shares it.
 	PhasePrepass = "prepass"
+	// PhaseBlockIndex computes the trace's v3 block index (per-block
+	// page-touch summaries), cached with the artifact so streaming
+	// replays share the skip metadata.
+	PhaseBlockIndex = "blockindex"
 	// PhaseMeasure takes the static code-size and check-plan
 	// measurements (CodePatch expansion, CP-opt class fractions).
 	PhaseMeasure = "measure"

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"edb/internal/fault"
+	"edb/internal/obsv"
+	"edb/internal/progs"
+	"edb/internal/sessions"
+	"edb/internal/trace"
+)
+
+// v3Source serialises tr as a v3 byte buffer with the given blocking
+// and wraps it as a StreamSource.
+func v3Source(t testing.TB, tr *trace.Trace, blockEvents int) trace.StreamSource {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.WriteV3Blocks(&buf, blockEvents); err != nil {
+		t.Fatal(err)
+	}
+	return trace.BytesSource(buf.Bytes())
+}
+
+// randomSubset picks a random subset of the discovered sessions — the
+// sparse monitor sets the skip path exists for — rebuilt as a Set over
+// the same object universe. Empty subsets are allowed.
+func randomSubset(rng *rand.Rand, set *sessions.Set) *sessions.Set {
+	var sub []sessions.Session
+	for _, s := range set.Sessions {
+		if rng.Intn(4) == 0 {
+			sub = append(sub, s)
+		}
+	}
+	return sessions.NewSet(sub, set.NumObjects())
+}
+
+// TestStreamDifferential is the central property of the streaming
+// engine: for random traces × random session subsets, streamed replay
+// with block skipping ≡ streamed without skipping ≡ the in-memory
+// engine — all counters bit-identical — across block sizes and shard
+// counts. The in-memory side is itself pinned to the naive per-session
+// oracle by TestOnePassMatchesNaiveOracle, so this transitively anchors
+// the whole v3 path to first principles.
+func TestStreamDifferential(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tr := checkedTrace(t, seed, 1500)
+		full := sessions.Discover(tr)
+		rng := rand.New(rand.NewSource(seed * 31))
+		sets := []*sessions.Set{full, randomSubset(rng, full), randomSubset(rng, full)}
+		for si, set := range sets {
+			want, err := Sequential(tr, set)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantHash := canonicalHash(want)
+			for _, be := range []int{1, 16, 301, trace.DefaultBlockEvents} {
+				src := v3Source(t, tr, be)
+				for _, noskip := range []bool{false, true} {
+					for _, shards := range shardCounts() {
+						got, err := RunStream(src, set, StreamOptions{Shards: shards, NoSkip: noskip})
+						if err != nil {
+							t.Fatalf("seed %d set %d be=%d noskip=%v shards=%d: %v",
+								seed, si, be, noskip, shards, err)
+						}
+						if h := canonicalHash(got); h != wantHash {
+							t.Fatalf("seed %d set %d be=%d noskip=%v shards=%d: stream hash %s != in-memory %s",
+								seed, si, be, noskip, shards, h, wantHash)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStreamBlockSizeInvariance is the metamorphic relation from the
+// issue: re-blocking a workload trace (1-event blocks up to 64Ki) must
+// not change a single counter, with and without skipping.
+func TestStreamBlockSizeInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traces a benchmark workload; skipped in -short")
+	}
+	tr := workloadTrace(t, "bps")
+	set := sessions.Discover(tr)
+	want, err := Sequential(tr, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := canonicalHash(want)
+	for _, be := range []int{1, 1 << 10, 8192, 1 << 15, 1 << 16} {
+		src := v3Source(t, tr, be)
+		for _, noskip := range []bool{false, true} {
+			got, err := RunStream(src, set, StreamOptions{Shards: 4, NoSkip: noskip})
+			if err != nil {
+				t.Fatalf("be=%d noskip=%v: %v", be, noskip, err)
+			}
+			if h := canonicalHash(got); h != wantHash {
+				t.Fatalf("be=%d noskip=%v: hash %s != %s", be, noskip, h, wantHash)
+			}
+		}
+	}
+}
+
+// TestStreamAllWorkloads runs the streamed-vs-in-memory differential
+// over every benchmark workload at scale 1 — real traces, full
+// discovered session sets, skip on.
+func TestStreamAllWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traces all five workloads; skipped in -short")
+	}
+	for _, name := range progs.Names() {
+		tr := workloadTrace(t, name)
+		set := sessions.Discover(tr)
+		want, err := Sequential(tr, set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := v3Source(t, tr, 0)
+		got, err := RunStream(src, set, StreamOptions{Shards: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if canonicalHash(got) != canonicalHash(want) {
+			t.Fatalf("%s: streamed replay diverged from in-memory", name)
+		}
+	}
+}
+
+// TestStreamSparseSubset forces the skip path to actually fire: a
+// one-session monitor set over a workload trace must skip a nonzero
+// number of blocks yet stay bit-identical to the in-memory replay.
+func TestStreamSparseSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traces a benchmark workload; skipped in -short")
+	}
+	tr := workloadTrace(t, "bps")
+	full := sessions.Discover(tr)
+	var one []sessions.Session
+	for _, s := range full.Sessions {
+		if s.Type == sessions.OneHeap {
+			one = append(one, s)
+			break
+		}
+	}
+	if len(one) == 0 {
+		t.Fatal("no OneHeap session discovered")
+	}
+	set := sessions.NewSet(one, full.NumObjects())
+	want, err := Sequential(tr, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteV3Blocks(&buf, 1024); err != nil {
+		t.Fatal(err)
+	}
+	src := trace.BytesSource(buf.Bytes())
+	s, err := src.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped, err := replayStream(s, set, 0, int32(len(set.Sessions)),
+		make([]Counting, len(set.Sessions)), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped == 0 {
+		t.Fatal("sparse one-session set skipped zero blocks — the fast path never fires")
+	}
+	got, err := RunStream(src, set, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonicalHash(got) != canonicalHash(want) {
+		t.Fatal("skipping replay diverged from in-memory on sparse set")
+	}
+}
+
+// TestStreamEmptySet covers the degenerate zero-session replay.
+func TestStreamEmptySet(t *testing.T) {
+	tr := checkedTrace(t, 1, 400)
+	set := sessions.NewSet(nil, sessions.Discover(tr).NumObjects())
+	out, err := RunStream(v3Source(t, tr, 32), set, StreamOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.PerSession) != 0 || out.TotalWrites == 0 {
+		t.Fatalf("empty-set output: %+v", out)
+	}
+}
+
+// TestStreamRejectsCorrupt checks decode errors surface through
+// RunStream from any worker.
+func TestStreamRejectsCorrupt(t *testing.T) {
+	tr := checkedTrace(t, 2, 400)
+	var buf bytes.Buffer
+	if err := tr.WriteV3Blocks(&buf, 16); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)/2] ^= 0x10
+	set := sessions.Discover(tr)
+	if _, err := RunStream(trace.BytesSource(data), set, StreamOptions{Shards: 3}); err == nil {
+		t.Fatal("corrupt stream replayed without error")
+	}
+	if _, err := RunStream(trace.BytesSource(data[:8]), set, StreamOptions{}); err == nil {
+		t.Fatal("truncated stream replayed without error")
+	}
+}
+
+// TestStreamObserved pins StreamOptions.Obs: observation never feeds
+// back (bit-identical counters), and the expected span structure
+// appears — the engine span with its events_per_sec attribute and one
+// span per shard worker carrying the skipped-block count.
+func TestStreamObserved(t *testing.T) {
+	tr := checkedTrace(t, 9, 1200)
+	set := sessions.Discover(tr)
+	quiet, err := Sequential(tr, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := obsv.NewTracer(256)
+	const k = 2
+	got, err := RunStream(v3Source(t, tr, 64), set, StreamOptions{Shards: k, Obs: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range quiet.PerSession {
+		if got.PerSession[i] != quiet.PerSession[i] {
+			t.Fatalf("session %d: observed streamed replay diverged: %+v != %+v",
+				i, got.PerSession[i], quiet.PerSession[i])
+		}
+	}
+	names := spanNames(obs)
+	if names["replay-stream"] != 1 {
+		t.Errorf("want 1 replay-stream span, got %v", names)
+	}
+	if names["replay-stream-shard"] != k {
+		t.Errorf("want %d replay-stream-shard spans, got %v", k, names)
+	}
+	if !spanHasAttr(obs, "replay-stream", "events_per_sec") {
+		t.Error("replay-stream span lacks events_per_sec attribute")
+	}
+	if !spanHasAttr(obs, "replay-stream-shard", "skipped_blocks") {
+		t.Error("replay-stream-shard span lacks skipped_blocks attribute")
+	}
+}
+
+// TestStreamFaultInjection: SiteSimReplay fires on the streamed engine
+// exactly like the in-memory ones.
+func TestStreamFaultInjection(t *testing.T) {
+	tr := checkedTrace(t, 10, 300)
+	set := sessions.Discover(tr)
+	fault.Activate(fault.NewPlan(0, fault.Rule{
+		Site: fault.SiteSimReplay, Kind: fault.Transient, Times: 1,
+	}))
+	defer fault.Deactivate()
+	if _, err := RunStream(v3Source(t, tr, 64), set, StreamOptions{}); err == nil {
+		t.Fatal("injected replay fault not surfaced")
+	}
+	if _, err := RunStream(v3Source(t, tr, 64), set, StreamOptions{}); err != nil {
+		t.Fatalf("fault exhausted but replay still fails: %v", err)
+	}
+}
+
+// flakySource fails every Open after the first — the re-open path each
+// extra shard worker takes.
+type flakySource struct {
+	inner trace.StreamSource
+	opens int
+}
+
+func (f *flakySource) Open() (*trace.Stream, error) {
+	f.opens++
+	if f.opens > 1 {
+		return nil, errors.New("flaky source: re-open refused")
+	}
+	return f.inner.Open()
+}
+
+// TestStreamWorkerOpenError: a worker that cannot open its own pass
+// over the source fails the whole replay with its error.
+func TestStreamWorkerOpenError(t *testing.T) {
+	tr := checkedTrace(t, 11, 300)
+	set := sessions.Discover(tr)
+	if len(set.Sessions) < 2 {
+		t.Skip("need >=2 sessions for a second worker")
+	}
+	src := &flakySource{inner: v3Source(t, tr, 64)}
+	_, err := RunStream(src, set, StreamOptions{Shards: 2})
+	if err == nil || !strings.Contains(err.Error(), "re-open refused") {
+		t.Fatalf("worker open failure not surfaced: %v", err)
+	}
+}

@@ -58,6 +58,19 @@ func TestGenerateFuzzCorpus(t *testing.T) {
 			t.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d bytes serialized)\n", path, len(buf.b))
+
+		// The same truncated trace in the columnar v3 format, blocked
+		// small (64 events/block) so the seed spans several blocks.
+		var v3 writerBuf
+		if err := small.WriteV3Blocks(&v3, 64); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		entry = "go test fuzz v1\n[]byte(" + strconv.Quote(string(v3.b)) + ")\n"
+		path = filepath.Join(dir, "workload-"+name+"-v3")
+		if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes serialized)\n", path, len(v3.b))
 	}
 }
 

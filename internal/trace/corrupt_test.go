@@ -245,11 +245,11 @@ func TestReadRejectsTrailingPayloadBytes(t *testing.T) {
 	}
 }
 
-// TestReadRejectsFutureVersion: version 3 is an error naming the
+// TestReadRejectsFutureVersion: version 4 is an error naming the
 // version, not a misparse.
 func TestReadRejectsFutureVersion(t *testing.T) {
-	_, err := Read(bytes.NewReader([]byte(magic + "\x03")))
-	if err == nil || !strings.Contains(err.Error(), "unsupported version 3") {
+	_, err := Read(bytes.NewReader([]byte(magic + "\x04")))
+	if err == nil || !strings.Contains(err.Error(), "unsupported version 4") {
 		t.Errorf("future version diagnostic = %v", err)
 	}
 }

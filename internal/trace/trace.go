@@ -106,7 +106,9 @@ func (t *Trace) Counts() (installs, removes, writes int) {
 // every count against the bytes that could plausibly back it, and
 // reports failures with the absolute byte offset of the offending
 // field. Version-1 files (no length/checksum, body streamed directly
-// after the version) are still read.
+// after the version) are still read, as are version-3 columnar
+// streaming files (colstore.go) — Write keeps emitting version 2;
+// WriteV3 emits the columnar format.
 const (
 	magic     = "EDBT"
 	version   = 2
@@ -170,9 +172,10 @@ func (t *Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// writeBody encodes the version-independent trace body into buf.
+// writeMeta encodes the trace metadata — program, counters, object
+// table — shared by the v1/v2 body and the v3 header frame.
 // bytes.Buffer writes cannot fail, so no errors flow here.
-func (t *Trace) writeBody(buf *bytes.Buffer) {
+func (t *Trace) writeMeta(buf *bytes.Buffer) {
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(scratch[:], v)
@@ -198,6 +201,17 @@ func (t *Trace) writeBody(buf *bytes.Buffer) {
 		for _, f := range o.AllocCtx {
 			putString(f)
 		}
+	}
+}
+
+// writeBody encodes the version-1/2 trace body into buf: the metadata
+// followed by the interleaved event stream.
+func (t *Trace) writeBody(buf *bytes.Buffer) {
+	t.writeMeta(buf)
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
 	}
 
 	// Event stream.
@@ -325,8 +339,10 @@ func prealloc(n uint64) int {
 	return int(n)
 }
 
-// Read deserialises a trace written by Write. It reads both the current
-// checksummed version-2 format and legacy version-1 files. Malformed
+// Read deserialises a trace written by Write or WriteV3. It reads the
+// checksummed version-2 format, legacy version-1 files, and the
+// columnar streaming version-3 format (materialised through the block
+// reader; use OpenStream to replay v3 without materialising). Malformed
 // input — truncation, flipped bits, counts the stream cannot back —
 // is rejected with an error naming the byte offset of the offending
 // field; version-2 corruption is caught by the payload checksum before
@@ -401,71 +417,22 @@ func Read(r io.Reader) (*Trace, error) {
 			return nil, pd.errAt(pd.off, "%d trailing payload bytes after trace body", pd.remaining)
 		}
 		return t, nil
+	case version3:
+		// Columnar streaming format: materialise via the block reader
+		// (colstore.go), which verifies every frame checksum and the
+		// header totals.
+		return readV3(d)
 	default:
 		return nil, fmt.Errorf("trace: byte offset %d: unsupported version %d", len(magic), v)
 	}
 }
 
-// readBody decodes the version-independent trace body.
+// readBody decodes the version-1/2 trace body: metadata followed by
+// the interleaved event stream.
 func (d *decoder) readBody() (*Trace, error) {
 	t := &Trace{Objects: objects.NewTable()}
-	var err error
-	if t.Program, err = d.str("program name"); err != nil {
+	if err := d.readMeta(t); err != nil {
 		return nil, err
-	}
-	if t.BaseCycles, err = d.uvarint("base cycles"); err != nil {
-		return nil, err
-	}
-	if t.Instret, err = d.uvarint("instret"); err != nil {
-		return nil, err
-	}
-
-	nObjs, err := d.count("object count", minObjectBytes)
-	if err != nil {
-		return nil, err
-	}
-	for i := uint64(0); i < nObjs; i++ {
-		var o objects.Object
-		kindOff := d.off
-		kb, err := d.readByte("object kind")
-		if err != nil {
-			return nil, err
-		}
-		if kb > uint8(objects.KindHeap) {
-			return nil, d.errAt(kindOff, "object %d: bad kind %d", i, kb)
-		}
-		o.Kind = objects.Kind(kb)
-		if o.Func, err = d.str("object func"); err != nil {
-			return nil, err
-		}
-		if o.Name, err = d.str("object name"); err != nil {
-			return nil, err
-		}
-		szOff := d.off
-		sz, err := d.uvarint("object size")
-		if err != nil {
-			return nil, err
-		}
-		if sz > maxObjectSize {
-			return nil, d.errAt(szOff, "object %d: size %d exceeds cap %d", i, sz, uint64(maxObjectSize))
-		}
-		o.SizeBytes = int(sz)
-		nCtx, err := d.count("alloc-context count", 1)
-		if err != nil {
-			return nil, err
-		}
-		if nCtx > maxAllocCtx {
-			return nil, d.errAt(szOff, "object %d: %d alloc-context frames exceeds cap %d",
-				i, nCtx, maxAllocCtx)
-		}
-		for j := uint64(0); j < nCtx; j++ {
-			f, err := d.str("alloc-context frame")
-			if err != nil {
-				return nil, err
-			}
-			o.AllocCtx = append(o.AllocCtx, f)
-		}
-		t.Objects.Add(o)
 	}
 
 	nEvents, err := d.count("event count", minEventBytes)
@@ -511,6 +478,71 @@ func (d *decoder) readBody() (*Trace, error) {
 		t.Events = append(t.Events, e)
 	}
 	return t, nil
+}
+
+// readMeta decodes the trace metadata (program, counters, object
+// table) into t — the shared prefix of the v1/v2 body and the v3
+// header frame.
+func (d *decoder) readMeta(t *Trace) error {
+	var err error
+	if t.Program, err = d.str("program name"); err != nil {
+		return err
+	}
+	if t.BaseCycles, err = d.uvarint("base cycles"); err != nil {
+		return err
+	}
+	if t.Instret, err = d.uvarint("instret"); err != nil {
+		return err
+	}
+
+	nObjs, err := d.count("object count", minObjectBytes)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < nObjs; i++ {
+		var o objects.Object
+		kindOff := d.off
+		kb, err := d.readByte("object kind")
+		if err != nil {
+			return err
+		}
+		if kb > uint8(objects.KindHeap) {
+			return d.errAt(kindOff, "object %d: bad kind %d", i, kb)
+		}
+		o.Kind = objects.Kind(kb)
+		if o.Func, err = d.str("object func"); err != nil {
+			return err
+		}
+		if o.Name, err = d.str("object name"); err != nil {
+			return err
+		}
+		szOff := d.off
+		sz, err := d.uvarint("object size")
+		if err != nil {
+			return err
+		}
+		if sz > maxObjectSize {
+			return d.errAt(szOff, "object %d: size %d exceeds cap %d", i, sz, uint64(maxObjectSize))
+		}
+		o.SizeBytes = int(sz)
+		nCtx, err := d.count("alloc-context count", 1)
+		if err != nil {
+			return err
+		}
+		if nCtx > maxAllocCtx {
+			return d.errAt(szOff, "object %d: %d alloc-context frames exceeds cap %d",
+				i, nCtx, maxAllocCtx)
+		}
+		for j := uint64(0); j < nCtx; j++ {
+			f, err := d.str("alloc-context frame")
+			if err != nil {
+				return err
+			}
+			o.AllocCtx = append(o.AllocCtx, f)
+		}
+		t.Objects.Add(o)
+	}
+	return nil
 }
 
 // WriteText renders the trace human-readably, one event per line.

@@ -269,3 +269,28 @@ func TestCompactness(t *testing.T) {
 		t.Errorf("binary format too fat: %.1f bytes/event", perEvent)
 	}
 }
+
+func TestValidateExclusive(t *testing.T) {
+	if err := sampleTrace().ValidateExclusive(); err != nil {
+		t.Errorf("exclusive trace rejected: %v", err)
+	}
+	tab := objects.NewTable()
+	a := tab.Add(objects.Object{Kind: objects.KindGlobal, Name: "a"})
+	b := tab.Add(objects.Object{Kind: objects.KindGlobal, Name: "b"})
+	tr := &Trace{Objects: tab, Events: []Event{
+		{Kind: EvInstall, Obj: a, BA: 4, EA: 12},
+		{Kind: EvInstall, Obj: b, BA: 8, EA: 16}, // word 8 double-owned
+	}}
+	if err := tr.ValidateExclusive(); err == nil {
+		t.Error("overlapping live objects not rejected")
+	}
+	// Re-install after remove is fine: ownership moved, not shared.
+	tr.Events = []Event{
+		{Kind: EvInstall, Obj: a, BA: 4, EA: 12},
+		{Kind: EvRemove, Obj: a, BA: 4, EA: 12},
+		{Kind: EvInstall, Obj: b, BA: 8, EA: 16},
+	}
+	if err := tr.ValidateExclusive(); err != nil {
+		t.Errorf("sequential ownership rejected: %v", err)
+	}
+}
