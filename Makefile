@@ -25,8 +25,12 @@ staticcheck:
 	fi
 
 # Patch-soundness lint: analysis.VerifyPatched / VerifyTrapPatched must
-# prove every strategy's patched image sound for every benchmark.
+# prove every strategy's patched image sound for every benchmark. The
+# custom vet suite (internal/edbvet) runs first: obsv nil-is-free
+# contract, unregistered fault.Site literals, map iteration feeding
+# report output.
 lint:
+	$(GO) run ./cmd/edbvet .
 	@for b in gcc ctex spice qcd bps; do \
 		echo "lint: $$b"; \
 		$(GO) run ./cmd/minicc -benchmark $$b -lint || exit 1; \
@@ -66,10 +70,13 @@ fuzz:
 # the time of recording, up from 88.6% / 98.2% before it). A new replay
 # feature landing without property/oracle coverage fails here. The
 # columnar trace store PR added internal/trace at a 90% floor (the
-# corruption matrix + round-trip suites sit well above it).
+# corruption matrix + round-trip suites sit well above it); the
+# interprocedural-analysis PR added internal/analysis at 90% (the
+# dependence-map corruption matrix and interproc dataflow tests hold
+# it above 92%).
 cover:
 	@set -e; \
-	for spec in internal/sim:92.0 internal/sessions:99.0 internal/trace:90.0; do \
+	for spec in internal/sim:92.0 internal/sessions:99.0 internal/trace:90.0 internal/analysis:90.0; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage output (test failure?)"; exit 1; fi; \

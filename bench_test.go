@@ -360,16 +360,24 @@ type writeCounter struct{ n int }
 func (w *writeCounter) Write(p []byte) (int, error) { w.n += len(p); return len(p), nil }
 
 // BenchmarkLoopHoistAblation is the CodePatch check-optimisation
-// ablation recorded in BENCH_codepatch_opt.json: a 2x2 matrix of the
-// static §9 optimiser (check elision + loop hoisting, PatchOptions.
-// Optimize) against the dynamic check memo (AttachWithOptions), on a
-// hot-loop workload with one monitored global. sim-cycles/op is the
+// ablation recorded in BENCH_codepatch_opt.json: the static §9
+// optimiser (check elision + loop hoisting, PatchOptions.Optimize)
+// against the dynamic check memo (AttachWithOptions), on a hot-loop
+// workload with one monitored global, plus the interprocedural
+// ablation (cp-opt-intra restricts the planner to single functions; the
+// quiet `mix` helper between two watched stores is invisible to it but
+// transparent to the call-graph summaries). sim-cycles/op is the
 // simulated debuggee cost; sim-checks/op counts executed full/fast
 // check calls (elided stores charge nothing).
 func BenchmarkLoopHoistAblation(b *testing.B) {
 	src := `
 	int watched = 0;
 	int buffer[256];
+	int mix(int a, int b) {
+		int t;
+		t = a ^ b;
+		return t + (a & b);
+	}
 	int main() {
 		int i;
 		int s = 0;
@@ -381,18 +389,22 @@ func BenchmarkLoopHoistAblation(b *testing.B) {
 		}
 		watched = s;
 		watched = watched + 1;
+		s = mix(s, i);
+		watched = watched + s;
 		print(watched);
 		return 0;
 	}`
 	cases := []struct {
-		name     string
-		optimize bool
-		memo     bool
+		name      string
+		optimize  bool
+		memo      bool
+		intraproc bool
 	}{
-		{"cp", false, false},
-		{"cp-memo", false, true},
-		{"cp-opt", true, false},
-		{"cp-opt-memo", true, true},
+		{"cp", false, false, false},
+		{"cp-memo", false, true, false},
+		{"cp-opt-intra", true, false, true},
+		{"cp-opt", true, false, false},
+		{"cp-opt-memo", true, true, false},
 	}
 	for _, c := range cases {
 		c := c
@@ -403,7 +415,7 @@ func BenchmarkLoopHoistAblation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: c.optimize}); err != nil {
+				if _, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: c.optimize, Intraproc: c.intraproc}); err != nil {
 					b.Fatal(err)
 				}
 				img, err := asm.Assemble(prog)

@@ -1,0 +1,34 @@
+// Command edbvet runs the repository's custom vet pass suite (see
+// internal/edbvet) over the module rooted at the given directory
+// (default "."). It prints one line per finding and exits non-zero if
+// any are found, so `make lint` can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edb/internal/edbvet"
+)
+
+func main() {
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	findings, err := edbvet.Run(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "edbvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "edbvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Println("edbvet: ok")
+}

@@ -10,6 +10,8 @@
 //	minicc -benchmark gcc -S    # operate on a built-in benchmark
 //	minicc -benchmark gcc -lint # verify patched-image soundness
 //	minicc -dot main prog.mc    # Graphviz CFG + dominator tree
+//	minicc -callgraph prog.mc   # Graphviz call graph + write summaries
+//	minicc -summaries prog.mc   # one-line interprocedural summaries
 package main
 
 import (
@@ -34,7 +36,10 @@ func main() {
 	scale := flag.Int("scale", 1, "benchmark scale")
 	fuel := flag.Uint64("fuel", 2_000_000_000, "instruction budget")
 	lint := flag.Bool("lint", false, "verify patched-image soundness (CP, CP-opt, TP) instead of running; exit 1 on violations")
-	dot := flag.String("dot", "", "print the Graphviz CFG + dominator tree of the named function (or 'all') instead of running")
+	dot := flag.String("dot", "", "print the Graphviz CFG + dominator tree of the named function (or 'all') instead of running; with -interproc, annotated with callee summaries")
+	interproc := flag.Bool("interproc", false, "annotate -dot output with the interprocedural layer's entry facts and callee summaries")
+	callgraph := flag.Bool("callgraph", false, "print the Graphviz call graph with write summaries instead of running")
+	summaries := flag.Bool("summaries", false, "print one-line interprocedural write summaries instead of running")
 	flag.Parse()
 
 	var src string
@@ -59,7 +64,11 @@ func main() {
 		os.Exit(runLint(src))
 	}
 	if *dot != "" {
-		runDot(src, *dot)
+		runDot(src, *dot, *interproc)
+		return
+	}
+	if *callgraph || *summaries {
+		runInterproc(src, *callgraph, *summaries)
 		return
 	}
 
@@ -121,12 +130,15 @@ func runLint(src string) int {
 	}
 	check("cp", analysis.VerifyPatched(prog))
 
-	// Optimized CodePatch (each patch mutates, so recompile).
+	// Optimized CodePatch (each patch mutates, so recompile). The
+	// verifier additionally validates the shipped dependence map: every
+	// interprocedural elision must re-derive from the patched image.
 	prog = compile()
-	if _, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true}); err != nil {
+	res, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true})
+	if err != nil {
 		fail(err)
 	}
-	check("cp-opt", analysis.VerifyPatched(prog))
+	check("cp-opt", analysis.VerifyPatchedWithDeps(prog, res.DepMap))
 
 	// TrapPatch.
 	prog = compile()
@@ -143,11 +155,16 @@ func runLint(src string) int {
 }
 
 // runDot prints the Graphviz CFG + dominator tree of one function (or
-// every function, for "all") of the unpatched program.
-func runDot(src, fn string) {
+// every function, for "all") of the unpatched program; with interproc
+// set, nodes are annotated with entry facts and callee summaries.
+func runDot(src, fn string, interproc bool) {
 	prog, err := minic.Compile(src)
 	if err != nil {
 		fail(err)
+	}
+	var ip *analysis.Interproc
+	if interproc {
+		ip = analysis.ComputeInterproc(prog)
 	}
 	found := false
 	for _, f := range prog.Funcs {
@@ -155,7 +172,11 @@ func runDot(src, fn string) {
 			continue
 		}
 		found = true
-		fmt.Print(analysis.DumpDot(analysis.BuildCFG(f)))
+		if ip != nil {
+			fmt.Print(analysis.DumpDotAnnotated(analysis.BuildCFG(f), ip))
+		} else {
+			fmt.Print(analysis.DumpDot(analysis.BuildCFG(f)))
+		}
 	}
 	if !found {
 		var names []string
@@ -163,6 +184,27 @@ func runDot(src, fn string) {
 			names = append(names, f.Name)
 		}
 		fail(fmt.Errorf("no function %q (have: %v)", fn, names))
+	}
+}
+
+// runInterproc prints the whole-program interprocedural view: the
+// call graph as Graphviz and/or the per-function summary lines (in
+// program order, matching the call-graph node list).
+func runInterproc(src string, callgraph, summaries bool) {
+	prog, err := minic.Compile(src)
+	if err != nil {
+		fail(err)
+	}
+	ip := analysis.ComputeInterproc(prog)
+	if callgraph {
+		fmt.Print(analysis.DumpCallGraphDot(ip))
+	}
+	if summaries {
+		for _, fn := range ip.CallGraph.Funcs {
+			if s := ip.Summaries[fn]; s != nil {
+				fmt.Println(s)
+			}
+		}
 	}
 }
 

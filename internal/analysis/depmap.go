@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// The dependence map records, for every check the optimizer removed or
+// weakened, the static facts that justify the decision. It is the
+// invalidation index the ROADMAP's incremental re-patcher needs: when a
+// monitor update (or a future self-modifying workload) changes a store
+// site or a function body, DependentsOf names exactly the optimized
+// sites whose justification may no longer hold, so the re-patcher can
+// restore those checks without a whole-program re-patch. It is also how
+// VerifyPatched proves interprocedural elisions sound: each recorded
+// dependency is re-derived independently from the patched image and the
+// elision is rejected unless every one still holds.
+
+// Dep kinds.
+const (
+	// DepSummary: the decision relies on callee Func having a may-write
+	// summary that cannot alias the checked address. Index is unused.
+	DepSummary = "summary"
+	// DepCheck: the decision relies on the instruction at (Func, Index)
+	// — a checked store or an explicit check pair — covering the same
+	// address expression. Index is a pre-patch body index in the plan,
+	// remapped to the patched body by the patcher.
+	DepCheck = "check"
+	// DepEntry: the decision relies on the address being checked on
+	// every path into Func (an interprocedural entry fact). Index is
+	// unused.
+	DepEntry = "entry"
+)
+
+// Dep is one static fact an optimization decision depends on.
+type Dep struct {
+	Kind  string `json:"kind"`
+	Func  string `json:"func"`
+	Index int    `json:"index,omitempty"`
+}
+
+func (d Dep) String() string {
+	switch d.Kind {
+	case DepCheck:
+		return fmt.Sprintf("check %s@%d", d.Func, d.Index)
+	case DepSummary:
+		return fmt.Sprintf("summary %s", d.Func)
+	default:
+		return fmt.Sprintf("%s %s", d.Kind, d.Func)
+	}
+}
+
+// Site classes.
+const (
+	SiteElided = "elided"
+	SiteFast   = "fast"
+	SiteHoist  = "hoist"
+)
+
+// DepSite is one optimized site: an elided store, a fast-stub check, or
+// a hoisted preliminary-check pair, with the facts that justify it.
+type DepSite struct {
+	Func string `json:"func"`
+	// Index is the body index of the site. In a freshly built plan it
+	// is a pre-patch index; the patcher remaps it to the patched body
+	// (the store word for elided sites, the first pair word otherwise).
+	Index int    `json:"index"`
+	Class string `json:"class"`
+	// Expr is the checked address expression, in Expr.String form.
+	Expr string `json:"expr"`
+	Deps []Dep  `json:"deps,omitempty"`
+}
+
+// DepMap is the full dependence map of one optimized patch.
+type DepMap struct {
+	Sites []DepSite `json:"sites"`
+}
+
+// normalize sorts sites by (Func, Index) and each site's deps by
+// (Kind, Func, Index), making the JSON encoding deterministic.
+func (dm *DepMap) normalize() {
+	for i := range dm.Sites {
+		deps := dm.Sites[i].Deps
+		sort.Slice(deps, func(a, b int) bool {
+			if deps[a].Kind != deps[b].Kind {
+				return deps[a].Kind < deps[b].Kind
+			}
+			if deps[a].Func != deps[b].Func {
+				return deps[a].Func < deps[b].Func
+			}
+			return deps[a].Index < deps[b].Index
+		})
+	}
+	sort.Slice(dm.Sites, func(a, b int) bool {
+		if dm.Sites[a].Func != dm.Sites[b].Func {
+			return dm.Sites[a].Func < dm.Sites[b].Func
+		}
+		return dm.Sites[a].Index < dm.Sites[b].Index
+	})
+}
+
+// MarshalJSON emits a deterministic encoding (sites and deps sorted).
+func (dm *DepMap) MarshalJSON() ([]byte, error) {
+	dm.normalize()
+	type alias DepMap
+	return json.Marshal((*alias)(dm))
+}
+
+// ParseDepMap decodes a serialized dependence map.
+func ParseDepMap(data []byte) (*DepMap, error) {
+	var dm DepMap
+	if err := json.Unmarshal(data, &dm); err != nil {
+		return nil, fmt.Errorf("depmap: %w", err)
+	}
+	dm.normalize()
+	return &dm, nil
+}
+
+// Encode serializes the map deterministically.
+func (dm *DepMap) Encode() ([]byte, error) { return json.Marshal(dm) }
+
+// site returns the recorded site at (fn, idx), or nil.
+func (dm *DepMap) site(fn string, idx int) *DepSite {
+	for i := range dm.Sites {
+		if dm.Sites[i].Func == fn && dm.Sites[i].Index == idx {
+			return &dm.Sites[i]
+		}
+	}
+	return nil
+}
+
+// DependentsOf returns the optimized sites whose justification mentions
+// fn — as a callee summary, a covering check inside it, an entry fact
+// into it, or because the site lives in fn itself. This is the
+// invalidation query the incremental re-patcher runs when a function's
+// stores change.
+func (dm *DepMap) DependentsOf(fn string) []DepSite {
+	var out []DepSite
+	for _, s := range dm.Sites {
+		if s.Func == fn {
+			out = append(out, s)
+			continue
+		}
+		for _, d := range s.Deps {
+			if d.Func == fn {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}

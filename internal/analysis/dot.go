@@ -3,6 +3,8 @@ package analysis
 import (
 	"fmt"
 	"strings"
+
+	"edb/internal/asm"
 )
 
 // DumpDot renders the function's CFG and dominator tree as a Graphviz
@@ -11,6 +13,54 @@ import (
 // Feed the output to `dot -Tsvg` for a picture of what the optimizer
 // and verifier reason over.
 func DumpDot(g *CFG) string {
+	return dumpDot(g, "", nil)
+}
+
+// DumpDotAnnotated is DumpDot plus the interprocedural layer's view:
+// the graph label carries the function's entry facts (addresses proven
+// checked at every call site), and each direct call instruction carries
+// its callee's write summary. The rendering is deterministic — block
+// and edge order follow the CFG's canonical order, and summaries/entry
+// facts print in sorted form.
+func DumpDotAnnotated(g *CFG, ip *Interproc) string {
+	if ip == nil || g.Fn == nil {
+		return DumpDot(g)
+	}
+	var head strings.Builder
+	fmt.Fprintf(&head, "\\nentry checked: %s", exprListString(ip.EntryFacts(g.Fn.Name)))
+	if ip.CallGraph != nil && ip.CallGraph.CallsUnknown[g.Fn.Name] {
+		head.WriteString("\\ncalls unknown targets")
+	}
+	annotate := func(in asm.Inst) string {
+		if kindOf(in) != kindCall || in.Pseudo != asm.PCall {
+			return ""
+		}
+		s := ip.Summaries[in.Label]
+		if s == nil {
+			return "unknown callee"
+		}
+		return s.String()
+	}
+	return dumpDot(g, head.String(), annotate)
+}
+
+// exprListString renders sorted entry facts ("nothing" when empty).
+func exprListString(es []Expr) string {
+	if len(es) == 0 {
+		return "nothing"
+	}
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// dumpDot is the shared renderer: headExtra is appended to the graph
+// label, and annotate (may be nil) adds a per-instruction comment line.
+// With both empty the output is byte-identical to the historical
+// DumpDot format, which the counted.dot golden pins.
+func dumpDot(g *CFG, headExtra string, annotate func(asm.Inst) string) string {
 	var b strings.Builder
 	name := "cfg"
 	if g.Fn != nil {
@@ -18,7 +68,7 @@ func DumpDot(g *CFG) string {
 	}
 	fmt.Fprintf(&b, "digraph %q {\n", name)
 	fmt.Fprintf(&b, "  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
-	fmt.Fprintf(&b, "  label=%q; labelloc=t;\n", "CFG + dominator tree: "+name)
+	fmt.Fprintf(&b, "  label=\"%s%s\"; labelloc=t;\n", escapeDot("CFG + dominator tree: "+name), headExtra)
 
 	// Labels pointing at each instruction index, for block headers.
 	labelsAt := make(map[int][]string)
@@ -39,6 +89,11 @@ func DumpDot(g *CFG) string {
 				fmt.Fprintf(&lb, "%s:\\l", l)
 			}
 			fmt.Fprintf(&lb, "  %3d  %s\\l", i, escapeDot(g.Fn.Body[i].String()))
+			if annotate != nil {
+				if ann := annotate(g.Fn.Body[i]); ann != "" {
+					fmt.Fprintf(&lb, "       ^ %s\\l", escapeDot(ann))
+				}
+			}
 		}
 		fmt.Fprintf(&b, "  B%d [label=\"%s\"];\n", blk.ID, lb.String())
 	}
@@ -66,6 +121,54 @@ func DumpDot(g *CFG) string {
 		fmt.Fprintf(&b, "  B%d -> B%d [style=dashed, color=gray, constraint=false];\n", idom, id)
 	}
 	fmt.Fprintf(&b, "}\n")
+	return b.String()
+}
+
+// DumpCallGraphDot renders the whole-program call graph with one node
+// per function, labeled with its write summary and entry facts. Nodes
+// are emitted in sorted name order and edges in sorted (caller, callee)
+// order, so equal programs always render byte-identically. Functions
+// with unresolved (indirect/undefined) call targets get a dashed edge
+// to a shared "unknown" sink — the conservative top element.
+func DumpCallGraphDot(ip *Interproc) string {
+	var b strings.Builder
+	b.WriteString("digraph \"callgraph\" {\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\", fontsize=10];\n")
+	b.WriteString("  label=\"call graph + write summaries\"; labelloc=t;\n")
+
+	names := make([]string, len(ip.CallGraph.Funcs))
+	copy(names, ip.CallGraph.Funcs)
+	sortStrings(names)
+
+	hasUnknown := false
+	for _, fn := range names {
+		var lb strings.Builder
+		if s := ip.Summaries[fn]; s != nil {
+			lb.WriteString(escapeDot(s.String()))
+		} else {
+			lb.WriteString(escapeDot(fn))
+		}
+		fmt.Fprintf(&lb, "\\lentry checked: %s\\l", escapeDot(exprListString(ip.EntryFacts(fn))))
+		fmt.Fprintf(&b, "  %q [label=\"%s\"];\n", fn, lb.String())
+		if ip.CallGraph.CallsUnknown[fn] {
+			hasUnknown = true
+		}
+	}
+	if hasUnknown {
+		b.WriteString("  \"<unknown>\" [label=\"unknown target\\l(top: may write anything)\\l\", style=dashed];\n")
+	}
+	for _, fn := range names {
+		callees := make([]string, len(ip.CallGraph.Callees[fn]))
+		copy(callees, ip.CallGraph.Callees[fn])
+		sortStrings(callees)
+		for _, c := range callees {
+			fmt.Fprintf(&b, "  %q -> %q;\n", fn, c)
+		}
+		if ip.CallGraph.CallsUnknown[fn] {
+			fmt.Fprintf(&b, "  %q -> \"<unknown>\" [style=dashed];\n", fn)
+		}
+	}
+	b.WriteString("}\n")
 	return b.String()
 }
 

@@ -51,3 +51,74 @@ func TestDumpDotEscaping(t *testing.T) {
 		t.Errorf("escapeDot = %q", got)
 	}
 }
+
+// TestDumpDotAnnotatedGolden pins the interprocedurally annotated CFG
+// rendering: entry facts in the graph label and callee summaries under
+// each call instruction, all in sorted (deterministic) order.
+func TestDumpDotAnnotatedGolden(t *testing.T) {
+	p := interTestProg()
+	ip := ComputeInterproc(p)
+	got := DumpDotAnnotated(BuildCFG(p.Funcs[0]), ip)
+	golden := filepath.Join("testdata", "inter_main.dot")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/analysis -run DumpDot -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("DumpDotAnnotated drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestDumpCallGraphDotGolden pins the whole-program call-graph
+// rendering with write summaries and entry facts.
+func TestDumpCallGraphDotGolden(t *testing.T) {
+	got := DumpCallGraphDot(ComputeInterproc(interTestProg()))
+	golden := filepath.Join("testdata", "callgraph.dot")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/analysis -run DumpCallGraph -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("DumpCallGraphDot drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestDumpDotAnnotatedStructure spot-checks the annotation content and
+// that a nil Interproc degrades to the plain rendering.
+func TestDumpDotAnnotatedStructure(t *testing.T) {
+	p := interTestProg()
+	ip := ComputeInterproc(p)
+	out := DumpDotAnnotated(BuildCFG(p.Funcs[0]), ip)
+	for _, want := range []string{
+		"entry checked:",
+		"quiet: quiet", // the quiet helper's summary under its call
+		"^ ",           // annotation marker
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("annotated dot missing %q:\n%s", want, out)
+		}
+	}
+	plain := DumpDot(BuildCFG(p.Funcs[0]))
+	if got := DumpDotAnnotated(BuildCFG(p.Funcs[0]), nil); got != plain {
+		t.Error("nil Interproc must fall back to the plain DumpDot rendering")
+	}
+	cg := DumpCallGraphDot(ip)
+	for _, want := range []string{
+		`"main" -> "quiet";`,
+		"entry checked: g+0", // entryfact's provably-checked entry fact
+	} {
+		if !strings.Contains(cg, want) {
+			t.Errorf("call-graph dot missing %q:\n%s", want, cg)
+		}
+	}
+}

@@ -1,0 +1,474 @@
+package analysis
+
+import (
+	"sort"
+
+	"edb/internal/asm"
+	"edb/internal/isa"
+)
+
+// This file is the interprocedural extension of the available-address
+// dataflow. The intraprocedural planner (plan.go) tracks the single
+// most-recent check and treats every call as a barrier; here the fact
+// domain widens to a *set* of available checked address expressions and
+// calls are filtered through the callee's bottom-up write summary: a
+// fact for address E survives a call exactly when the callee provably
+// cannot write E (Summary.Writes may-alias test). Value-form facts also
+// flow top-down across call edges: a function whose every caller has a
+// check of E available at the call site starts with E available.
+//
+// Soundness has two layers. At run time the CodePatch store hook keeps
+// a per-address oracle of every executed check (codepatch.WMS.checked),
+// flushed on monitor updates, so an elided store is validated against
+// the actual execution and notification sequences are identical to an
+// unoptimized image by construction. Statically, the may-write kill
+// rule is deliberately stronger than that oracle needs: it guarantees
+// that between the dominating check and the elided store no
+// instruction — caller or callee — stores to the checked address, which
+// is the invariant the dependence map (depmap.go) records and the
+// future incremental re-patcher invalidates against.
+
+// ckSet is the set-lattice dataflow fact: the address expressions whose
+// checks are available (executed on every path, still valid) at a
+// program point. top marks unvisited edges (meet identity).
+type ckSet struct {
+	top   bool
+	facts map[Expr]bool
+}
+
+func setTopFact() ckSet { return ckSet{top: true} }
+
+func (s ckSet) has(e Expr) bool { return !s.top && s.facts[e] }
+
+func (s *ckSet) add(e Expr) {
+	if s.top {
+		return
+	}
+	if s.facts == nil {
+		s.facts = make(map[Expr]bool)
+	}
+	s.facts[e] = true
+}
+
+func (s ckSet) clone() ckSet {
+	if s.top || len(s.facts) == 0 {
+		return ckSet{top: s.top}
+	}
+	m := make(map[Expr]bool, len(s.facts))
+	for e := range s.facts {
+		m[e] = true
+	}
+	return ckSet{facts: m}
+}
+
+func (s ckSet) equal(o ckSet) bool {
+	if s.top != o.top {
+		return false
+	}
+	if len(s.facts) != len(o.facts) {
+		return false
+	}
+	for e := range s.facts {
+		if !o.facts[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set deterministically for diagnostics.
+func (s ckSet) String() string {
+	if s.top {
+		return "⊤"
+	}
+	if len(s.facts) == 0 {
+		return "nothing"
+	}
+	parts := make([]string, 0, len(s.facts))
+	for e := range s.facts {
+		parts = append(parts, e.String())
+	}
+	sortStrings(parts)
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "," + p
+	}
+	return out
+}
+
+// meetSets intersects two facts (top is the identity).
+func meetSets(a, b ckSet) ckSet {
+	if a.top {
+		return b.clone()
+	}
+	if b.top {
+		return a.clone()
+	}
+	out := ckSet{}
+	for e := range a.facts {
+		if b.facts[e] {
+			out.add(e)
+		}
+	}
+	return out
+}
+
+// removeIf drops facts matched by pred.
+func (s *ckSet) removeIf(pred func(Expr) bool) {
+	if s.top {
+		return
+	}
+	for e := range s.facts {
+		if pred(e) {
+			delete(s.facts, e)
+		}
+	}
+}
+
+// exprsAlias reports whether a store to address w may write the address
+// of fact x, under frame layout fi. Unknown forms err toward true.
+func exprsAlias(x, w Expr, fi frameInfo) bool {
+	ws, wOwn := frameSlot(w, fi)
+	xs, xOwn := frameSlot(x, fi)
+	if wOwn {
+		if xOwn {
+			return xs == ws
+		}
+		// An own-frame write cannot hit a global; a constant or unknown
+		// pointer could numerically coincide with the stack.
+		return x.Kind != ESymbol
+	}
+	if xOwn {
+		// Only an unknown or constant address may point back into the
+		// frame.
+		return w.Kind != ESymbol
+	}
+	switch w.Kind {
+	case ESymbol:
+		switch x.Kind {
+		case ESymbol:
+			return x.Sym == w.Sym && x.Off == w.Off
+		default: // EConst or unknown register base
+			return true
+		}
+	case EConst:
+		return true // absolute address: may be anything
+	default:
+		return true // unknown pointer store: may write anything
+	}
+}
+
+// ipContext carries the whole-program facts one interprocedural
+// dataflow run needs.
+type ipContext struct {
+	cg      *CallGraph
+	sums    map[string]*Summary
+	entries map[string]ckSet
+	patched bool // recognise explicit check pairs (verify mode)
+}
+
+// entryFor returns the entry fact set of fn (bottom when unknown).
+func (c *ipContext) entryFor(fn string) ckSet {
+	if c.entries == nil {
+		return ckSet{}
+	}
+	if s, ok := c.entries[fn]; ok {
+		return s.clone()
+	}
+	return ckSet{}
+}
+
+// stepAvail advances the available-check set across the instruction at
+// body index i. It returns the new set and whether a two-instruction
+// check pair was consumed (verify mode only). env is updated in place.
+func (c *ipContext) stepAvail(st ckSet, env *regEnv, fi frameInfo, body []asm.Inst, i int) (ckSet, bool) {
+	in := body[i]
+	if c.patched {
+		if e, jimm, ok := pairAt(body, i, env); ok {
+			applyEnv(env, in)
+			applyEnv(env, body[i+1])
+			switch jimm {
+			case stubFull, stubFast:
+				st.add(e)
+			case stubPre:
+				// Preliminary checks warm the miss cache only; they may
+				// run for stores this loop entry never executes, so they
+				// establish no fact.
+			}
+			return st, true
+		}
+		if kindOf(in) == kindCheckCall {
+			// Lone check call: AT2 holds an unknown address; no fact.
+			applyEnv(env, in)
+			return st, false
+		}
+	}
+	switch kindOf(in) {
+	case kindCall:
+		st = c.callTransfer(st, in, fi)
+		applyEnv(env, in)
+		return st, false
+	case kindIrregular:
+		applyEnv(env, in)
+		return ckSet{}, false
+	}
+	if in.Pseudo == asm.PNone && in.Op == isa.TRAP {
+		applyEnv(env, in)
+		return ckSet{}, false
+	}
+	if in.Pseudo == asm.PNone && in.Op == isa.SW {
+		e := env.resolve(in.RS1, in.Imm)
+		st.removeIf(func(x Expr) bool { return exprsAlias(x, e, fi) })
+		st.add(e) // the store is (or is covered by) a check of e
+		applyEnv(env, in)
+		return st, false
+	}
+	for _, r := range defs(in) {
+		r := r
+		st.removeIf(func(x Expr) bool { return x.Kind == ERegister && x.Reg == r })
+	}
+	applyEnv(env, in)
+	return st, false
+}
+
+// callTransfer filters the fact set through a call: register-based
+// facts whose base the convention does not preserve die; every fact the
+// callee's transitive may-write set could alias dies; an unresolvable
+// callee kills everything.
+func (c *ipContext) callTransfer(st ckSet, in asm.Inst, fi frameInfo) ckSet {
+	st.removeIf(func(x Expr) bool {
+		if x.Kind == ERegister && !callPreserved(x.Reg) {
+			return true
+		}
+		return false
+	})
+	var sum *Summary
+	if in.Pseudo == asm.PCall {
+		sum = c.sums[in.Label]
+	}
+	if sum == nil || sum.Writes.Top {
+		return ckSet{} // unknown callee: conservative bottom
+	}
+	st.removeIf(func(x Expr) bool { return sum.Writes.writesExpr(x, fi) })
+	return st
+}
+
+// availDataflow runs the interprocedural available-check dataflow over
+// one function to a fixed point and returns the IN set per block.
+func (c *ipContext) availDataflow(g *CFG, fi frameInfo, entry ckSet) []ckSet {
+	nb := len(g.Blocks)
+	in := make([]ckSet, nb)
+	out := make([]ckSet, nb)
+	for i := range in {
+		in[i] = setTopFact()
+		out[i] = setTopFact()
+	}
+	in[0] = entry.clone()
+
+	transfer := func(b *Block, st ckSet) ckSet {
+		st = st.clone()
+		var env regEnv
+		for i := b.Start; i < b.End; i++ {
+			var skip bool
+			st, skip = c.stepAvail(st, &env, fi, g.Fn.Body, i)
+			if skip {
+				i++
+			}
+		}
+		return st
+	}
+
+	if g.Irregular {
+		// Control flow we cannot model: assume any block is enterable
+		// with no facts at all.
+		for i := range in {
+			in[i] = ckSet{}
+			out[i] = transfer(g.Blocks[i], ckSet{})
+		}
+		return in
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.rpo {
+			blk := g.Blocks[b]
+			st := in[b]
+			if b != 0 {
+				st = setTopFact()
+				for _, p := range blk.Preds {
+					st = meetSets(st, out[p])
+				}
+				if !st.equal(in[b]) {
+					in[b] = st
+					changed = true
+				}
+			}
+			no := transfer(blk, st)
+			if !no.equal(out[b]) {
+				out[b] = no
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// walkAvail runs the dataflow for f and then replays it linearly,
+// invoking visit with the fact set *before* each instruction. Check
+// pairs (verify mode) are visited at the pair's first word with the
+// pre-pair set; the paired call word is not visited separately.
+func (c *ipContext) walkAvail(f *asm.Func, entry ckSet, visit func(i int, st ckSet, env *regEnv)) {
+	g := BuildCFG(f)
+	if len(g.Blocks) == 0 {
+		return
+	}
+	fi := frameOf(f)
+	in := c.availDataflow(g, fi, entry)
+	for _, b := range g.Blocks {
+		st := in[b.ID]
+		if st.top {
+			st = ckSet{} // unreachable block: assume nothing
+		} else {
+			st = st.clone()
+		}
+		var env regEnv
+		for i := b.Start; i < b.End; i++ {
+			visit(i, st, &env)
+			var skip bool
+			st, skip = c.stepAvail(st, &env, fi, f.Body, i)
+			if skip {
+				i++
+			}
+		}
+	}
+}
+
+// maxEntryIterations is a safety bound on the top-down entry fixpoint;
+// the lattice is finite so the loop terminates well before it, but a
+// bound keeps a pathological program from hanging the compiler.
+const maxEntryIterations = 64
+
+// computeEntries runs the top-down half of the interprocedural
+// dataflow: a function's entry set is the meet, over every call site in
+// the program, of the value-form facts (symbols and constants —
+// register forms are meaningless across the boundary and frame forms
+// name the caller's frame) available immediately before the call. The
+// program entry function meets with bottom (the machine starts with no
+// checks executed), and any unresolved call collapses every entry to
+// bottom — the conservative top element of the call graph.
+func computeEntries(p *asm.Program, c *ipContext) map[string]ckSet {
+	entries := make(map[string]ckSet, len(c.cg.Funcs))
+	if c.cg.HasUnknown {
+		for _, fn := range c.cg.Funcs {
+			entries[fn] = ckSet{}
+		}
+		return entries
+	}
+	for _, fn := range c.cg.Funcs {
+		entries[fn] = setTopFact()
+	}
+	entryFn := p.Entry
+	if entryFn == "" {
+		entryFn = "main"
+	}
+	entries[entryFn] = ckSet{}
+
+	funcs := make([]*asm.Func, 0, len(p.Funcs))
+	for _, f := range p.Funcs {
+		if f.Name != checkFuncName {
+			funcs = append(funcs, f)
+		}
+	}
+
+	for iter := 0; iter < maxEntryIterations; iter++ {
+		next := make(map[string]ckSet, len(entries))
+		for _, fn := range c.cg.Funcs {
+			next[fn] = setTopFact()
+		}
+		next[entryFn] = ckSet{}
+		c.entries = entries
+		for _, f := range funcs {
+			f := f
+			c.walkAvail(f, c.entryFor(f.Name), func(i int, st ckSet, env *regEnv) {
+				in := f.Body[i]
+				if kindOf(in) != kindCall || in.Pseudo != asm.PCall {
+					return
+				}
+				callee, ok := next[in.Label]
+				if !ok {
+					return
+				}
+				vals := ckSet{}
+				if !st.top {
+					for e := range st.facts {
+						if e.Kind == ESymbol || e.Kind == EConst {
+							vals.add(e)
+						}
+					}
+				}
+				next[in.Label] = meetSets(callee, vals)
+			})
+		}
+		// Uncalled functions (dead code or alternate entries) get bottom.
+		stable := true
+		for fn, s := range next {
+			if s.top {
+				next[fn] = ckSet{}
+				s = next[fn]
+			}
+			if !s.equal(entries[fn]) {
+				stable = false
+			}
+		}
+		entries = next
+		if stable {
+			break
+		}
+	}
+	c.entries = entries
+	return entries
+}
+
+// Interproc bundles the whole-program interprocedural facts: the call
+// graph, the bottom-up write summaries, and the top-down entry sets.
+// PlanChecks computes one per program; VerifyPatched recomputes an
+// independent one over the patched image.
+type Interproc struct {
+	CallGraph *CallGraph
+	Summaries map[string]*Summary
+	entries   map[string]ckSet
+}
+
+// EntryFacts returns the value-form address expressions available on
+// entry to fn, sorted by their string form (for dumps and tests).
+func (ip *Interproc) EntryFacts(fn string) []Expr {
+	s, ok := ip.entries[fn]
+	if !ok || s.top {
+		return nil
+	}
+	out := make([]Expr, 0, len(s.facts))
+	for e := range s.facts {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// ComputeInterproc builds the interprocedural facts for an UNPATCHED
+// program (plan mode). The verifier uses the patched-mode equivalent
+// internally.
+func ComputeInterproc(p *asm.Program) *Interproc {
+	return computeInterproc(p, false)
+}
+
+func computeInterproc(p *asm.Program, patched bool) *Interproc {
+	cg := BuildCallGraph(p)
+	sums := Summaries(p, cg)
+	ctx := &ipContext{cg: cg, sums: sums, patched: patched}
+	entries := computeEntries(p, ctx)
+	return &Interproc{CallGraph: cg, Summaries: sums, entries: entries}
+}
+
+func (ip *Interproc) context(patched bool) *ipContext {
+	return &ipContext{cg: ip.CallGraph, sums: ip.Summaries, entries: ip.entries, patched: patched}
+}

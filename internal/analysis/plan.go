@@ -59,6 +59,9 @@ type FuncPlan struct {
 	Class map[int]CheckClass
 	// Hoists lists preheader insertions in increasing InsertAt order.
 	Hoists []Hoist
+	// fastCover maps a CheckFast store's body index to the InsertAt of
+	// the hoist whose preliminary check covers it (dependence-map input).
+	fastCover map[int]int
 }
 
 // ClassOf returns the check class of the store at body index i.
@@ -78,6 +81,30 @@ type Plan struct {
 	EliminatedChecks int // stores whose check is elided
 	FastChecks       int // stores downgraded to the cheap compare
 	HoistedChecks    int // preliminary checks inserted in preheaders
+
+	// EliminatedIntra is the elision count the purely intraprocedural
+	// analysis achieves on the same program (the ablation baseline);
+	// EliminatedChecks >= EliminatedIntra always holds, because the
+	// interprocedural fact set pointwise contains the intraprocedural
+	// most-recent-check fact.
+	EliminatedIntra int
+
+	// Interproc holds the whole-program facts (call graph, write
+	// summaries, entry sets) the cross-call elisions were derived from;
+	// nil when the plan was computed in intraprocedural mode.
+	Interproc *Interproc
+	// Deps records, per optimized site, the static facts justifying it;
+	// nil in intraprocedural mode. codepatch remaps its indices onto the
+	// patched body and ships it in the patch artifact.
+	Deps *DepMap
+}
+
+// PlanOptions selects planner variants.
+type PlanOptions struct {
+	// Intraproc restricts the planner to PR 2's single-function
+	// analysis: calls are barriers and no dependence map is produced.
+	// Kept for the ablation and as a belt-and-suspenders fallback.
+	Intraproc bool
 }
 
 // PlanChecks computes the static check-optimization plan for an
@@ -85,12 +112,33 @@ type Plan struct {
 // admit a hoisted preliminary check, and which in-loop checks downgrade
 // to the cheap compare. codepatch.PatchWithOptions consumes the plan;
 // it is deterministic, so the same source always yields the same
-// patched image.
+// patched image. Planning is interprocedural by default (cross-call
+// elision via callee write summaries and entry facts); pass
+// PlanOptions{Intraproc: true} for the PR 2 baseline.
 func PlanChecks(p *asm.Program) *Plan {
+	return PlanChecksWithOptions(p, PlanOptions{})
+}
+
+// PlanChecksWithOptions is PlanChecks with explicit options.
+func PlanChecksWithOptions(p *asm.Program, o PlanOptions) *Plan {
 	plan := &Plan{Funcs: make(map[string]*FuncPlan)}
 	for _, f := range p.Funcs {
 		fp := planFunc(f)
 		plan.Funcs[f.Name] = fp
+		for _, c := range fp.Class {
+			if c == CheckElided {
+				plan.EliminatedIntra++
+			}
+		}
+	}
+	if !o.Intraproc {
+		plan.Interproc = ComputeInterproc(p)
+		plan.Deps = &DepMap{}
+		for _, f := range p.Funcs {
+			planFuncInter(f, plan.Funcs[f.Name], plan.Interproc, plan.Deps)
+		}
+	}
+	for _, fp := range plan.Funcs {
 		for _, c := range fp.Class {
 			switch c {
 			case CheckElided:
@@ -106,14 +154,98 @@ func PlanChecks(p *asm.Program) *Plan {
 	return plan
 }
 
+// planFuncInter upgrades fp with the interprocedural available-check
+// dataflow: any store whose address expression is in the set on entry
+// to the instruction loses its check, whether the covering fact crossed
+// a call (a quiet callee), arrived on function entry (checked at every
+// call site), or was simply out of reach of the single-fact lattice.
+// Every resulting elision — including the purely intraprocedural ones —
+// gets a dependence-map site recording the facts that justify it.
+func planFuncInter(f *asm.Func, fp *FuncPlan, ip *Interproc, deps *DepMap) {
+	g := fp.CFG
+	if g == nil || g.Irregular || len(g.Blocks) == 0 {
+		// Unmodelled control flow could enter the middle of a block,
+		// bypassing the dominating check; leave the function alone.
+		return
+	}
+	fi := frameOf(f)
+	ctx := ip.context(false)
+	entry := ctx.entryFor(f.Name)
+
+	exprAt := make(map[int]Expr)   // store body index → address expression
+	byExpr := make(map[Expr][]int) // address expression → store indices
+	ctx.walkAvail(f, entry, func(i int, st ckSet, env *regEnv) {
+		in := f.Body[i]
+		if in.Pseudo != asm.PNone || in.Op != isa.SW {
+			return
+		}
+		e := env.resolve(in.RS1, in.Imm)
+		exprAt[i] = e
+		byExpr[e] = append(byExpr[e], i)
+		if st.has(e) {
+			fp.Class[i] = CheckElided
+		}
+	})
+
+	// Dependence-map emission. Indices are pre-patch here; the patcher
+	// remaps them onto the patched body.
+	indices := make([]int, 0, len(exprAt))
+	for i := range exprAt {
+		indices = append(indices, i)
+	}
+	sortInts(indices)
+	for _, i := range indices {
+		e := exprAt[i]
+		switch fp.Class[i] {
+		case CheckElided:
+			site := DepSite{Func: f.Name, Index: i, Class: SiteElided, Expr: e.String()}
+			for _, j := range byExpr[e] {
+				if j != i {
+					site.Deps = append(site.Deps, Dep{Kind: DepCheck, Func: f.Name, Index: j})
+				}
+			}
+			if entry.has(e) {
+				site.Deps = append(site.Deps, Dep{Kind: DepEntry, Func: f.Name})
+			}
+			for _, callee := range ip.CallGraph.Callees[f.Name] {
+				if s := ip.Summaries[callee]; s != nil && !s.Writes.writesExpr(e, fi) {
+					site.Deps = append(site.Deps, Dep{Kind: DepSummary, Func: callee})
+				}
+			}
+			deps.Sites = append(deps.Sites, site)
+		case CheckFast:
+			site := DepSite{Func: f.Name, Index: i, Class: SiteFast, Expr: e.String()}
+			if at, ok := fp.fastCover[i]; ok {
+				site.Deps = append(site.Deps, Dep{Kind: DepCheck, Func: f.Name, Index: at})
+			}
+			deps.Sites = append(deps.Sites, site)
+		}
+	}
+	for _, h := range fp.Hoists {
+		for _, e := range h.Exprs {
+			deps.Sites = append(deps.Sites, DepSite{
+				Func: f.Name, Index: h.InsertAt, Class: SiteHoist, Expr: e.String(),
+			})
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
 func planFunc(f *asm.Func) *FuncPlan {
 	g := BuildCFG(f)
-	fp := &FuncPlan{CFG: g, Class: make(map[int]CheckClass)}
+	fp := &FuncPlan{CFG: g, Class: make(map[int]CheckClass), fastCover: make(map[int]int)}
 	if g.Irregular || len(g.Blocks) == 0 {
 		return fp // no optimization for control flow we cannot model
 	}
 
-	in, _ := checkDataflow(g, false)
+	in, _ := checkDataflow(g)
 
 	// Final walk: classify elidable stores and record every store's
 	// resolved expression for the hoisting pass.
@@ -167,6 +299,7 @@ func planFunc(f *asm.Func) *FuncPlan {
 				hoistExprs[li] = append(exprs, s.e)
 			}
 			fp.Class[s.idx] = CheckFast
+			fp.fastCover[s.idx] = g.Blocks[l.Header].Start
 			break // outermost qualifying loop wins
 		}
 	}
@@ -209,10 +342,10 @@ func stepPlan(st ckState, env regEnv, inst asm.Inst) (ckState, regEnv) {
 }
 
 // checkDataflow runs the forward most-recent-check dataflow to a fixed
-// point and returns the IN and OUT facts per block. When patched is
-// true, the transfer recognises explicit check pairs (verify mode)
-// instead of treating stores as their own checks (plan mode).
-func checkDataflow(g *CFG, patched bool) (in, out []ckState) {
+// point and returns the IN and OUT facts per block. It powers the
+// intraprocedural planner; the verifier and the interprocedural planner
+// use the set-lattice dataflow in interproc.go instead.
+func checkDataflow(g *CFG) (in, out []ckState) {
 	nb := len(g.Blocks)
 	in = make([]ckState, nb)
 	out = make([]ckState, nb)
@@ -225,15 +358,7 @@ func checkDataflow(g *CFG, patched bool) (in, out []ckState) {
 	transfer := func(b *Block, st ckState) ckState {
 		var env regEnv
 		for i := b.Start; i < b.End; i++ {
-			if patched {
-				var skip bool
-				st, env, skip = stepVerify(st, env, g.Fn.Body, i)
-				if skip {
-					i++ // consumed a check pair
-				}
-			} else {
-				st, env = stepPlan(st, env, g.Fn.Body[i])
-			}
+			st, env = stepPlan(st, env, g.Fn.Body[i])
 		}
 		return st
 	}

@@ -1,0 +1,359 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"edb/internal/asm"
+	"edb/internal/isa"
+)
+
+// maxOffsetsPerSym bounds the per-symbol offset sets in a WriteSet
+// before they widen to "any offset of this symbol".
+const maxOffsetsPerSym = 32
+
+// offSet is a bounded set of byte offsets within one memory cell
+// (symbol or constant region); any widens it to the whole cell.
+type offSet struct {
+	any  bool
+	offs map[int64]bool
+}
+
+func (s *offSet) add(off int64) bool {
+	if s.any {
+		return false
+	}
+	if s.offs == nil {
+		s.offs = make(map[int64]bool)
+	}
+	if s.offs[off] {
+		return false
+	}
+	if len(s.offs) >= maxOffsetsPerSym {
+		s.any = true
+		s.offs = nil
+		return true
+	}
+	s.offs[off] = true
+	return true
+}
+
+func (s *offSet) widen() bool {
+	if s.any {
+		return false
+	}
+	s.any = true
+	s.offs = nil
+	return true
+}
+
+func (s *offSet) covers(off int64) bool { return s.any || s.offs[off] }
+
+func (s *offSet) mergeFrom(o *offSet) bool {
+	if o == nil {
+		return false
+	}
+	if o.any {
+		return s.widen()
+	}
+	changed := false
+	for off := range o.offs {
+		if s.add(off) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// WriteSet is the may-write set of one function's *escaping* stores —
+// everything it (transitively) writes outside its own stack frame,
+// classified by the pointer/escape lattice: own-frame cells (SP/FP-
+// relative, within the frame of a frame-disciplined function) are
+// dropped because they are dead once the function returns; global cells
+// are keyed by data symbol; absolute constant addresses are kept as a
+// separate cell; and any store through an unresolvable pointer (heap
+// cells, escaped frames, undisciplined SP/FP arithmetic) lifts the set
+// to Top.
+type WriteSet struct {
+	// Top: the function may write anything (unknown pointer store, or an
+	// unknown callee somewhere below it).
+	Top bool
+	// Globals maps data-symbol names to the byte offsets written.
+	Globals map[string]*offSet
+	// Consts holds absolute constant store addresses.
+	Consts offSet
+}
+
+// Empty reports whether the set provably contains no escaping write.
+func (ws *WriteSet) Empty() bool {
+	return !ws.Top && len(ws.Globals) == 0 && !ws.Consts.any && len(ws.Consts.offs) == 0
+}
+
+func (ws *WriteSet) addGlobal(sym string, off int64) bool {
+	if ws.Top {
+		return false
+	}
+	if ws.Globals == nil {
+		ws.Globals = make(map[string]*offSet)
+	}
+	s := ws.Globals[sym]
+	if s == nil {
+		s = &offSet{}
+		ws.Globals[sym] = s
+	}
+	return s.add(off)
+}
+
+func (ws *WriteSet) setTop() bool {
+	if ws.Top {
+		return false
+	}
+	*ws = WriteSet{Top: true}
+	return true
+}
+
+// mergeFrom unions o into ws, reporting whether ws changed.
+func (ws *WriteSet) mergeFrom(o *WriteSet) bool {
+	if o == nil {
+		return false
+	}
+	if o.Top {
+		return ws.setTop()
+	}
+	if ws.Top {
+		return false
+	}
+	changed := false
+	for sym, offs := range o.Globals {
+		if ws.Globals == nil {
+			ws.Globals = make(map[string]*offSet)
+		}
+		s := ws.Globals[sym]
+		if s == nil {
+			s = &offSet{}
+			ws.Globals[sym] = s
+		}
+		if s.mergeFrom(offs) {
+			changed = true
+		}
+	}
+	if ws.Consts.mergeFrom(&o.Consts) {
+		changed = true
+	}
+	return changed
+}
+
+// writesExpr reports whether the set may write the address expression e
+// (as seen from a caller whose frame layout is fi): may-alias, so
+// unknown forms err toward true.
+func (ws *WriteSet) writesExpr(e Expr, fi frameInfo) bool {
+	if ws.Top {
+		return true
+	}
+	if _, own := frameSlot(e, fi); own {
+		// The caller's own frame: a callee's escaping writes are global
+		// or constant cells, never live stack above its own frame (Top
+		// covers the cases we cannot bound).
+		return false
+	}
+	switch e.Kind {
+	case ESymbol:
+		if s := ws.Globals[e.Sym]; s != nil && s.covers(e.Off) {
+			return true
+		}
+		// A constant store address could coincide with the symbol.
+		return ws.Consts.any || len(ws.Consts.offs) > 0
+	case EConst:
+		// Constant addresses may alias any escaping write.
+		return !ws.Empty()
+	default:
+		// Unknown register base: may alias anything the callee writes.
+		return !ws.Empty()
+	}
+}
+
+// String renders the set for dumps, deterministically.
+func (ws *WriteSet) String() string {
+	if ws.Top {
+		return "⊤"
+	}
+	if ws.Empty() {
+		return "∅"
+	}
+	var parts []string
+	syms := make([]string, 0, len(ws.Globals))
+	for s := range ws.Globals {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	for _, sym := range syms {
+		s := ws.Globals[sym]
+		if s.any {
+			parts = append(parts, sym+"+*")
+			continue
+		}
+		offs := make([]int64, 0, len(s.offs))
+		for o := range s.offs {
+			offs = append(offs, o)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		for _, o := range offs {
+			parts = append(parts, fmt.Sprintf("%s+%d", sym, o))
+		}
+	}
+	if ws.Consts.any {
+		parts = append(parts, "const+*")
+	} else {
+		offs := make([]int64, 0, len(ws.Consts.offs))
+		for o := range ws.Consts.offs {
+			offs = append(offs, o)
+		}
+		sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+		for _, o := range offs {
+			parts = append(parts, fmt.Sprintf("%#x", uint32(o)))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Summary is the bottom-up interprocedural summary of one function.
+type Summary struct {
+	Func string
+	// Writes is the transitive may-write set of escaping stores (own
+	// stack-frame writes excluded — they are dead after return).
+	Writes WriteSet
+	// Quiet: the function and everything it transitively calls write
+	// only their own stack frames. A still-valid available-address fact
+	// provably survives a call to a quiet function.
+	Quiet bool
+	// Pure: no stores at all, transitively (Quiet and frame-silent).
+	Pure bool
+	// OwnFrameStores counts the function's own (non-transitive) stores
+	// classified as own-frame cells.
+	OwnFrameStores int
+	// Frame is the callee's proven frame discipline.
+	Frame frameInfo
+}
+
+// String renders a one-line summary for dumps.
+func (s *Summary) String() string {
+	class := "writes " + s.Writes.String()
+	switch {
+	case s.Pure:
+		class = "pure"
+	case s.Quiet:
+		class = "quiet"
+	}
+	return fmt.Sprintf("%s: %s (own-frame stores: %d)", s.Func, class, s.OwnFrameStores)
+}
+
+// Summaries computes per-function write summaries for the whole
+// program, bottom-up over the call graph's strongly connected
+// components. Within an SCC (recursion), members start from their own
+// local stores and iterate to a fixed point; the lattice is finite
+// (bounded offset sets over the program's symbols), so the iteration
+// terminates.
+func Summaries(p *asm.Program, cg *CallGraph) map[string]*Summary {
+	sums := make(map[string]*Summary, len(cg.Funcs))
+	local := make(map[string]*Summary, len(cg.Funcs))
+	for _, f := range p.Funcs {
+		if f.Name == checkFuncName {
+			continue
+		}
+		local[f.Name] = summarizeLocal(f, cg.CallsUnknown[f.Name])
+	}
+	for _, comp := range cg.SCCs() {
+		// Seed each member from its local stores.
+		for _, fn := range comp {
+			l := local[fn]
+			s := &Summary{Func: fn, OwnFrameStores: l.OwnFrameStores, Frame: l.Frame}
+			s.Writes.mergeFrom(&l.Writes)
+			sums[fn] = s
+		}
+		inComp := make(map[string]bool, len(comp))
+		for _, fn := range comp {
+			inComp[fn] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range comp {
+				s := sums[fn]
+				for _, callee := range cg.Callees[fn] {
+					cs := sums[callee]
+					if cs == nil {
+						// Callee in a later component would contradict
+						// bottom-up order; treat as unknown.
+						changed = s.Writes.setTop() || changed
+						continue
+					}
+					changed = s.Writes.mergeFrom(&cs.Writes) || changed
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+		// Classification after the component converged.
+		for _, fn := range comp {
+			s := sums[fn]
+			s.Quiet = s.Writes.Empty()
+			s.Pure = s.Quiet && framesSilent(fn, cg, sums, local, map[string]bool{})
+		}
+	}
+	return sums
+}
+
+// framesSilent reports whether fn and everything it transitively calls
+// store nothing at all (not even to their own frames).
+func framesSilent(fn string, cg *CallGraph, sums map[string]*Summary, local map[string]*Summary, seen map[string]bool) bool {
+	if seen[fn] {
+		return true // cycle: no new stores on this path
+	}
+	seen[fn] = true
+	l := local[fn]
+	if l == nil || l.Writes.Top || !l.Writes.Empty() || l.OwnFrameStores > 0 {
+		return false
+	}
+	for _, c := range cg.Callees[fn] {
+		if !framesSilent(c, cg, sums, local, seen) {
+			return false
+		}
+	}
+	return true
+}
+
+// summarizeLocal classifies every store in f's own body through the
+// pointer/escape lattice: own-frame cell, global cell, constant cell,
+// or unknown (Top). callsUnknown lifts the whole set to Top — an
+// unresolved transfer may execute arbitrary stores.
+func summarizeLocal(f *asm.Func, callsUnknown bool) *Summary {
+	s := &Summary{Func: f.Name, Frame: frameOf(f)}
+	if callsUnknown {
+		s.Writes.setTop()
+	}
+	g := BuildCFG(f)
+	for _, b := range g.Blocks {
+		var env regEnv
+		for i := b.Start; i < b.End; i++ {
+			in := f.Body[i]
+			if in.Pseudo == asm.PNone && in.Op == isa.SW {
+				e := env.resolve(in.RS1, in.Imm)
+				if _, own := frameSlot(e, s.Frame); own {
+					s.OwnFrameStores++
+				} else {
+					switch e.Kind {
+					case ESymbol:
+						s.Writes.addGlobal(e.Sym, e.Off)
+					case EConst:
+						s.Writes.Consts.add(e.Off)
+					default:
+						s.Writes.setTop()
+					}
+				}
+			}
+			applyEnv(&env, in)
+		}
+	}
+	return s
+}

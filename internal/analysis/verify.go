@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"sort"
 
 	"edb/internal/arch"
 	"edb/internal/asm"
@@ -77,41 +78,6 @@ func pairAt(body []asm.Inst, i int, env *regEnv) (Expr, int32, bool) {
 	return e, next.Imm, true
 }
 
-// stepVerify advances the most-recent-check state across the PATCHED
-// program's instruction at body index i, recognising explicit check
-// pairs. skip is true when a two-instruction pair was consumed.
-func stepVerify(st ckState, env regEnv, body []asm.Inst, i int) (ckState, regEnv, bool) {
-	in := body[i]
-	if e, jimm, ok := pairAt(body, i, &env); ok {
-		killState(&st, in)
-		killState(&st, body[i+1])
-		applyEnv(&env, in)
-		applyEnv(&env, body[i+1])
-		switch jimm {
-		case stubFull, stubFast:
-			st = ckState{known: true, e: e}
-		case stubPre:
-			// Preliminary (hoisted) checks warm the miss cache but do
-			// not establish a most-recent-check fact.
-		default:
-			st = stateBottom
-		}
-		return st, env, true
-	}
-	if kindOf(in) == kindCheckCall {
-		// Lone check call: AT2 holds an unknown address.
-		applyEnv(&env, in)
-		return stateBottom, env, false
-	}
-	if isBarrier(in) {
-		applyEnv(&env, in)
-		return stateBottom, env, false
-	}
-	killState(&st, in)
-	applyEnv(&env, in)
-	return st, env, false
-}
-
 // VerifyPatched statically proves a CodePatch-instrumented program
 // sound:
 //
@@ -130,7 +96,26 @@ func stepVerify(st ckState, env regEnv, body []asm.Inst, i int) (ckState, regEnv
 //     materialisation.
 //
 // It returns nil when the program verifies.
+//
+// Coverage is proved with the same interprocedural machinery the
+// planner uses — recomputed independently over the PATCHED image (call
+// graph, write summaries and entry sets all re-derived, never trusted
+// from the plan) — so cross-call elisions verify without any input from
+// the optimizer.
 func VerifyPatched(p *asm.Program) []Violation {
+	return VerifyPatchedWithDeps(p, nil)
+}
+
+// VerifyPatchedWithDeps is VerifyPatched plus dependence-map
+// validation: when dm is non-nil, every elided store must have a
+// matching site in the map, every recorded site must exist in the
+// patched program with the recorded address expression and class, and
+// every recorded dependency must be independently re-derivable from the
+// patched image (the covering check exists and checks the same
+// expression; the callee summary still cannot write the address; the
+// entry fact still holds). A corrupted or stale map — the situation the
+// incremental re-patcher must detect — yields violations.
+func VerifyPatchedWithDeps(p *asm.Program, dm *DepMap) []Violation {
 	var vs []Violation
 	if len(p.Funcs) == 0 || p.Funcs[0].Name != checkFuncName {
 		vs = append(vs, Violation{Index: -1,
@@ -152,74 +137,199 @@ func VerifyPatched(p *asm.Program) []Violation {
 		}
 	}
 
+	ip := computeInterproc(p, true)
+	ctx := ip.context(true)
+	facts := newPatchFacts()
 	for fi, f := range p.Funcs {
 		if fi == 0 && f.Name == checkFuncName {
 			continue
 		}
-		vs = append(vs, verifyFunc(f)...)
+		vs = append(vs, verifyFunc(f, ctx, facts)...)
+	}
+	if dm != nil {
+		vs = append(vs, validateDeps(p, dm, ip, facts)...)
 	}
 	return vs
 }
 
-func verifyFunc(f *asm.Func) []Violation {
+// siteKey addresses one body instruction program-wide.
+type siteKey struct {
+	fn  string
+	idx int
+}
+
+// patchFacts collects, during verification, the ground truth the
+// dependence-map validation cross-checks against: the resolved address
+// expression of every store, every check pair (with its stub entry),
+// and every store the patcher elided.
+type patchFacts struct {
+	stores map[siteKey]Expr
+	pairs  map[siteKey]pairFact
+	elided map[siteKey]Expr
+}
+
+type pairFact struct {
+	e   Expr
+	imm int32
+}
+
+func newPatchFacts() *patchFacts {
+	return &patchFacts{
+		stores: make(map[siteKey]Expr),
+		pairs:  make(map[siteKey]pairFact),
+		elided: make(map[siteKey]Expr),
+	}
+}
+
+func verifyFunc(f *asm.Func, ctx *ipContext, facts *patchFacts) []Violation {
 	var vs []Violation
 	add := func(i int, in asm.Inst, msg string) {
 		vs = append(vs, Violation{Func: f.Name, Index: i, Inst: in.String(), Msg: msg})
 	}
 
-	g := BuildCFG(f)
-	if len(g.Blocks) == 0 {
-		return nil
-	}
-	in, _ := checkDataflow(g, true)
-
-	for _, b := range g.Blocks {
-		st := in[b.ID]
-		if st.top {
-			st = stateBottom // unreachable block: assume nothing
+	ctx.walkAvail(f, ctx.entryFor(f.Name), func(i int, st ckSet, env *regEnv) {
+		inst := f.Body[i]
+		if e, jimm, ok := pairAt(f.Body, i, env); ok {
+			switch jimm {
+			case stubFull, stubFast, stubPre:
+				facts.pairs[siteKey{f.Name, i}] = pairFact{e: e, imm: jimm}
+			default:
+				add(i+1, f.Body[i+1],
+					fmt.Sprintf("check call targets %#x, not a stub entry", uint32(jimm)))
+			}
+			return // walkAvail consumes the pair
 		}
-		var env regEnv
-		for i := b.Start; i < b.End; i++ {
-			inst := f.Body[i]
-			if _, jimm, ok := pairAt(f.Body, i, &env); ok {
-				switch jimm {
-				case stubFull, stubFast, stubPre:
-				default:
-					add(i+1, f.Body[i+1],
-						fmt.Sprintf("check call targets %#x, not a stub entry", uint32(jimm)))
+		// Not part of a pair: enforce the reserved-register rules.
+		if kindOf(inst) == kindCheckCall {
+			add(i, inst, "check call without a preceding AT2 address materialisation")
+		} else {
+			for _, r := range defs(inst) {
+				if r == isa.AT2 || r == isa.PLink {
+					add(i, inst, fmt.Sprintf("program code writes reserved register r%d", r))
 				}
-				st, env, _ = stepVerify(st, env, f.Body, i)
-				i++ // pair consumed
+			}
+			for _, r := range uses(inst) {
+				if r == isa.AT2 || r == isa.PLink {
+					add(i, inst, fmt.Sprintf("program code reads reserved register r%d", r))
+				}
+			}
+		}
+		if inst.Pseudo == asm.PNone && inst.Op == isa.SW {
+			e := env.resolve(inst.RS1, inst.Imm)
+			facts.stores[siteKey{f.Name, i}] = e
+			if inst.CheckElided {
+				facts.elided[siteKey{f.Name, i}] = e
+			}
+			if !st.has(e) {
+				add(i, inst, fmt.Sprintf(
+					"store of %s not covered by a dominating matching check (available: %s)",
+					e, st))
+			}
+		}
+	})
+	return vs
+}
+
+// validateDeps cross-checks a dependence map against the verified
+// patched program.
+func validateDeps(p *asm.Program, dm *DepMap, ip *Interproc, facts *patchFacts) []Violation {
+	var vs []Violation
+	add := func(fn string, idx int, msg string) {
+		vs = append(vs, Violation{Func: fn, Index: idx, Msg: msg})
+	}
+	funcs := make(map[string]*asm.Func, len(p.Funcs))
+	for _, f := range p.Funcs {
+		funcs[f.Name] = f
+	}
+
+	// Completeness: every elided store has a site with the right expr.
+	// Sorted so the violation list is deterministic.
+	elidedKeys := make([]siteKey, 0, len(facts.elided))
+	for k := range facts.elided {
+		elidedKeys = append(elidedKeys, k)
+	}
+	sort.Slice(elidedKeys, func(i, j int) bool {
+		if elidedKeys[i].fn != elidedKeys[j].fn {
+			return elidedKeys[i].fn < elidedKeys[j].fn
+		}
+		return elidedKeys[i].idx < elidedKeys[j].idx
+	})
+	for _, k := range elidedKeys {
+		e := facts.elided[k]
+		s := dm.site(k.fn, k.idx)
+		switch {
+		case s == nil:
+			add(k.fn, k.idx, fmt.Sprintf(
+				"dependence map is missing a site for elided store of %s", e))
+		case s.Class != SiteElided:
+			add(k.fn, k.idx, fmt.Sprintf(
+				"dependence map records class %q for elided store of %s", s.Class, e))
+		case s.Expr != e.String():
+			add(k.fn, k.idx, fmt.Sprintf(
+				"dependence map records expr %s for elided store of %s", s.Expr, e))
+		}
+	}
+
+	// Soundness: every recorded site and dependency re-derives from the
+	// patched image.
+	for _, s := range dm.Sites {
+		k := siteKey{s.Func, s.Index}
+		var e Expr
+		switch s.Class {
+		case SiteElided:
+			ee, ok := facts.elided[k]
+			if !ok || ee.String() != s.Expr {
+				add(s.Func, s.Index, fmt.Sprintf(
+					"dependence map site (elided, %s) does not match the patched program", s.Expr))
 				continue
 			}
-			// Not part of a pair: enforce the reserved-register rules.
-			if kindOf(inst) == kindCheckCall {
-				add(i, inst, "check call without a preceding AT2 address materialisation")
-			} else {
-				for _, r := range defs(inst) {
-					if r == isa.AT2 || r == isa.PLink {
-						add(i, inst, fmt.Sprintf("program code writes reserved register r%d", r))
-					}
-				}
-				for _, r := range uses(inst) {
-					if r == isa.AT2 || r == isa.PLink {
-						add(i, inst, fmt.Sprintf("program code reads reserved register r%d", r))
-					}
-				}
+			e = ee
+		case SiteFast, SiteHoist:
+			want := stubFast
+			if s.Class == SiteHoist {
+				want = stubPre
 			}
-			if inst.Pseudo == asm.PNone && inst.Op == isa.SW {
-				e := env.resolve(inst.RS1, inst.Imm)
-				if !(st.known && st.e == e) {
-					have := "nothing"
-					if st.known {
-						have = st.e.String()
-					}
-					add(i, inst, fmt.Sprintf(
-						"store of %s not covered by a dominating matching check (last check: %s)",
-						e, have))
-				}
+			pf, ok := facts.pairs[k]
+			if !ok || pf.imm != want || pf.e.String() != s.Expr {
+				add(s.Func, s.Index, fmt.Sprintf(
+					"dependence map site (%s, %s) does not match the patched program", s.Class, s.Expr))
+				continue
 			}
-			st, env, _ = stepVerify(st, env, f.Body, i)
+			e = pf.e
+		default:
+			add(s.Func, s.Index, fmt.Sprintf("dependence map site has unknown class %q", s.Class))
+			continue
+		}
+		for _, d := range s.Deps {
+			switch d.Kind {
+			case DepCheck:
+				dk := siteKey{d.Func, d.Index}
+				if se, ok := facts.stores[dk]; ok && se == e {
+					continue
+				}
+				if pf, ok := facts.pairs[dk]; ok && pf.e == e {
+					continue
+				}
+				add(s.Func, s.Index, fmt.Sprintf(
+					"dependence map check dep %s@%d does not check %s", d.Func, d.Index, e))
+			case DepSummary:
+				sum := ip.Summaries[d.Func]
+				var fi frameInfo
+				if f := funcs[s.Func]; f != nil {
+					fi = frameOf(f)
+				}
+				if sum == nil || sum.Writes.writesExpr(e, fi) {
+					add(s.Func, s.Index, fmt.Sprintf(
+						"dependence map summary dep on %s does not hold for %s", d.Func, e))
+				}
+			case DepEntry:
+				if es, ok := ip.entries[s.Func]; !ok || !es.has(e) {
+					add(s.Func, s.Index, fmt.Sprintf(
+						"dependence map entry dep does not hold: %s is not checked on entry to %s", e, s.Func))
+				}
+			default:
+				add(s.Func, s.Index, fmt.Sprintf("dependence map dep has unknown kind %q", d.Kind))
+			}
 		}
 	}
 	return vs

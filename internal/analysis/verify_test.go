@@ -261,3 +261,173 @@ func TestCheckFuncNameMatchesCodepatch(t *testing.T) {
 		t.Fatalf("verify failed: %v", vs)
 	}
 }
+
+// interVerifySrc has a quiet helper between two stores of the same
+// global, so the interprocedural planner elides across the call and the
+// dependence map carries summary/check/entry facts worth corrupting.
+const interVerifySrc = `
+int g = 0;
+int h = 0;
+int quiet(int a) {
+	int t;
+	t = a + 1;
+	return t * 2;
+}
+int main() {
+	int i;
+	int acc;
+	acc = 0;
+	g = 1;
+	acc = quiet(acc);
+	g = g + 1;
+	for (i = 0; i < 8; i = i + 1) { h = h + i; acc = acc + quiet(i); }
+	print(acc);
+	return 0;
+}
+`
+
+// optPatchedWithDeps builds an interprocedurally optimized patch and its
+// dependence map, asserting the pristine pair verifies.
+func optPatchedWithDeps(t *testing.T) (*asm.Program, *analysis.DepMap) {
+	t.Helper()
+	prog, err := minic.Compile(interVerifySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EliminatedChecks <= res.EliminatedIntra {
+		t.Fatalf("interproc must elide more than intraproc here (got %d vs %d)",
+			res.EliminatedChecks, res.EliminatedIntra)
+	}
+	if res.DepMap == nil || len(res.DepMap.Sites) == 0 {
+		t.Fatal("optimized patch must carry a dependence map")
+	}
+	if vs := analysis.VerifyPatchedWithDeps(prog, res.DepMap); len(vs) != 0 {
+		t.Fatalf("pristine patch+map must verify, got: %v", vs)
+	}
+	return prog, res.DepMap
+}
+
+// reEncode round-trips the map through its serialized form, as the
+// future re-patcher will receive it.
+func reEncode(t *testing.T, dm *analysis.DepMap) *analysis.DepMap {
+	t.Helper()
+	b, err := dm.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := analysis.ParseDepMap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestVerifyDepMapCorruption is the required negative test: every way of
+// corrupting the serialized dependence map — dropping a site, skewing an
+// expression, retargeting a dependency, lying about a class — must be
+// rejected by VerifyPatchedWithDeps.
+func TestVerifyDepMapCorruption(t *testing.T) {
+	prog, dm := optPatchedWithDeps(t)
+
+	// Pick the elided store of the global g: main's own summary writes g,
+	// so a bogus "summary main" dep on this site is provably false.
+	elidedAt := -1
+	for i, s := range dm.Sites {
+		if s.Class == "elided" && s.Expr == "g+0" {
+			elidedAt = i
+			break
+		}
+	}
+	if elidedAt < 0 {
+		t.Fatal("no elided g+0 site in the dependence map")
+	}
+
+	corrupt := func(name string, mutate func(c *analysis.DepMap), wantMsg string) {
+		t.Run(name, func(t *testing.T) {
+			c := reEncode(t, dm)
+			mutate(c)
+			vs := analysis.VerifyPatchedWithDeps(prog, c)
+			if len(vs) == 0 {
+				t.Fatal("corrupted dependence map must not verify")
+			}
+			found := false
+			for _, v := range vs {
+				if strings.Contains(v.Msg, wantMsg) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("want a violation containing %q, got: %v", wantMsg, vs)
+			}
+		})
+	}
+
+	corrupt("drop-site", func(c *analysis.DepMap) {
+		c.Sites = append(c.Sites[:elidedAt], c.Sites[elidedAt+1:]...)
+	}, "missing a site")
+	corrupt("skew-expr", func(c *analysis.DepMap) {
+		c.Sites[elidedAt].Expr = "h+0"
+	}, "dependence map")
+	corrupt("skew-index", func(c *analysis.DepMap) {
+		c.Sites[elidedAt].Index += 1
+	}, "dependence map")
+	corrupt("wrong-func", func(c *analysis.DepMap) {
+		c.Sites[elidedAt].Func = "nosuchfunc"
+	}, "dependence map")
+	corrupt("wrong-class", func(c *analysis.DepMap) {
+		c.Sites[elidedAt].Class = "fast"
+	}, "dependence map")
+	corrupt("bogus-class", func(c *analysis.DepMap) {
+		c.Sites[elidedAt].Class = "teleported"
+	}, "unknown class")
+	corrupt("retarget-check-dep", func(c *analysis.DepMap) {
+		s := &c.Sites[elidedAt]
+		s.Deps = append(s.Deps, analysis.Dep{Kind: "check", Func: s.Func, Index: 0})
+	}, "does not check")
+	corrupt("bogus-summary-dep", func(c *analysis.DepMap) {
+		s := &c.Sites[elidedAt]
+		s.Deps = append(s.Deps, analysis.Dep{Kind: "summary", Func: "main"})
+	}, "summary dep")
+	corrupt("bogus-entry-dep", func(c *analysis.DepMap) {
+		s := &c.Sites[elidedAt]
+		s.Deps = append(s.Deps, analysis.Dep{Kind: "entry", Func: s.Func})
+	}, "entry dep")
+	corrupt("bogus-dep-kind", func(c *analysis.DepMap) {
+		s := &c.Sites[elidedAt]
+		s.Deps = append(s.Deps, analysis.Dep{Kind: "vibes", Func: s.Func})
+	}, "unknown kind")
+}
+
+// TestVerifyWithDepsWorkloads: the shipped dependence map of every
+// workload's interproc patch validates against the patched image.
+func TestVerifyWithDepsWorkloads(t *testing.T) {
+	for _, name := range progs.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := progs.ByName(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := minic.Compile(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dm := reEncode(t, res.DepMap)
+			if vs := analysis.VerifyPatchedWithDeps(prog, dm); len(vs) != 0 {
+				t.Errorf("%d violations, first: %s", len(vs), vs[0])
+			}
+			if res.EliminatedChecks < res.EliminatedIntra {
+				t.Errorf("interproc elides %d < intraproc %d", res.EliminatedChecks, res.EliminatedIntra)
+			}
+		})
+	}
+}

@@ -82,6 +82,17 @@ type PatchResult struct {
 	EliminatedChecks int // stores whose check was statically elided
 	FastChecks       int // in-loop checks downgraded to the fast entry
 	HoistedChecks    int // preliminary checks inserted in preheaders
+	// EliminatedIntra is the elision count the intraprocedural baseline
+	// achieves on the same program (the interproc ablation reference).
+	EliminatedIntra int
+
+	// DepMap is the dependence map of the optimized image, with indices
+	// remapped onto the patched bodies: per elided/fast/hoisted site,
+	// the static facts justifying it. analysis.VerifyPatchedWithDeps
+	// validates it; the incremental re-patcher will consume it as its
+	// invalidation index. Nil for unoptimized or intraprocedural
+	// patches.
+	DepMap *analysis.DepMap
 }
 
 // Expansion returns the fractional code-size increase.
@@ -99,6 +110,10 @@ type PatchOptions struct {
 	// image delivers exactly the notification sequence of an
 	// unoptimized one.
 	Optimize bool
+	// Intraproc restricts an optimized patch to the single-function
+	// analysis (calls are optimization fences; no dependence map). Used
+	// by the interproc ablation.
+	Intraproc bool
 }
 
 // Patch instruments every store in the program and injects the check
@@ -117,11 +132,20 @@ func PatchWithOptions(p *asm.Program, opt PatchOptions) (*PatchResult, error) {
 
 	var plan *analysis.Plan
 	if opt.Optimize {
-		plan = analysis.PlanChecks(p)
+		plan = analysis.PlanChecksWithOptions(p, analysis.PlanOptions{Intraproc: opt.Intraproc})
 		res.EliminatedChecks = plan.EliminatedChecks
 		res.FastChecks = plan.FastChecks
 		res.HoistedChecks = plan.HoistedChecks
+		res.EliminatedIntra = plan.EliminatedIntra
 	}
+
+	// Pre-patch → patched index maps, for dependence-map remapping.
+	type hoistKey struct {
+		at   int
+		expr string
+	}
+	indexMaps := make(map[string][]int)
+	hoistIdx := make(map[string]map[hoistKey]int)
 
 	for _, f := range p.Funcs {
 		res.OriginalWords += asm.BodyWords(f.Body)
@@ -146,6 +170,10 @@ func PatchWithOptions(p *asm.Program, opt PatchOptions) (*PatchResult, error) {
 			// position, so only fall-through entry — never the back
 			// edge — executes them.
 			for _, e := range hoistAt[i] {
+				if hoistIdx[f.Name] == nil {
+					hoistIdx[f.Name] = make(map[hoistKey]int)
+				}
+				hoistIdx[f.Name][hoistKey{at: i, expr: e.String()}] = len(out)
 				out = append(out,
 					materialiseExpr(e),
 					asm.I(isa.JALR, isa.PLink, isa.R0, int32(arch.TextBase)+stubPreOff),
@@ -180,8 +208,42 @@ func PatchWithOptions(p *asm.Program, opt PatchOptions) (*PatchResult, error) {
 		for label, idx := range f.Labels {
 			f.Labels[label] = indexMap[idx]
 		}
+		indexMaps[f.Name] = indexMap
 		f.Body = out
 		res.PatchedWords += asm.BodyWords(out)
+	}
+
+	// Remap the plan's dependence map (pre-patch body indices) onto the
+	// patched bodies: elided sites land on the store word, checked-store
+	// sites and deps on their pair's first word, hoist sites on the
+	// emitted preliminary pair for that expression.
+	if plan != nil && plan.Deps != nil {
+		dm := &analysis.DepMap{Sites: make([]analysis.DepSite, 0, len(plan.Deps.Sites))}
+		for _, s := range plan.Deps.Sites {
+			ns := s
+			ns.Deps = append([]analysis.Dep(nil), s.Deps...)
+			if s.Class == analysis.SiteHoist {
+				ns.Index = hoistIdx[s.Func][hoistKey{at: s.Index, expr: s.Expr}]
+			} else if im := indexMaps[s.Func]; s.Index < len(im) {
+				ns.Index = im[s.Index]
+			}
+			for di, d := range ns.Deps {
+				if d.Kind != analysis.DepCheck {
+					continue
+				}
+				if s.Class == analysis.SiteFast {
+					// A fast site's covering check is the hoisted
+					// preliminary pair of the same expression.
+					ns.Deps[di].Index = hoistIdx[d.Func][hoistKey{at: d.Index, expr: s.Expr}]
+					continue
+				}
+				if im := indexMaps[d.Func]; d.Index < len(im) {
+					ns.Deps[di].Index = im[d.Index]
+				}
+			}
+			dm.Sites = append(dm.Sites, ns)
+		}
+		res.DepMap = dm
 	}
 
 	// Inject the check routine at the head of the function list so it
@@ -221,16 +283,19 @@ func materialiseExpr(e analysis.Expr) asm.Inst {
 // (direct mapped).
 const missCacheSize = 16
 
-// lastCheck records the most recent executed check, mirroring the
-// static analysis' most-recent-check fact at run time. Statically
-// elided stores whose address matches a still-valid last check are
-// proven redundant and charge nothing; anything else falls back to a
-// full lookup, so mid-run monitor updates can never be missed.
-type lastCheck struct {
-	addr   arch.Addr
-	wasHit bool
-	valid  bool
-}
+// Executed-check table entries: the runtime mirror of the static
+// analysis' available-check facts. checkMiss records that the last
+// executed check of an address found it unmonitored; checkHit that it
+// was monitored. The whole table is flushed on every monitor update, so
+// a surviving entry is a still-valid fact. The table subsumes the
+// interprocedural fact set pointwise (it keeps every checked address,
+// not just the ones the dataflow could prove survive), so any store the
+// planner elides — intraprocedurally or across calls — replays for free
+// when no update intervened.
+const (
+	checkMiss byte = 1
+	checkHit  byte = 2
+)
 
 // WMS is a CodePatch write monitor service attached to one machine
 // running a patched image.
@@ -260,7 +325,7 @@ type WMS struct {
 
 	// Static-optimization runtime state.
 	elided    map[arch.Addr]bool // patched-image store addrs with no check
-	last      lastCheck
+	checked   map[arch.Addr]byte // executed-check table (checkMiss/checkHit)
 	missCache [missCacheSize]struct {
 		addr  arch.Addr
 		valid bool
@@ -301,6 +366,7 @@ func Attach(m *kernel.Machine, notify wms.Notifier) (*WMS, error) {
 		lookupCost: arch.MicrosToCycles(2.75), // SoftwareLookup_τ
 		fastCost:   arch.MicrosToCycles(0.25), // inline compare-and-branch
 		elided:     m.Image.ElidedChecks,
+		checked:    make(map[arch.Addr]byte),
 	}
 	w.svc = wms.NewService(nil, nil)
 	m.CPU.RegisterHostFunc(entry, w.fullCheck)
@@ -402,10 +468,14 @@ func (w *WMS) checkPre(c *cpu.CPU) error {
 	w.PreChecks++
 	c.ChargeCycles(w.lookupCost)
 	addr := arch.Addr(c.Regs[isa.AT2])
-	if !w.svc.Lookup(addr, addr+arch.WordBytes) {
+	hit := w.svc.Lookup(addr, addr+arch.WordBytes)
+	if !hit {
 		e := &w.missCache[cacheSlot(addr)]
 		e.addr, e.valid = addr, true
 	}
+	// The lookup's outcome is a valid executed-check fact for the
+	// address even though a preliminary check never notifies.
+	w.setLastCheck(addr, hit)
 	return nil
 }
 
@@ -413,16 +483,22 @@ func cacheSlot(addr arch.Addr) int {
 	return int(addr>>2) & (missCacheSize - 1)
 }
 
+// setLastCheck records an executed check's outcome in the
+// executed-check table.
 func (w *WMS) setLastCheck(addr arch.Addr, hit bool) {
-	w.last = lastCheck{addr: addr, wasHit: hit, valid: true}
+	if hit {
+		w.checked[addr] = checkHit
+	} else {
+		w.checked[addr] = checkMiss
+	}
 }
 
 // onStore delivers the pending notification once the checked store has
 // completed, and plays the check of statically elided stores: their
 // classification still counts (and notifies) exactly as an unoptimized
-// check would, but a store whose address matches a still-valid
-// most-recent check that missed charges nothing — the static analysis
-// proved the lookup redundant, and the runtime validated it.
+// check would, but a store whose address has a still-valid
+// executed-check entry that missed charges nothing — the static
+// analysis proved the lookup redundant, and the runtime validated it.
 func (w *WMS) onStore(ba, ea, pc arch.Addr) {
 	if w.hasPending {
 		w.hasPending = false
@@ -435,11 +511,11 @@ func (w *WMS) onStore(ba, ea, pc arch.Addr) {
 		return
 	}
 	w.Elided++
-	switch {
-	case w.last.valid && w.last.addr == ba && !w.last.wasHit:
+	switch w.checked[ba] {
+	case checkMiss:
 		// Proven redundant: the dominating check found this address
 		// unmonitored and no monitor update intervened. Free.
-	case w.last.valid && w.last.addr == ba:
+	case checkHit:
 		// The dominating check hit: this store notifies too, which in a
 		// real deployment means the elided site's inline guard branches
 		// back into the check routine. Full price.
@@ -459,11 +535,11 @@ func (w *WMS) onStore(ba, ea, pc arch.Addr) {
 }
 
 // invalidateCaches is called on every monitor update: the memo page,
-// the most-recent-check fact, and the preliminary-check miss cache are
+// the executed-check table, and the preliminary-check miss cache are
 // all conservatively discarded.
 func (w *WMS) invalidateCaches() {
 	w.memoValid = false
-	w.last.valid = false
+	clear(w.checked)
 	for i := range w.missCache {
 		w.missCache[i].valid = false
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"testing"
 
+	"edb/internal/analysis"
 	"edb/internal/arch"
 	"edb/internal/asm"
 	"edb/internal/core/codepatch"
@@ -44,17 +45,32 @@ type machineUnderTest struct {
 	notifs []notif
 }
 
-// build compiles src, patches it (optimized or not), and attaches a
+// Patch variants under differential test: the unoptimized patch, the
+// intraprocedural optimizer (PR 2 baseline), and the interprocedural
+// optimizer (call-graph + summary driven).
+var patchVariants = []struct {
+	name string
+	opt  codepatch.PatchOptions
+}{
+	{"unopt", codepatch.PatchOptions{}},
+	{"intra", codepatch.PatchOptions{Optimize: true, Intraproc: true}},
+	{"inter", codepatch.PatchOptions{Optimize: true}},
+}
+
+// build compiles src, patches it with the given options, and attaches a
 // recording CodePatch WMS.
-func build(t *testing.T, src string, optimize bool) *machineUnderTest {
+func build(t *testing.T, src string, opt codepatch.PatchOptions) *machineUnderTest {
 	t.Helper()
 	prog, err := minic.Compile(src)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
 	}
-	res, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: optimize})
+	res, err := codepatch.PatchWithOptions(prog, opt)
 	if err != nil {
 		t.Fatalf("patch: %v", err)
+	}
+	if vs := analysis.VerifyPatchedWithDeps(prog, res.DepMap); len(vs) != 0 {
+		t.Fatalf("patched image does not verify: %v", vs[0])
 	}
 	img, err := asm.Assemble(prog)
 	if err != nil {
@@ -138,26 +154,31 @@ func TestDifferentialRandomPrograms(t *testing.T) {
 	const seeds = 30
 	for seed := int64(0); seed < seeds; seed++ {
 		src := minic.GenProgram(rand.New(rand.NewSource(seed)))
-		unopt := build(t, src, false)
-		opt := build(t, src, true)
-		for _, r := range monitorRanges(unopt.m) {
-			if err := unopt.w.InstallMonitor(r.BA, r.EA); err != nil {
-				t.Fatal(err)
+		muts := make([]*machineUnderTest, len(patchVariants))
+		for vi, v := range patchVariants {
+			mut := build(t, src, v.opt)
+			for _, r := range monitorRanges(mut.m) {
+				if err := mut.w.InstallMonitor(r.BA, r.EA); err != nil {
+					t.Fatal(err)
+				}
 			}
-			if err := opt.w.InstallMonitor(r.BA, r.EA); err != nil {
-				t.Fatal(err)
+			if err := mut.m.Run(diffFuel); err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, v.name, err, src)
+			}
+			muts[vi] = mut
+		}
+		unopt, intra, inter := muts[0], muts[1], muts[2]
+		compare(t, unopt, intra)
+		compare(t, unopt, inter)
+		for vi, opt := range []*machineUnderTest{intra, inter} {
+			if opt.w.ElideFallbacks != 0 {
+				t.Errorf("seed %d %s: %d elide fallbacks without mid-run updates (analysis fact was invalidated)\n%s",
+					seed, patchVariants[vi+1].name, opt.w.ElideFallbacks, src)
 			}
 		}
-		if err := unopt.m.Run(diffFuel); err != nil {
-			t.Fatalf("seed %d unopt: %v\n%s", seed, err, src)
-		}
-		if err := opt.m.Run(diffFuel); err != nil {
-			t.Fatalf("seed %d opt: %v\n%s", seed, err, src)
-		}
-		compare(t, unopt, opt)
-		if opt.w.ElideFallbacks != 0 {
-			t.Errorf("seed %d: %d elide fallbacks without mid-run updates (analysis fact was invalidated)\n%s",
-				seed, opt.w.ElideFallbacks, src)
+		if inter.res.EliminatedChecks < intra.res.EliminatedChecks {
+			t.Errorf("seed %d: interproc elides %d < intraproc %d",
+				seed, inter.res.EliminatedChecks, intra.res.EliminatedChecks)
 		}
 		if t.Failed() {
 			t.Fatalf("seed %d diverged; source:\n%s", seed, src)
@@ -211,8 +232,9 @@ func runScripted(t *testing.T, mut *machineUnderTest, script []monitorEvent) {
 func TestDifferentialInterleavedMonitors(t *testing.T) {
 	for seed := int64(100); seed < 112; seed++ {
 		src := minic.GenProgram(rand.New(rand.NewSource(seed)))
-		unopt := build(t, src, false)
-		opt := build(t, src, true)
+		unopt := build(t, src, patchVariants[0].opt)
+		intra := build(t, src, patchVariants[1].opt)
+		inter := build(t, src, patchVariants[2].opt)
 
 		rs := monitorRanges(unopt.m)
 		if len(rs) < 2 {
@@ -228,8 +250,10 @@ func TestDifferentialInterleavedMonitors(t *testing.T) {
 			{After: 120, Install: true, R: rs[0]},
 		}
 		runScripted(t, unopt, script)
-		runScripted(t, opt, script)
-		compare(t, unopt, opt)
+		runScripted(t, intra, script)
+		runScripted(t, inter, script)
+		compare(t, unopt, intra)
+		compare(t, unopt, inter)
 		if t.Failed() {
 			t.Fatalf("seed %d diverged; source:\n%s", seed, src)
 		}
@@ -248,30 +272,46 @@ func TestDifferentialWorkloads(t *testing.T) {
 				t.Fatal(err)
 			}
 			const workloadFuel = 400_000_000
-			unopt := build(t, p.Source, false)
-			opt := build(t, p.Source, true)
-			for _, r := range monitorRanges(unopt.m) {
-				if err := unopt.w.InstallMonitor(r.BA, r.EA); err != nil {
-					t.Fatal(err)
+			muts := make([]*machineUnderTest, len(patchVariants))
+			for vi, v := range patchVariants {
+				mut := build(t, p.Source, v.opt)
+				for _, r := range monitorRanges(mut.m) {
+					if err := mut.w.InstallMonitor(r.BA, r.EA); err != nil {
+						t.Fatal(err)
+					}
 				}
-				if err := opt.w.InstallMonitor(r.BA, r.EA); err != nil {
-					t.Fatal(err)
+				if err := mut.m.Run(workloadFuel); err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				muts[vi] = mut
+			}
+			unopt, intra, inter := muts[0], muts[1], muts[2]
+			compare(t, unopt, intra)
+			compare(t, unopt, inter)
+			for vi, opt := range []*machineUnderTest{intra, inter} {
+				if opt.w.ElideFallbacks != 0 {
+					t.Errorf("%s: %d elide fallbacks without mid-run updates",
+						patchVariants[vi+1].name, opt.w.ElideFallbacks)
+				}
+				// The optimizer must actually optimize something on real
+				// workloads, or the ablation measures nothing.
+				if opt.res.EliminatedChecks+opt.res.FastChecks == 0 {
+					t.Errorf("%s optimizer had no effect on this workload", patchVariants[vi+1].name)
 				}
 			}
-			if err := unopt.m.Run(workloadFuel); err != nil {
-				t.Fatalf("unopt: %v", err)
+			// The acceptance criterion: interprocedural analysis never
+			// elides fewer checks than the intraprocedural baseline, and
+			// a dependence map ships with every interproc patch.
+			if inter.res.EliminatedChecks < intra.res.EliminatedChecks {
+				t.Errorf("interproc elides %d < intraproc %d",
+					inter.res.EliminatedChecks, intra.res.EliminatedChecks)
 			}
-			if err := opt.m.Run(workloadFuel); err != nil {
-				t.Fatalf("opt: %v", err)
+			if inter.res.EliminatedIntra != intra.res.EliminatedChecks {
+				t.Errorf("EliminatedIntra = %d, want %d",
+					inter.res.EliminatedIntra, intra.res.EliminatedChecks)
 			}
-			compare(t, unopt, opt)
-			if opt.w.ElideFallbacks != 0 {
-				t.Errorf("%d elide fallbacks without mid-run updates", opt.w.ElideFallbacks)
-			}
-			// The optimizer must actually optimize something on real
-			// workloads, or the ablation measures nothing.
-			if opt.res.EliminatedChecks+opt.res.FastChecks == 0 {
-				t.Error("optimizer had no effect on this workload")
+			if inter.res.DepMap == nil || len(inter.res.DepMap.Sites) == 0 {
+				t.Error("interproc patch must ship a dependence map")
 			}
 		})
 	}

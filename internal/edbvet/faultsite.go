@@ -1,0 +1,96 @@
+package edbvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// registeredSites statically enumerates the injection points declared
+// in internal/fault: the string-literal arguments of Register calls.
+// Returns nil if the module has no fault package (the check then only
+// flags Site-typed literals categorically).
+func registeredSites(pkgs []*Package) map[string]bool {
+	for _, p := range pkgs {
+		if !strings.HasSuffix(p.Path, "internal/fault") {
+			continue
+		}
+		sites := make(map[string]bool)
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "Register" {
+					return true
+				}
+				if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						sites[s] = true
+					}
+				}
+				return true
+			})
+		}
+		return sites
+	}
+	return nil
+}
+
+// isFaultSiteType reports whether t is the named type Site from an
+// internal/fault package.
+func isFaultSiteType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Site" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/fault")
+}
+
+// checkFaultSite flags string literals typed (explicitly or by
+// implicit conversion in context) as fault.Site outside the fault
+// package itself. Sites must be the Register-ed package-level
+// constants: a literal site name bypasses fault.Sites(), so the chaos
+// harness can never enumerate — let alone cover — the injection point.
+// A literal that happens to spell a registered site is still flagged:
+// use the registered constant.
+func checkFaultSite(p *Package, registered map[string]bool) []Finding {
+	if strings.HasSuffix(p.Path, "internal/fault") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind.String() != "STRING" {
+				return true
+			}
+			tv, ok := p.Info.Types[ast.Expr(lit)]
+			if !ok || !isFaultSiteType(tv.Type) {
+				return true
+			}
+			if p.allowed("faultsite", lit) {
+				return true
+			}
+			name, _ := strconv.Unquote(lit.Value)
+			msg := "fault.Site literal " + lit.Value +
+				" is not a registered site; declare it via fault.Register"
+			if registered[name] {
+				msg = "fault.Site literal " + lit.Value +
+					" shadows a registered site; use the registered constant"
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(lit.Pos()),
+				Check: "faultsite",
+				Msg:   msg,
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package edbvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// contractTypes are the internal/obsv handle types whose package
+// comment promises "the disabled path is free": a nil handle must make
+// every exported method a cheap no-op. Resolved handles (Counter,
+// Gauge, Histogram) are excluded by design — they are only obtainable
+// from a live registry and document that they require one.
+var contractTypes = map[string]bool{
+	"Tracer":  true,
+	"Span":    true,
+	"Metrics": true,
+}
+
+// checkObsvNil enforces the nil-is-free contract on internal/obsv:
+// within every exported pointer-receiver method on a contract type, no
+// receiver state (a struct field, directly or via a local alias) may be
+// touched before a nil guard has run. Methods that only call other
+// methods are fine — nil-safety is compositional.
+func checkObsvNil(p *Package) []Finding {
+	if !strings.HasSuffix(p.Path, "internal/obsv") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName, typeName := receiver(fd)
+			if !contractTypes[typeName] || recvName == "" {
+				continue
+			}
+			if p.allowed("obsvnil", fd) {
+				continue
+			}
+			if v := scanGuard(p, fd, recvName); v != nil {
+				out = append(out, *v)
+			}
+		}
+	}
+	return out
+}
+
+// receiver returns the receiver's name and base type name ("" if the
+// receiver is unnamed or not a pointer).
+func receiver(fd *ast.FuncDecl) (name, typeName string) {
+	if len(fd.Recv.List) != 1 {
+		return "", ""
+	}
+	field := fd.Recv.List[0]
+	star, ok := field.Type.(*ast.StarExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := star.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(field.Names) == 1 {
+		name = field.Names[0].Name
+	}
+	return name, id.Name
+}
+
+// scanGuard walks the method's top-level statements in order. A
+// statement may (a) be the nil guard — done, the method is compliant;
+// (b) introduce an alias (`t := s.t` or `t := s`), which extends the
+// set of names the guard may test; or (c) touch receiver state before
+// any guard — the violation.
+func scanGuard(p *Package, fd *ast.FuncDecl, recvName string) *Finding {
+	aliases := map[string]bool{recvName: true}
+	for _, stmt := range fd.Body.List {
+		if isNilGuard(stmt, aliases) {
+			return nil
+		}
+		if name, ok := aliasAssign(p, stmt, aliases); ok {
+			aliases[name] = true
+			continue
+		}
+		if at := touchesState(p, stmt, aliases); at != token.NoPos {
+			pos := p.Fset.Position(at)
+			return &Finding{
+				Pos:   pos,
+				Check: "obsvnil",
+				Msg: "method " + fd.Name.Name + " on *" + typeOf(fd) +
+					" touches receiver state before the nil guard (nil-is-free contract)",
+			}
+		}
+	}
+	// No guard, but no state touched either: the method delegates to
+	// nil-safe methods only, which upholds the contract.
+	return nil
+}
+
+func typeOf(fd *ast.FuncDecl) string {
+	_, t := receiver(fd)
+	return t
+}
+
+// isNilGuard matches `if X == nil { ... return ... }` where X is an
+// alias or a single field selection on one (Span guards on s.t).
+func isNilGuard(stmt ast.Stmt, aliases map[string]bool) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return false
+	}
+	x, y := bin.X, bin.Y
+	if isNilIdent(x) {
+		x, y = y, x
+	}
+	if !isNilIdent(y) || !isAliasExpr(x, aliases) {
+		return false
+	}
+	n := len(ifs.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, ret := ifs.Body.List[n-1].(*ast.ReturnStmt)
+	return ret
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isAliasExpr matches an alias identifier or `alias.field`.
+func isAliasExpr(e ast.Expr, aliases map[string]bool) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return aliases[v.Name]
+	case *ast.SelectorExpr:
+		id, ok := v.X.(*ast.Ident)
+		return ok && aliases[id.Name]
+	}
+	return false
+}
+
+// aliasAssign matches `x := alias` / `x := alias.field` — reading a
+// field into a local before guarding it is the idiom Span.End uses.
+func aliasAssign(p *Package, stmt ast.Stmt, aliases map[string]bool) (string, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || as.Tok != token.DEFINE || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if !isAliasExpr(as.Rhs[0], aliases) {
+		return "", false
+	}
+	return lhs.Name, true
+}
+
+// touchesState reports the position of the first field selection on an
+// alias inside stmt (method calls do not count: a called method is
+// itself held to the contract).
+func touchesState(p *Package, stmt ast.Stmt, aliases map[string]bool) token.Pos {
+	at := token.NoPos
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if at != token.NoPos {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || !aliases[id.Name] {
+			return true
+		}
+		if s := p.Info.Selections[sel]; s != nil && s.Kind() == types.FieldVal {
+			at = sel.Pos()
+			return false
+		}
+		return true
+	})
+	return at
+}

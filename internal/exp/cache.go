@@ -43,8 +43,14 @@ type artifacts struct {
 
 	// expansionOpt is the code expansion under the optimized patcher.
 	expansionOpt float64
+	// interproc is the cached whole-program interprocedural layer (call
+	// graph, write summaries, entry facts) over the traced program —
+	// computed once per (benchmark, scale) under its own phase span.
+	interproc *analysis.Interproc
 	// Static check-optimization plan totals for the benchmark.
-	eliminated, fastChecks, hoisted int
+	// eliminatedIntra is the intraproc-only ablation count (how many of
+	// the eliminated checks the single-function planner already got).
+	eliminated, eliminatedIntra, fastChecks, hoisted int
 	// Dynamic check-class fractions: the fraction of traced write events
 	// issued by stores whose statically planned check is elided / fast.
 	// These parameterise the CPOpt analytical model.
@@ -191,6 +197,9 @@ func buildArtifacts(p progs.Program, o *obs) (*artifacts, error) {
 	a := &artifacts{tr: tr, pp: pp, bidx: bidx}
 	stores, total := img.CountStores()
 	a.storeFraction = float64(stores) / float64(total)
+	ps = o.phase(p.Name, PhaseSummaries)
+	a.interproc = analysis.ComputeInterproc(prog)
+	ps.done(nil)
 	ps = o.phase(p.Name, PhaseMeasure)
 	defer ps.done(nil)
 	// Code-expansion estimate for CodePatch (patches a fresh compile).
@@ -212,8 +221,8 @@ func buildArtifacts(p progs.Program, o *obs) (*artifacts, error) {
 	// dynamic write is classified by the check class its store was
 	// statically assigned.
 	plan := analysis.PlanChecks(prog)
-	a.eliminated, a.fastChecks, a.hoisted =
-		plan.EliminatedChecks, plan.FastChecks, plan.HoistedChecks
+	a.eliminated, a.eliminatedIntra, a.fastChecks, a.hoisted =
+		plan.EliminatedChecks, plan.EliminatedIntra, plan.FastChecks, plan.HoistedChecks
 	classByAddr := make(map[arch.Addr]analysis.CheckClass)
 	layout := asm.LayoutAddrs(prog)
 	for fi, f := range prog.Funcs {

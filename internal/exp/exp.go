@@ -234,6 +234,10 @@ type ProgramResult struct {
 	// stores whose check was elided / downgraded, and of hoisted
 	// preliminary checks inserted in loop preheaders).
 	EliminatedChecks, FastChecks, HoistedChecks int
+	// EliminatedIntra is the single-function ablation: how many checks
+	// the planner elides with the interprocedural layer disabled. The
+	// gap to EliminatedChecks is what the call-graph summaries buy.
+	EliminatedIntra int
 	// Dynamic fractions of traced writes per optimized check class;
 	// these feed model.Counting for the CPOpt strategy.
 	CPOptElideFrac, CPOptFastFrac float64
@@ -288,6 +292,7 @@ func runProgram(ctx context.Context, p progs.Program, timings model.Timings, o *
 	res.Expansion = art.expansion
 	res.ExpansionOpt = art.expansionOpt
 	res.EliminatedChecks = art.eliminated
+	res.EliminatedIntra = art.eliminatedIntra
 	res.FastChecks = art.fastChecks
 	res.HoistedChecks = art.hoisted
 	return res, nil

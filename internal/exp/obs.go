@@ -43,6 +43,10 @@ const (
 	// page-touch summaries), cached with the artifact so streaming
 	// replays share the skip metadata.
 	PhaseBlockIndex = "blockindex"
+	// PhaseSummaries builds the interprocedural layer (call graph,
+	// per-function write summaries, entry facts) cached with the
+	// benchmark's artifacts.
+	PhaseSummaries = "summaries"
 	// PhaseMeasure takes the static code-size and check-plan
 	// measurements (CodePatch expansion, CP-opt class fractions).
 	PhaseMeasure = "measure"

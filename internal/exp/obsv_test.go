@@ -16,15 +16,15 @@ import (
 // recordingObserver is a concurrency-safe Observer that records every
 // callback for later assertions.
 type recordingObserver struct {
-	mu       sync.Mutex
-	started  map[string]int // "program/phase" -> count
-	finished map[string]int
-	replays  int
-	events   int64
+	mu        sync.Mutex
+	started   map[string]int // "program/phase" -> count
+	finished  map[string]int
+	replays   int
+	events    int64
 	benchDone []string
-	total    int
-	maxDone  int
-	errs     int
+	total     int
+	maxDone   int
+	errs      int
 }
 
 func newRecordingObserver() *recordingObserver {
@@ -118,7 +118,8 @@ func TestSpansWellFormed(t *testing.T) {
 	}
 	want := map[string]bool{
 		PhaseBenchmark: false, PhaseBuild: false, PhaseCompile: false,
-		PhaseAssemble: false, PhaseTracegen: false, PhaseMeasure: false,
+		PhaseAssemble: false, PhaseTracegen: false, PhaseSummaries: false,
+		PhaseMeasure:  false,
 		PhaseDiscover: false, PhaseReplay: false, PhaseModel: false,
 	}
 	for _, r := range tr.Records() {

@@ -188,6 +188,9 @@ func CNum(v int32) string {
 //   - counted loops writing loop-invariant globals (hoist + fast-check
 //     candidates) next to loop-variant array writes (must stay full),
 //   - helper-function calls inside loops (barriers that kill facts),
+//   - quiet helpers (no global writes) between repeated stores, which
+//     only the interprocedural planner can see through, including a
+//     bounded recursive one (an SCC in the call graph),
 //   - conditional stores (meet over paths).
 //
 // The generated source always compiles and terminates; store behaviour
@@ -212,14 +215,36 @@ func GenProgram(rng *rand.Rand) string {
 	w("\twhile (i < %d) { g0 = g0 + a; t = t + i; i = i + 1; }\n", 2+rng.Intn(4))
 	w("\treturn %s;\n}\n", e(2))
 
+	// Quiet helper: touches only its own frame, so its summary is quiet
+	// and calls to it preserve availability facts interprocedurally.
+	w("int quiet(int a, int b) {\n")
+	w("\tint i;\n\tint t;\n\ti = b;\n\tt = a;\n")
+	w("\tif (a < b) { t = b - a; } else { t = a - b; }\n")
+	w("\treturn %s;\n}\n", e(2))
+
+	// Bounded recursive quiet helper: a call-graph SCC whose summary must
+	// still converge to quiet.
+	w("int qrec(int n, int acc) {\n")
+	w("\tif (n <= 0) { return acc; }\n")
+	w("\treturn qrec(n - 1, acc + n);\n}\n")
+
 	w("int main() {\n")
 	w("\tint a = %s;\n", CNum(int32(rng.Intn(4001)-2000)))
 	w("\tint b = %s;\n", CNum(int32(rng.Uint32())))
 	w("\tint i;\n\tint t;\n\ti = 0;\n\tt = 0;\n")
 
-	// Straight-line repeated stores: elision fodder.
+	// Straight-line repeated stores: elision fodder. A quiet call (or a
+	// bounded recursive one) sometimes lands between the two stores: the
+	// intraprocedural planner must keep the second check, the
+	// interprocedural one may elide it.
 	for j := 0; j < 2+rng.Intn(3); j++ {
 		w("\tg1 = %s;\n", e(1+rng.Intn(2)))
+		switch rng.Intn(3) {
+		case 0:
+			w("\tt = t + quiet(i, a);\n")
+		case 1:
+			w("\tt = t + qrec(%d, t);\n", 1+rng.Intn(5))
+		}
 		w("\tg1 = g1 + %s;\n", e(1))
 	}
 	w("\ta = %s;\n\ta = a + t;\n", e(2))
@@ -228,9 +253,12 @@ func GenProgram(rng *rand.Rand) string {
 	w("\tfor (i = 0; i < %d; i = i + 1) {\n", 4+rng.Intn(12))
 	w("\t\tg2 = g2 + %s;\n", e(1))
 	w("\t\tarr[i %% %d] = %s;\n", arrLen, e(1))
-	if rng.Intn(2) == 0 {
-		w("\t\tt = t + helper(i, a);\n") // call inside the loop: no hoist
-	} else {
+	switch rng.Intn(3) {
+	case 0:
+		w("\t\tt = t + helper(i, a);\n") // writing call in the loop: no hoist
+	case 1:
+		w("\t\tt = t + quiet(i, a);\n") // quiet call: interproc may still hoist
+	default:
 		w("\t\tt = t + i;\n")
 	}
 	w("\t}\n")

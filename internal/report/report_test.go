@@ -41,6 +41,8 @@ func fakeResults() []*exp.ProgramResult {
 		}
 		r.Expansion = 0.13
 		r.StoreFraction = 0.065
+		r.EliminatedChecks = 9
+		r.EliminatedIntra = 4
 		return r
 	}
 	return []*exp.ProgramResult{mk("gcc", 1.0), mk("bps", 0.5)}
@@ -114,6 +116,11 @@ func TestBreakdownAndExpansion(t *testing.T) {
 	out = render(func(b *bytes.Buffer) { Expansion(b, fakeResults()) })
 	if !strings.Contains(out, "13.0%") {
 		t.Errorf("expansion:\n%s", out)
+	}
+	// The interprocedural ablation column: total elided next to the
+	// intraproc-only count.
+	if !strings.Contains(out, "intra") || !strings.Contains(out, "9      4") {
+		t.Errorf("expansion missing interproc ablation columns:\n%s", out)
 	}
 }
 
