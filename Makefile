@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck lint build test race chaos fuzz cover replay-gate trace-gate bench-pipeline bench-replay bench-trace bench-codepatch-opt obsv-bench
+.PHONY: ci vet staticcheck lint build test race chaos fuzz cover replay-gate trace-gate serve-gate bench-pipeline bench-replay bench-trace bench-codepatch-opt obsv-bench
 
-ci: vet staticcheck build lint race chaos cover obsv-bench replay-gate trace-gate
+ci: vet staticcheck build lint race chaos cover obsv-bench replay-gate trace-gate serve-gate
 
 vet:
 	$(GO) vet ./...
@@ -55,14 +55,17 @@ chaos:
 	$(GO) test -race ./internal/fault/
 	$(GO) test -race -run 'TestChaos|TestWorkerPanic|TestContext|TestKeepGoing|TestRetry|TestPermanentFault|TestCacheDoesNotMemoise|TestCacheSurvives' ./internal/exp/
 	$(GO) test -race -run 'TestV3|TestOpenStreamFaultInjection|TestReadRejects|TestWriteFaultInjection|TestCorruptionInjection|TestReadFaultInjection' ./internal/trace/
+	$(GO) test -race -run 'TestServeChaos' ./internal/serve/
 
-# Fuzz smoke: the trace-decoder fuzz target over its checked-in corpus
-# (truncated real workload traces + regression crashers) plus a short
-# exploration budget. CI runs this on every PR; run with a longer
-# -fuzztime locally when touching the codec.
+# Fuzz smoke: the binary-decoder fuzz targets over their checked-in
+# corpora (truncated real workload traces / request envelopes +
+# regression crashers) plus a short exploration budget each. CI runs
+# this on every PR; run with a longer -fuzztime locally when touching
+# either codec.
 FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceRead -fuzztime $(FUZZTIME) ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzServeRequest -fuzztime $(FUZZTIME) ./internal/serve/
 
 # Coverage gate for the replay core's packages: statement coverage of
 # internal/sim and internal/sessions must not fall below the recorded
@@ -109,6 +112,20 @@ replay-gate:
 TRACE_SLACK ?= 0.25
 trace-gate:
 	EDB_TRACE_BENCH=1 EDB_TRACE_BENCH_SLACK=$(TRACE_SLACK) $(GO) test -run TestTraceBenchGate -count=1 -v .
+
+# Serving soak gate: boots a real edb-serve on a loopback listener and
+# drives >=1000 hash-first submissions from 32 concurrent clients
+# across 8 tenants and 8 distinct specs. Survivability is absolute
+# (zero failed requests, zero result-hash inconsistencies, leak-free
+# drain — no slack); only the p99 latency check takes SERVE_SLACK
+# against BENCH_serve.json, with the loose CI default below because
+# millisecond-scale HTTP p99s on a shared vCPU swing with scheduler
+# noise. Override on a quiet dedicated host: make serve-gate
+# SERVE_SLACK=0.25. Regenerate the baseline with:
+# EDB_REGEN_SERVE_BENCH=1 go test -run TestServeBenchGate -count=1 .
+SERVE_SLACK ?= 1.00
+serve-gate:
+	EDB_SERVE_BENCH=1 EDB_SERVE_BENCH_SLACK=$(SERVE_SLACK) $(GO) test -run TestServeBenchGate -count=1 -v .
 
 # Observability disabled-path gate: re-measures the pipeline
 # benchmarks with observation off against BENCH_pipeline.json and

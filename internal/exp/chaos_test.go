@@ -49,6 +49,27 @@ var chaosScenarios = map[fault.Site]func(t *testing.T){
 	fault.SiteTraceWrite:   chaosTraceWrite,
 	fault.SiteTraceRead:    chaosTraceRead,
 	fault.SiteTraceCorrupt: chaosTraceCorrupt,
+
+	// The serving-path sites are drilled against a live server in
+	// internal/serve (chaos_test.go there), which this package cannot
+	// import — serve builds on exp, so the drills live with the
+	// server. TestServeChaosCoversEverySite over there plays the same
+	// completeness role as TestChaosCoversEverySite here: every
+	// "serve."-prefixed site must have a live-server drill.
+	fault.SiteServeDecode:        chaosServeDelegated,
+	fault.SiteServeDecodeCorrupt: chaosServeDelegated,
+	fault.SiteServeAdmit:         chaosServeDelegated,
+	fault.SiteServeReplay:        chaosServeDelegated,
+	fault.SiteServeStoreRead:     chaosServeDelegated,
+	fault.SiteServeStoreWrite:    chaosServeDelegated,
+	fault.SiteServeRespond:       chaosServeDelegated,
+}
+
+// chaosServeDelegated records that a serving-path site's drill runs in
+// internal/serve against a live server; here it only has to exist so
+// the completeness check knows the site is owned, not forgotten.
+func chaosServeDelegated(t *testing.T) {
+	t.Skip("drilled live in internal/serve chaos_test.go")
 }
 
 // TestChaosCoversEverySite fails when a new injection point is

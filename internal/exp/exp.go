@@ -70,6 +70,15 @@ type Config struct {
 	// attempt and is capped at 8x. Zero defaults to 2ms (kept tiny: the
 	// "remote service" being backed off is an in-process pipeline).
 	RetryBackoff time.Duration
+	// Gate, when non-nil, is the admission hook: one weight unit is
+	// acquired per benchmark before its pipeline runs (retries
+	// included) and released when it finishes. A long-running host —
+	// the edb-serve daemon — shares one gate across every concurrent
+	// Run so the total in-flight pipeline work stays bounded no matter
+	// how many requests arrive; an Acquire rejection (for example
+	// ErrGateOverloaded from a full queue) fails the benchmark with
+	// that error. Nil admits everything.
+	Gate Gate
 
 	// Tracer, when non-nil, collects a span for every phase boundary
 	// of the pipeline — per-benchmark compile, assemble, tracegen,
@@ -436,10 +445,14 @@ func runWithRetry(ctx context.Context, c *Config, p progs.Program, o *obs) (*Pro
 				p.Name, attempt+1, err)
 		}
 		o.retry(p.Name, attempt+1, err)
-		backoff := c.RetryBackoff << uint(attempt)
-		if max := 8 * c.RetryBackoff; backoff > max {
-			backoff = max
+		// Cap the doubling shift before shifting: Retries is caller
+		// data, and a shift past 62 would overflow Duration into a
+		// negative (= zero-length) sleep instead of the 8x cap.
+		shift := uint(attempt)
+		if shift > 3 {
+			shift = 3
 		}
+		backoff := c.RetryBackoff << shift
 		timer := time.NewTimer(backoff)
 		select {
 		case <-ctx.Done():
@@ -514,6 +527,15 @@ func RunContext(ctx context.Context, cfg Config) ([]*ProgramResult, error) {
 			o.benchmarkDone(c.Programs[i], err)
 			return err
 		}
+		if c.Gate != nil {
+			release, err := c.Gate.Acquire(ctx, 1)
+			if err != nil {
+				err = fmt.Errorf("exp: %s: admission: %w", p.Name, err)
+				o.benchmarkDone(p.Name, err)
+				return err
+			}
+			defer release()
+		}
 		ps := o.phase(p.Name, PhaseBenchmark)
 		out[i], err = runWithRetry(ctx, &c, p, o)
 		ps.done(err)
@@ -528,6 +550,16 @@ func RunContext(ctx context.Context, cfg Config) ([]*ProgramResult, error) {
 	if workers <= 1 {
 		// Serial fast path: no goroutines at all.
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				// The run is over: stop claiming work. KeepGoing mode
+				// records the cancellation against the unattempted
+				// benchmarks below instead of attempting each one just
+				// to watch it fail its first context check.
+				if !c.KeepGoing {
+					return nil, fmt.Errorf("exp: %w", ctx.Err())
+				}
+				break
+			}
 			if err := runOne(i); err != nil {
 				if !c.KeepGoing {
 					return nil, err
@@ -547,7 +579,7 @@ func RunContext(ctx context.Context, cfg Config) ([]*ProgramResult, error) {
 				defer wg.Done()
 				for {
 					i := int(next.Add(1) - 1)
-					if i >= n || canceled.Load() {
+					if i >= n || canceled.Load() || ctx.Err() != nil {
 						return
 					}
 					if err := runOne(i); err != nil {
@@ -562,11 +594,30 @@ func RunContext(ctx context.Context, cfg Config) ([]*ProgramResult, error) {
 		}
 		wg.Wait()
 	}
+	if c.KeepGoing && ctx.Err() != nil {
+		// Benchmarks never claimed because the context ended mid-run
+		// still owe the caller a placeholder failure each.
+		for i := range errs {
+			if errs[i] == nil && out[i] == nil {
+				errs[i] = fmt.Errorf("exp: %s: %w", c.Programs[i], ctx.Err())
+			}
+		}
+	}
 
 	if !c.KeepGoing {
 		for _, err := range errs {
 			if err != nil {
 				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			// Workers stop claiming as soon as the context ends, so a
+			// mid-run cancellation can leave no per-benchmark error
+			// behind; report it unless every result completed first.
+			for _, r := range out {
+				if r == nil {
+					return nil, fmt.Errorf("exp: %w", err)
+				}
 			}
 		}
 		return out, nil

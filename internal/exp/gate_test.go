@@ -1,0 +1,253 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGateCapacity: at most capacity weight units are ever in use.
+func TestGateCapacity(t *testing.T) {
+	g := NewGate(2, -1)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := g.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := inUse.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-1)
+			release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds capacity 2", p)
+	}
+	if u, q := g.Stats(); u != 0 || q != 0 {
+		t.Errorf("gate not drained: inUse=%d queued=%d", u, q)
+	}
+}
+
+// TestGateQueueBound: a full queue sheds immediately with
+// ErrGateOverloaded instead of blocking.
+func TestGateQueueBound(t *testing.T) {
+	g := NewGate(1, 1)
+	hold, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue...
+	done := make(chan error, 1)
+	go func() {
+		release, err := g.Acquire(context.Background(), 1)
+		if err == nil {
+			release()
+		}
+		done <- err
+	}()
+	// ...wait until it is actually queued, then the next must shed.
+	for {
+		if _, q := g.Stats(); q == 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if _, err := g.Acquire(context.Background(), 1); !errors.Is(err, ErrGateOverloaded) {
+		t.Fatalf("full queue: err = %v, want ErrGateOverloaded", err)
+	}
+	hold()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+// TestGateContextCancel: a canceled waiter leaves the queue and later
+// grants still flow.
+func TestGateContextCancel(t *testing.T) {
+	g := NewGate(1, -1)
+	hold, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, 1)
+		errc <- err
+	}()
+	for {
+		if _, q := g.Stats(); q == 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v, want context.Canceled", err)
+	}
+	if _, q := g.Stats(); q != 0 {
+		t.Errorf("canceled waiter still queued")
+	}
+	hold()
+	release, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatalf("gate wedged after cancellation: %v", err)
+	}
+	release()
+}
+
+// TestGateWeightClamp: weights above capacity are clamped, not
+// rejected, and heavy grants exclude everything else.
+func TestGateWeightClamp(t *testing.T) {
+	g := NewGate(4, -1)
+	release, err := g.Acquire(context.Background(), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u, _ := g.Stats(); u != 4 {
+		t.Errorf("clamped weight in use = %d, want 4", u)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := g.Acquire(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("gate admitted past a full-capacity grant: %v", err)
+	}
+	release()
+}
+
+// TestGateFIFOOrder: grants happen in arrival order.
+func TestGateFIFOOrder(t *testing.T) {
+	g := NewGate(1, -1)
+	hold, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			release, err := g.Acquire(context.Background(), 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			release()
+		}(i)
+		// Serialise arrival so FIFO order is observable.
+		for {
+			if _, q := g.Stats(); q == i+1 {
+				break
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	hold()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v is not FIFO", order)
+		}
+	}
+}
+
+// TestRunWithGate: Config.Gate bounds the pipeline's benchmark
+// concurrency below Workers, and results stay bit-identical.
+func TestRunWithGate(t *testing.T) {
+	ResetCache()
+	base, err := Run(Config{Programs: chaosPrograms, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGate(1, -1)
+	got, err := Run(Config{Programs: chaosPrograms, Workers: 4, Gate: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		sameResults(t, "gated", base[i], got[i])
+	}
+	if u, q := g.Stats(); u != 0 || q != 0 {
+		t.Errorf("gate not drained after Run: inUse=%d queued=%d", u, q)
+	}
+}
+
+// TestRunGateOverloaded: a zero-queue gate at capacity sheds
+// benchmarks with ErrGateOverloaded, which surfaces per-benchmark in
+// KeepGoing mode.
+func TestRunGateOverloaded(t *testing.T) {
+	ResetCache()
+	g := NewGate(1, 0)
+	release, err := g.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	out, err := Run(Config{Programs: chaosPrograms, Workers: 2, KeepGoing: true, Gate: g})
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RunError", err)
+	}
+	for _, r := range out {
+		if r.Err == nil || !errors.Is(r.Err, ErrGateOverloaded) {
+			t.Errorf("%s: err = %v, want ErrGateOverloaded", r.Program, r.Err)
+		}
+	}
+}
+
+// TestNoGoroutineLeakOnDeadline is the context-leak audit: a deadline
+// expiring mid-run, at every worker shape, must leave no pipeline
+// goroutine behind — the retry backoff timer, the worker claim loop,
+// and runProtected must all unwind promptly.
+func TestNoGoroutineLeakOnDeadline(t *testing.T) {
+	ResetCache()
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		before := runtime.NumGoroutine()
+		for i := 0; i < 3; i++ {
+			// A deadline a few milliseconds out lands mid-pipeline:
+			// after some work has started, before it finishes.
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(1+i*4)*time.Millisecond)
+			_, err := RunContext(ctx, Config{
+				Programs:     []string{"bps", "ctex", "qcd"},
+				Workers:      workers,
+				Retries:      2,
+				RetryBackoff: time.Millisecond,
+			})
+			cancel()
+			// The run may complete if the cache made it fast; both
+			// outcomes are fine — the invariant is goroutine hygiene.
+			_ = err
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after := runtime.NumGoroutine(); after > before {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("workers=%d: %d goroutines before, %d after deadline expiry\n%s",
+				workers, before, after, buf[:runtime.Stack(buf, true)])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Label tooling for multi-tenant metric export: merging a label into a
+// series name (the registry's series keys are full
+// name{label="value"} strings, see metrics.go) and bounding the
+// cardinality a caller-controlled label value can create.
+//
+// The serving layer is the client: every request carries a
+// client-chosen tenant string, and per-tenant series are exactly the
+// kind of unbounded-cardinality metric that kills a Prometheus setup.
+// A LabelCap admits the first max distinct values verbatim and
+// collapses everything later into one overflow value ("other"), so a
+// tenant flood — or an attacker cycling tenant IDs — can never grow
+// the registry past max+1 series per metric.
+
+package obsv
+
+import (
+	"strings"
+	"sync"
+)
+
+// escapeLabelValue escapes a label value for the Prometheus text
+// exposition format: backslash, double quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// MergeLabel returns the series name with key="value" merged into its
+// label set: MergeLabel(`edb_serve_requests_total{code="200"}`,
+// "tenant", "t1") is `edb_serve_requests_total{code="200",tenant="t1"}`.
+// The value is escaped for the Prometheus text format. Merging into a
+// bare name adds the braces.
+func MergeLabel(name, key, value string) string {
+	base, labels := splitName(name)
+	return base + joinLabels(labels, key+`="`+escapeLabelValue(value)+`"`)
+}
+
+// LabelCap bounds the distinct values one label is allowed to take.
+// The first max distinct values seen by Cap pass through verbatim;
+// every later new value collapses to the overflow value. Existing
+// values keep passing through forever, so a capped series set is
+// stable once warm. Safe for concurrent use.
+type LabelCap struct {
+	mu       sync.Mutex
+	max      int
+	overflow string
+	seen     map[string]struct{}
+}
+
+// NewLabelCap returns a cap admitting max distinct values; later
+// values collapse to overflow. max < 1 admits nothing but the
+// overflow value.
+func NewLabelCap(max int, overflow string) *LabelCap {
+	return &LabelCap{max: max, overflow: overflow, seen: make(map[string]struct{})}
+}
+
+// Cap returns v if it is already admitted or there is room to admit
+// it, and the overflow value otherwise. The empty string always maps
+// to the overflow value.
+func (c *LabelCap) Cap(v string) string {
+	if v == "" || v == c.overflow {
+		return c.overflow
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.seen[v]; ok {
+		return v
+	}
+	if len(c.seen) >= c.max {
+		return c.overflow
+	}
+	c.seen[v] = struct{}{}
+	return v
+}
+
+// Len reports how many distinct values have been admitted.
+func (c *LabelCap) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen)
+}

@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMergeLabel(t *testing.T) {
+	cases := []struct{ name, key, val, want string }{
+		{"edb_requests_total", "tenant", "t1", `edb_requests_total{tenant="t1"}`},
+		{`edb_requests_total{code="200"}`, "tenant", "t1", `edb_requests_total{code="200",tenant="t1"}`},
+		{"m", "k", `a"b\c` + "\n", `m{k="a\"b\\c\n"}`},
+	}
+	for _, c := range cases {
+		if got := MergeLabel(c.name, c.key, c.val); got != c.want {
+			t.Errorf("MergeLabel(%q, %q, %q) = %q, want %q", c.name, c.key, c.val, got, c.want)
+		}
+	}
+}
+
+// TestMergeLabelPrometheusOutput: a merged series must round-trip
+// through the Prometheus writer with the label placed on the base
+// name (histogram suffixes included).
+func TestMergeLabelPrometheusOutput(t *testing.T) {
+	m := NewMetrics()
+	m.Inc(MergeLabel("edb_serve_requests_total", "tenant", "t1"))
+	m.Observe(MergeLabel("edb_serve_request_seconds", "tenant", "t1"), 0.1)
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`edb_serve_requests_total{tenant="t1"} 1`,
+		`edb_serve_request_seconds_bucket{tenant="t1",le="+Inf"}`,
+		`edb_serve_request_seconds_count{tenant="t1"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLabelCapCollapsesUnknownTenants is the cardinality-cap contract:
+// with a cap of 8, a hundred distinct tenants produce at most 9
+// distinct series (8 admitted + "other"), and the overflow series
+// aggregates every collapsed tenant.
+func TestLabelCapCollapsesUnknownTenants(t *testing.T) {
+	m := NewMetrics()
+	cap8 := NewLabelCap(8, "other")
+	for i := 0; i < 100; i++ {
+		tenant := cap8.Cap(fmt.Sprintf("tenant-%03d", i))
+		m.Inc(MergeLabel("edb_serve_requests_total", "tenant", tenant))
+	}
+	snap := m.Snapshot()
+	if len(snap.Counters) > 9 {
+		t.Fatalf("cardinality cap failed: %d series for 100 tenants", len(snap.Counters))
+	}
+	if got := snap.Counters[`edb_serve_requests_total{tenant="other"}`]; got != 92 {
+		t.Errorf("overflow series = %d, want 92", got)
+	}
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf(`edb_serve_requests_total{tenant="tenant-%03d"}`, i)
+		if got := snap.Counters[name]; got != 1 {
+			t.Errorf("%s = %d, want 1", name, got)
+		}
+	}
+	if cap8.Len() != 8 {
+		t.Errorf("Len() = %d, want 8", cap8.Len())
+	}
+}
+
+// TestLabelCapStableUnderConcurrency: concurrent Cap calls never admit
+// more than max values, and an admitted value keeps passing through.
+func TestLabelCapStableUnderConcurrency(t *testing.T) {
+	c := NewLabelCap(4, "other")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := fmt.Sprintf("t%d", i%16)
+				got := c.Cap(v)
+				if got != v && got != "other" {
+					t.Errorf("Cap(%q) = %q", v, got)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 4 {
+		t.Errorf("Len() = %d, want 4", c.Len())
+	}
+	if c.Cap("") != "other" {
+		t.Errorf(`Cap("") should collapse to overflow`)
+	}
+}

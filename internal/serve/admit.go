@@ -1,0 +1,202 @@
+// The admission controller: one weighted pool shared by every tenant,
+// with per-tenant FIFO wait queues and round-robin grants across
+// tenants. Fairness is the design goal — a tenant that floods the
+// server queues behind itself, not in front of its neighbours: each
+// free capacity unit goes to the next tenant in rotation that has a
+// waiter, so K active tenants each see ~1/K of the pool under
+// saturation regardless of arrival rates.
+//
+// The per-tenant queue is bounded; a full queue sheds immediately
+// with exp.ErrGateOverloaded, which the server converts into a 429
+// with Retry-After. Admission.Gate(tenant) adapts the controller to
+// exp.Gate so full experiment runs flow through the same pool as
+// replay submissions.
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"edb/internal/exp"
+)
+
+// admitWaiter is one queued admission request.
+type admitWaiter struct {
+	weight int64
+	ready  chan struct{}
+}
+
+// Admission is the shared fair admission controller.
+type Admission struct {
+	mu       sync.Mutex
+	capacity int64
+	inUse    int64
+	maxQueue int // per-tenant queue bound; <0 unbounded, 0 no queueing
+
+	// queues holds the per-tenant wait queues; order is the round-robin
+	// rotation over tenants that currently have waiters.
+	queues map[string][]*admitWaiter
+	order  []string
+	next   int
+}
+
+// NewAdmission returns a controller over capacity weight units
+// (clamped to >= 1) with the given per-tenant queue bound.
+func NewAdmission(capacity int64, perTenantQueue int) *Admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Admission{
+		capacity: capacity,
+		maxQueue: perTenantQueue,
+		queues:   make(map[string][]*admitWaiter),
+	}
+}
+
+// Acquire admits one request of the given weight for tenant, blocking
+// in the tenant's FIFO queue until the rotation grants it. Weights
+// above capacity are clamped. Returns exp.ErrGateOverloaded when the
+// tenant's queue is full, or ctx.Err() if the context ends first; on
+// success the release closure must be called exactly once.
+func (a *Admission) Acquire(ctx context.Context, tenant string, weight int64) (func(), error) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		weight = a.capacity
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	// Fast path: free capacity and nobody waiting anywhere.
+	if len(a.order) == 0 && a.inUse+weight <= a.capacity {
+		a.inUse += weight
+		a.mu.Unlock()
+		return a.releaseFunc(weight), nil
+	}
+	q := a.queues[tenant]
+	if a.maxQueue >= 0 && len(q) >= a.maxQueue {
+		a.mu.Unlock()
+		return nil, exp.ErrGateOverloaded
+	}
+	w := &admitWaiter{weight: weight, ready: make(chan struct{})}
+	if len(q) == 0 {
+		a.order = append(a.order, tenant)
+	}
+	a.queues[tenant] = append(q, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return a.releaseFunc(weight), nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with cancellation: hand the grant
+			// straight back.
+			a.inUse -= weight
+			a.grantLocked()
+		default:
+			a.removeLocked(tenant, w)
+		}
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc returns the idempotent release closure for one grant.
+func (a *Admission) releaseFunc(weight int64) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inUse -= weight
+			a.grantLocked()
+			a.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked hands freed capacity to waiting tenants in round-robin
+// order, taking each chosen tenant's queue head. It stops when the
+// next tenant in rotation needs more capacity than remains — no
+// barging past a heavy waiter, so heavy requests cannot starve.
+// Callers hold a.mu.
+func (a *Admission) grantLocked() {
+	for len(a.order) > 0 {
+		if a.next >= len(a.order) {
+			a.next = 0
+		}
+		tenant := a.order[a.next]
+		q := a.queues[tenant]
+		w := q[0]
+		if a.inUse+w.weight > a.capacity {
+			return
+		}
+		if len(q) == 1 {
+			delete(a.queues, tenant)
+			a.order = append(a.order[:a.next], a.order[a.next+1:]...)
+			// a.next now points at the following tenant already.
+		} else {
+			a.queues[tenant] = q[1:]
+			a.next++
+		}
+		a.inUse += w.weight
+		close(w.ready)
+	}
+}
+
+// removeLocked drops a canceled waiter from its tenant queue.
+// Callers hold a.mu.
+func (a *Admission) removeLocked(tenant string, w *admitWaiter) {
+	q := a.queues[tenant]
+	for i, x := range q {
+		if x != w {
+			continue
+		}
+		if len(q) == 1 {
+			delete(a.queues, tenant)
+			for j, name := range a.order {
+				if name == tenant {
+					a.order = append(a.order[:j], a.order[j+1:]...)
+					if a.next > j {
+						a.next--
+					}
+					break
+				}
+			}
+		} else {
+			a.queues[tenant] = append(q[:i:i], q[i+1:]...)
+		}
+		return
+	}
+}
+
+// Stats reports current load: weight units in use, total queued
+// waiters, and tenants with a non-empty queue.
+func (a *Admission) Stats() (inUse int64, queued, tenants int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, q := range a.queues {
+		queued += len(q)
+	}
+	return a.inUse, queued, len(a.order)
+}
+
+// tenantGate adapts one tenant's view of the controller to exp.Gate,
+// so an experiment run's per-benchmark admissions flow through the
+// same shared pool as everyone else's replay requests.
+type tenantGate struct {
+	a      *Admission
+	tenant string
+}
+
+// Gate returns tenant's exp.Gate over the shared pool.
+func (a *Admission) Gate(tenant string) exp.Gate { return &tenantGate{a: a, tenant: tenant} }
+
+// Acquire implements exp.Gate.
+func (g *tenantGate) Acquire(ctx context.Context, weight int64) (func(), error) {
+	return g.a.Acquire(ctx, g.tenant, weight)
+}

@@ -1,0 +1,136 @@
+// Circuit breakers, one per (tenant, backend phase). A tenant whose
+// submissions keep failing in one phase — decode, replay, or store —
+// stops being dispatched into that phase for a cooldown, shedding its
+// load at the front door (503 + Retry-After) instead of burning pool
+// capacity on work that keeps dying. Breakers are per tenant so one
+// tenant's pathological traffic can never open the circuit for a
+// well-behaved neighbour: cross-tenant isolation is the whole point
+// of the serving layer.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// phase names the backend stages guarded by circuit breakers.
+type phase int
+
+const (
+	phaseDecode phase = iota
+	phaseReplay
+	phaseStore
+	numPhases
+)
+
+func (p phase) String() string {
+	switch p {
+	case phaseDecode:
+		return "decode"
+	case phaseReplay:
+		return "replay"
+	case phaseStore:
+		return "store"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// BreakerOpenError reports a request shed by an open circuit.
+type BreakerOpenError struct {
+	Tenant     string
+	Phase      string
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("serve: circuit open for tenant %q phase %s (retry after %s)",
+		e.Tenant, e.Phase, e.RetryAfter.Round(time.Millisecond))
+}
+
+type breakerConfig struct {
+	// threshold is the consecutive-failure count that opens the
+	// circuit; <= 0 disables the breaker.
+	threshold int
+	// cooldown is how long an open circuit rejects before letting one
+	// probe through (half-open).
+	cooldown time.Duration
+}
+
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is a classic closed → open → half-open circuit breaker
+// driven by consecutive failures. Injected faults and real errors
+// count alike — the breaker reacts to outcomes, not causes.
+type breaker struct {
+	cfg breakerConfig
+
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	return &breaker{cfg: cfg}
+}
+
+// allow reports whether a request may enter the guarded phase. In the
+// open state it rejects until the cooldown elapses, then admits a
+// single probe (half-open); further requests are rejected until the
+// probe reports back.
+func (b *breaker) allow(tenant string, p phase, now time.Time) error {
+	if b.cfg.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if wait := b.cfg.cooldown - now.Sub(b.openedAt); wait > 0 {
+			return &BreakerOpenError{Tenant: tenant, Phase: p.String(), RetryAfter: wait}
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return &BreakerOpenError{Tenant: tenant, Phase: p.String(), RetryAfter: b.cfg.cooldown}
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// record feeds one outcome back. Success closes the circuit and
+// resets the failure run; failure re-opens it immediately from
+// half-open, or after threshold consecutive failures from closed.
+func (b *breaker) record(err error, now time.Time) {
+	if b.cfg.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = breakerClosed
+		b.failures = 0
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.cfg.threshold {
+		b.state = breakerOpen
+		b.openedAt = now
+		b.failures = 0
+		b.probing = false
+	}
+}

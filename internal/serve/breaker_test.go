@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 3, cooldown: time.Second})
+	now := time.Unix(1000, 0)
+	boom := errors.New("boom")
+	for i := 0; i < 2; i++ {
+		b.record(boom, now)
+		if err := b.allow("t1", phaseReplay, now); err != nil {
+			t.Fatalf("closed below threshold after %d failures: %v", i+1, err)
+		}
+	}
+	b.record(boom, now)
+	err := b.allow("t1", phaseReplay, now)
+	var be *BreakerOpenError
+	if !errors.As(err, &be) {
+		t.Fatalf("after threshold: err = %v, want BreakerOpenError", err)
+	}
+	if be.Tenant != "t1" || be.Phase != "replay" || be.RetryAfter <= 0 {
+		t.Errorf("error not fully typed: %+v", be)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 1, cooldown: time.Second})
+	now := time.Unix(1000, 0)
+	b.record(errors.New("boom"), now)
+	if err := b.allow("t1", phaseStore, now); err == nil {
+		t.Fatal("open circuit admitted during cooldown")
+	}
+	// Cooldown elapsed: exactly one probe gets through.
+	later := now.Add(2 * time.Second)
+	if err := b.allow("t1", phaseStore, later); err != nil {
+		t.Fatalf("half-open probe rejected: %v", err)
+	}
+	if err := b.allow("t1", phaseStore, later); err == nil {
+		t.Fatal("second request admitted while probe outstanding")
+	}
+	// Probe success closes the circuit fully.
+	b.record(nil, later)
+	for i := 0; i < 3; i++ {
+		if err := b.allow("t1", phaseStore, later); err != nil {
+			t.Fatalf("closed circuit rejecting: %v", err)
+		}
+	}
+}
+
+func TestBreakerReopensOnProbeFailure(t *testing.T) {
+	b := newBreaker(breakerConfig{threshold: 2, cooldown: time.Second})
+	now := time.Unix(1000, 0)
+	boom := errors.New("boom")
+	b.record(boom, now)
+	b.record(boom, now)
+	later := now.Add(2 * time.Second)
+	if err := b.allow("t1", phaseDecode, later); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	// A single probe failure re-opens immediately (no threshold run).
+	b.record(boom, later)
+	if err := b.allow("t1", phaseDecode, later.Add(time.Millisecond)); err == nil {
+		t.Fatal("circuit closed after failed probe")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := newBreaker(breakerConfig{})
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		b.record(errors.New("boom"), now)
+	}
+	if err := b.allow("t1", phaseReplay, now); err != nil {
+		t.Fatalf("disabled breaker rejecting: %v", err)
+	}
+}
+
+// TestBreakerPerTenantIsolation: one tenant's open circuit leaves a
+// neighbour's closed — they are distinct breaker instances in the
+// tenant table.
+func TestBreakerPerTenantIsolation(t *testing.T) {
+	tt := newTenantTable(nil, TenantConfig{}, breakerConfig{threshold: 1, cooldown: time.Minute})
+	bad, good := tt.get("bad"), tt.get("good")
+	now := time.Unix(1000, 0)
+	bad.breakers[phaseReplay].record(errors.New("boom"), now)
+	if err := bad.breakers[phaseReplay].allow("bad", phaseReplay, now); err == nil {
+		t.Fatal("bad tenant's circuit should be open")
+	}
+	if err := good.breakers[phaseReplay].allow("good", phaseReplay, now); err != nil {
+		t.Fatalf("good tenant's circuit tripped by neighbour: %v", err)
+	}
+}

@@ -1,0 +1,340 @@
+// Live-server chaos drills: every serving-path fault site × every
+// kind it honors × 8 seeds, against a real listener with real
+// concurrent traffic. Each drill asserts the survivability contract:
+//
+//   - the victim tenant gets the *right* typed error (or a degraded
+//     success where the design says the fault must be absorbed),
+//   - a bystander tenant submitting concurrently is never affected,
+//   - once the fault clears, a retry succeeds with a bit-identical
+//     result hash,
+//   - no goroutine and no file descriptor leaks across the matrix.
+//
+// TestServeChaosCoversEverySite plays the same completeness role as
+// exp's TestChaosCoversEverySite: registering a serving site without
+// a drill here fails the suite. (The exp harness delegates "serve.*"
+// sites to this file — serve builds on exp, so the drills must live
+// on this side of the import edge.)
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"edb/internal/fault"
+	"edb/internal/serve"
+	"edb/internal/serve/loadgen"
+)
+
+// drillOutcome is what a fired fault must do to the victim's request.
+type drillOutcome int
+
+const (
+	// outcomeTypedError: the request fails with an HTTP error whose
+	// body carries injected=true and the fault's kind.
+	outcomeTypedError drillOutcome = iota
+	// outcomeBadRequest: corruption caught by the CRC framing — a 400
+	// whose message points at the framing, not an internal error.
+	outcomeBadRequest
+	// outcomeDegraded: the fault is absorbed (store degradation) and
+	// the request succeeds with the baseline result hash.
+	outcomeDegraded
+	// outcomeTruncatedStream: the HTTP status was already committed,
+	// so the error arrives in-band and the stream ends trailerless.
+	outcomeTruncatedStream
+)
+
+// serveDrills declares, for every serving fault site, the kinds it
+// honors and the contractual outcome when the fault fires.
+var serveDrills = map[fault.Site]struct {
+	kinds   []fault.Kind
+	outcome drillOutcome
+}{
+	fault.SiteServeDecode:        {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeTypedError},
+	fault.SiteServeDecodeCorrupt: {[]fault.Kind{fault.Corrupt}, outcomeBadRequest},
+	fault.SiteServeAdmit:         {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeTypedError},
+	fault.SiteServeReplay:        {[]fault.Kind{fault.Transient, fault.Permanent, fault.Panic}, outcomeTypedError},
+	fault.SiteServeStoreRead:     {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeDegraded},
+	fault.SiteServeStoreWrite:    {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeDegraded},
+	fault.SiteServeRespond:       {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeTruncatedStream},
+}
+
+// TestServeChaosCoversEverySite fails when a serving site is
+// registered without a live drill (and when a drill goes stale).
+func TestServeChaosCoversEverySite(t *testing.T) {
+	n := 0
+	for _, s := range fault.Sites() {
+		if !strings.HasPrefix(string(s), "serve.") {
+			continue
+		}
+		n++
+		if _, ok := serveDrills[s]; !ok {
+			t.Errorf("serving fault site %q has no live drill: add it to serveDrills", s)
+		}
+	}
+	if len(serveDrills) != n {
+		t.Errorf("serveDrills has %d entries for %d serve.* sites (stale entry?)", len(serveDrills), n)
+	}
+}
+
+const chaosSeeds = 8
+
+// drillPayload is the drill workload: the test trace truncated to its
+// early events, so each replay costs little and the matrix (7 sites ×
+// kinds × 8 seeds, several submissions each) stays fast on one core.
+var (
+	drillOnce  sync.Once
+	drillBytes []byte
+	drillErr   error
+)
+
+func drillPayload(t *testing.T) []byte {
+	t.Helper()
+	tr, _ := testWorkload(t)
+	drillOnce.Do(func() {
+		small := *tr
+		if len(small.Events) > 4000 {
+			small.Events = small.Events[:4000]
+		}
+		drillBytes, drillErr = loadgen.EncodeTrace(&small, 3)
+	})
+	if drillErr != nil {
+		t.Fatal(drillErr)
+	}
+	return drillBytes
+}
+
+// TestServeChaosDrills runs the full matrix. Drills are sequential:
+// fault plans are process-global.
+func TestServeChaosDrills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drills are not -short")
+	}
+	payload := drillPayload(t)
+	fdsBefore := openFDs(t)
+	goroutinesBefore := runtime.NumGoroutine()
+
+	for _, site := range fault.Sites() {
+		spec, ok := serveDrills[site]
+		if !ok {
+			continue
+		}
+		for _, kind := range spec.kinds {
+			t.Run(fmt.Sprintf("%s/%s", site, kind), func(t *testing.T) {
+				// One server and one pair of fault-free baselines for
+				// the whole seed sweep: drills only vary the plan.
+				srv := startServer(t, serve.Config{Workers: 2, Retries: 0})
+				victim, bystander := client(srv, "victim"), client(srv, "bystander")
+				vBase := victim.Submit(context.Background(), victimHdr(), payload)
+				bBase := bystander.Submit(context.Background(), bystanderHdr(), payload)
+				if vBase.Failed() || bBase.Failed() {
+					t.Fatalf("baseline failed: victim=%v bystander=%v", vBase.Err, bBase.Err)
+				}
+				for seed := int64(0); seed < chaosSeeds; seed++ {
+					runDrill(t, srv, site, kind, spec.outcome, seed, payload, vBase, bBase)
+				}
+			})
+		}
+	}
+
+	// The whole matrix must leak nothing.
+	settle := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore && time.Now().Before(settle) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > goroutinesBefore {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak across drills: %d before, %d after\n%s",
+			goroutinesBefore, after, buf[:runtime.Stack(buf, true)])
+	}
+	if fdsAfter := openFDs(t); fdsAfter > fdsBefore+2 {
+		t.Errorf("fd leak across drills: %d before, %d after", fdsBefore, fdsAfter)
+	}
+}
+
+// victimHdr and bystanderHdr give the two tenants distinct specs:
+// identical submissions share a single-flight by design, which would
+// couple the tenants' fates. Isolation is asserted for distinct
+// content.
+func victimHdr() *serve.RequestHeader { return &serve.RequestHeader{} }
+func bystanderHdr() *serve.RequestHeader {
+	return &serve.RequestHeader{Sessions: serve.SessionSpec{MaxSessions: 7}}
+}
+
+// runDrill executes one (site, kind, seed) cell of the matrix against
+// the shared drill server. Retries are off on that server: the drill
+// asserts the raw typed error; retry absorption has its own test.
+func runDrill(t *testing.T, srv *serve.Server, site fault.Site, kind fault.Kind, outcome drillOutcome, seed int64, payload []byte, vBase, bBase *loadgen.Result) {
+	t.Helper()
+	victim, bystander := client(srv, "victim"), client(srv, "bystander")
+
+	// Arm: one-shot fault on the victim's key, firing on the
+	// (seed%2+1)-th matching invocation — seeds vary both the plan
+	// seed and which invocation faults.
+	plan := fault.NewPlan(seed, fault.Rule{
+		Site: site, Key: "victim", Kind: kind, After: uint64(seed % 2), Times: 1,
+	})
+	fault.Activate(plan)
+	defer fault.Deactivate()
+
+	// Submit until the plan fires (After submissions pass untouched),
+	// with a concurrent bystander alongside every attempt.
+	var fired *loadgen.Result
+	for attempt := 0; attempt < 6 && fired == nil; attempt++ {
+		bres := make(chan *loadgen.Result, 1)
+		go func() {
+			bres <- bystander.Submit(context.Background(), bystanderHdr(), payload)
+		}()
+		res := victim.Submit(context.Background(), victimHdr(), payload)
+		if b := <-bres; b.Failed() || b.ResultSHA != bBase.ResultSHA {
+			t.Fatalf("seed %d: bystander perturbed by victim's %s fault: code=%d err=%v sha match=%v",
+				seed, kind, b.Code, b.Err, b.ResultSHA == bBase.ResultSHA)
+		}
+		if plan.Fired(site) > 0 {
+			fired = res
+		} else if res.Failed() {
+			t.Fatalf("seed %d: victim failed before the fault fired: code=%d err=%v", seed, res.Code, res.Err)
+		}
+	}
+	if fired == nil {
+		t.Fatalf("seed %d: fault never fired at %s", seed, site)
+	}
+
+	assertOutcome(t, site, kind, outcome, seed, fired, vBase.ResultSHA)
+
+	// Fault cleared: the victim's retry succeeds bit-identically.
+	fault.Deactivate()
+	retry := victim.Submit(context.Background(), victimHdr(), payload)
+	if retry.Failed() || retry.ResultSHA != vBase.ResultSHA {
+		t.Fatalf("seed %d: post-fault retry not bit-identical: err=%v sha match=%v",
+			seed, retry.Err, retry.ResultSHA == vBase.ResultSHA)
+	}
+}
+
+// assertOutcome checks the victim's result against the site's
+// contractual outcome.
+func assertOutcome(t *testing.T, site fault.Site, kind fault.Kind, outcome drillOutcome, seed int64, res *loadgen.Result, baseSHA string) {
+	t.Helper()
+	switch outcome {
+	case outcomeTypedError:
+		if !res.Failed() {
+			t.Fatalf("seed %d: %s %s fault fired yet request succeeded", seed, site, kind)
+		}
+		if !res.Injected || res.Kind != kind.String() {
+			t.Fatalf("seed %d: error not typed: injected=%v kind=%q want %q (err %v)",
+				seed, res.Injected, res.Kind, kind, res.Err)
+		}
+		wantCode := http.StatusInternalServerError
+		if kind == fault.Transient {
+			wantCode = http.StatusServiceUnavailable
+		}
+		if res.Code != wantCode {
+			t.Fatalf("seed %d: code = %d, want %d for %s", seed, res.Code, wantCode, kind)
+		}
+	case outcomeBadRequest:
+		if res.Code != http.StatusBadRequest {
+			t.Fatalf("seed %d: corrupted envelope: code = %d (err %v), want 400", seed, res.Code, res.Err)
+		}
+		if res.Err == nil || !strings.Contains(res.Err.Error(), "at byte") {
+			t.Fatalf("seed %d: corruption error lacks a byte offset: %v", seed, res.Err)
+		}
+	case outcomeDegraded:
+		if res.Failed() {
+			t.Fatalf("seed %d: %s fault must degrade, not fail: code=%d err=%v", seed, site, res.Code, res.Err)
+		}
+		if res.ResultSHA != baseSHA {
+			t.Fatalf("seed %d: degraded result not bit-identical", seed)
+		}
+	case outcomeTruncatedStream:
+		if !res.Failed() || res.Code != http.StatusOK {
+			t.Fatalf("seed %d: respond fault: code=%d err=%v, want committed 200 + in-band error",
+				seed, res.Code, res.Err)
+		}
+		if !res.Injected || res.Kind != kind.String() {
+			t.Fatalf("seed %d: in-band error not typed: injected=%v kind=%q (err %v)",
+				seed, res.Injected, res.Kind, res.Err)
+		}
+	}
+}
+
+// TestServeChaosRetryAbsorbsTransient: with a retry budget, a
+// one-shot transient replay fault is invisible to the client — and
+// the recovered result is bit-identical to the fault-free baseline.
+func TestServeChaosRetryAbsorbsTransient(t *testing.T) {
+	payload := drillPayload(t)
+	srv := startServer(t, serve.Config{Retries: 2, RetryBackoff: time.Millisecond})
+	c := client(srv, "victim")
+	base := c.Submit(context.Background(), &serve.RequestHeader{}, payload)
+	if base.Failed() {
+		t.Fatal(base.Err)
+	}
+	for seed := int64(0); seed < chaosSeeds; seed++ {
+		plan := fault.NewPlan(seed, fault.Rule{
+			Site: fault.SiteServeReplay, Key: "victim", Kind: fault.Transient, Times: 1,
+		})
+		fault.Activate(plan)
+		res := c.Submit(context.Background(), &serve.RequestHeader{}, payload)
+		fault.Deactivate()
+		if plan.Fired(fault.SiteServeReplay) == 0 {
+			t.Fatalf("seed %d: transient fault never fired", seed)
+		}
+		if res.Failed() {
+			t.Fatalf("seed %d: retry did not absorb one-shot transient: %v", seed, res.Err)
+		}
+		if res.ResultSHA != base.ResultSHA {
+			t.Fatalf("seed %d: recovered result differs from baseline", seed)
+		}
+	}
+}
+
+// TestServeChaosBreakerTrips: a tenant hammered by permanent faults
+// trips its replay breaker — subsequent requests shed fast with a
+// typed BreakerOpen 503 — while a neighbour keeps replaying.
+func TestServeChaosBreakerTrips(t *testing.T) {
+	payload := drillPayload(t)
+	srv := startServer(t, serve.Config{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+	})
+	fault.Activate(fault.NewPlan(1, fault.Rule{
+		Site: fault.SiteServeReplay, Key: "doomed", Kind: fault.Permanent,
+	}))
+	defer fault.Deactivate()
+	doomed := client(srv, "doomed")
+	// Distinct specs each time: dedupe must not mask the failures.
+	for i := 0; i < 2; i++ {
+		res := doomed.Submit(context.Background(), &serve.RequestHeader{
+			Sessions: serve.SessionSpec{MaxSessions: i + 1},
+		}, payload)
+		if !res.Failed() {
+			t.Fatalf("request %d should have failed", i)
+		}
+	}
+	shed := doomed.Submit(context.Background(), &serve.RequestHeader{
+		Sessions: serve.SessionSpec{MaxSessions: 9},
+	}, payload)
+	if shed.Code != http.StatusServiceUnavailable || shed.Err == nil ||
+		!strings.Contains(shed.Err.Error(), "circuit open") {
+		t.Fatalf("breaker did not trip: code=%d err=%v", shed.Code, shed.Err)
+	}
+	// The neighbour's breaker is its own.
+	if ok := client(srv, "fine").Submit(context.Background(), &serve.RequestHeader{}, payload); ok.Failed() {
+		t.Fatalf("neighbour caught the open circuit: %v", ok.Err)
+	}
+}
+
+// openFDs counts this process's open file descriptors (linux).
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skip("no /proc/self/fd on this platform")
+	}
+	return len(ents)
+}

@@ -1,0 +1,80 @@
+// Corpus regeneration for FuzzServeRequest, mirroring
+// internal/trace/corpusgen_test.go: checked-in seeds are derived from
+// real workload traces so the fuzzer starts from envelopes the server
+// would actually accept, not just the synthetic in-memory seeds.
+package serve_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"edb/internal/serve"
+	"edb/internal/serve/loadgen"
+	"edb/internal/trace"
+)
+
+// TestGenerateServeFuzzCorpus regenerates the checked-in
+// FuzzServeRequest seed corpus under testdata/fuzz/FuzzServeRequest:
+// full, subset-spec, and hash-only envelopes wrapping a truncated
+// real workload trace in both wire formats. Skipped unless
+// EDB_REGEN_FUZZ_CORPUS=1 — the corpus is a committed artifact, not a
+// per-run output.
+func TestGenerateServeFuzzCorpus(t *testing.T) {
+	if os.Getenv("EDB_REGEN_FUZZ_CORPUS") == "" {
+		t.Skip("set EDB_REGEN_FUZZ_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzServeRequest")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	full, err := loadgen.BuildTrace("qcd", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := *full
+	if len(small.Events) > 256 {
+		small.Events = small.Events[:256]
+	}
+	write := func(name string, env []byte) {
+		entry := "go test fuzz v1\n[]byte(" + strconv.Quote(string(env)) + ")\n"
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(env))
+	}
+	envelope := func(hdr *serve.RequestHeader, tb []byte) []byte {
+		var buf bytes.Buffer
+		if err := serve.EncodeRequest(&buf, hdr, tb); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, v := range []struct {
+		version int
+		suffix  string
+	}{{2, "v2"}, {3, "v3"}} {
+		tb, err := loadgen.EncodeTrace(&small, v.version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr := &serve.RequestHeader{Program: small.Program}
+		write("workload-qcd-"+v.suffix, envelope(hdr, tb))
+		subset := &serve.RequestHeader{
+			Program:  small.Program,
+			Sessions: serve.SessionSpec{Types: []string{"global"}, MaxSessions: 5},
+			Shards:   2,
+		}
+		write("workload-qcd-subset-"+v.suffix, envelope(subset, tb))
+		hashOnly := &serve.RequestHeader{ContentSHA256: serve.HashRequest(hdr, tb)}
+		write("workload-qcd-hashonly-"+v.suffix, envelope(hashOnly, nil))
+	}
+}
+
+// Interface check: the corpus must stay decodable by the current
+// decoder — regen fails loudly if the formats drift apart.
+var _ = trace.Read

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edb/internal/fault"
+)
+
+// transientAttempt returns an attempt function that fails with an
+// injected transient fault for the first n calls, then succeeds.
+func transientAttempt(n int) (func(ctx context.Context) (*Artifact, error), *atomic.Int64) {
+	var calls atomic.Int64
+	return func(ctx context.Context) (*Artifact, error) {
+		if c := calls.Add(1); c <= int64(n) {
+			if err := fault.Inject(fault.SiteServeReplay, "unit"); err != nil {
+				return nil, err
+			}
+		}
+		return testArtifact(hashLike(0x42)), nil
+	}, &calls
+}
+
+func TestDispatchRetriesTransient(t *testing.T) {
+	fault.Activate(fault.NewPlan(0, fault.Rule{
+		Site: fault.SiteServeReplay, Key: "unit", Kind: fault.Transient, Times: 2,
+	}))
+	defer fault.Deactivate()
+	d := newDispatcher(3, time.Millisecond, 0, 1)
+	attempt, calls := transientAttempt(2)
+	art, err := d.run(context.Background(), "unit", attempt)
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if art == nil || calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3 (two transient failures + success)", calls.Load())
+	}
+}
+
+func TestDispatchStopsOnPermanent(t *testing.T) {
+	fault.Activate(fault.NewPlan(0, fault.Rule{
+		Site: fault.SiteServeReplay, Key: "unit", Kind: fault.Permanent,
+	}))
+	defer fault.Deactivate()
+	d := newDispatcher(5, time.Millisecond, 0, 1)
+	attempt, calls := transientAttempt(100)
+	_, err := d.run(context.Background(), "unit", attempt)
+	if err == nil || fault.IsTransient(err) || !fault.IsInjected(err) {
+		t.Fatalf("err = %v, want injected permanent", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("permanent error was retried: %d attempts", calls.Load())
+	}
+}
+
+func TestDispatchRetriesExhausted(t *testing.T) {
+	fault.Activate(fault.NewPlan(0, fault.Rule{
+		Site: fault.SiteServeReplay, Key: "unit", Kind: fault.Transient,
+	}))
+	defer fault.Deactivate()
+	d := newDispatcher(2, time.Millisecond, 0, 1)
+	attempt, calls := transientAttempt(100)
+	_, err := d.run(context.Background(), "unit", attempt)
+	if err == nil || !fault.IsTransient(err) {
+		t.Fatalf("err = %v, want transient after exhaustion", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("attempts = %d, want 3 (initial + 2 retries)", calls.Load())
+	}
+}
+
+// TestDispatchContainsPanic: a Panic-kind injection inside an attempt
+// becomes a typed ReplayPanicError that still reads as injected.
+func TestDispatchContainsPanic(t *testing.T) {
+	fault.Activate(fault.NewPlan(0, fault.Rule{
+		Site: fault.SiteServeReplay, Key: "unit", Kind: fault.Panic,
+	}))
+	defer fault.Deactivate()
+	d := newDispatcher(0, time.Millisecond, 0, 1)
+	attempt, _ := transientAttempt(100)
+	_, err := d.run(context.Background(), "unit", attempt)
+	var pe *ReplayPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want ReplayPanicError", err)
+	}
+	if !fault.IsInjected(err) {
+		t.Errorf("containment hides the injected fault: %v", err)
+	}
+}
+
+// TestDispatchDeadlineCutsBackoff: an expiring context interrupts the
+// backoff sleep promptly instead of sleeping through it.
+func TestDispatchDeadlineCutsBackoff(t *testing.T) {
+	fault.Activate(fault.NewPlan(0, fault.Rule{
+		Site: fault.SiteServeReplay, Key: "unit", Kind: fault.Transient,
+	}))
+	defer fault.Deactivate()
+	d := newDispatcher(3, time.Hour, 0, 1) // absurd backoff: only cancellation ends it
+	attempt, _ := transientAttempt(100)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := d.run(ctx, "unit", attempt)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("backoff ignored cancellation: took %s", elapsed)
+	}
+}
+
+// TestDispatchHedgeWins: with the primary attempt wedged, the hedge
+// fires and delivers the result; both lanes compute the same artifact
+// so whichever wins is correct.
+func TestDispatchHedgeWins(t *testing.T) {
+	d := newDispatcher(0, time.Millisecond, 5*time.Millisecond, 1)
+	var calls atomic.Int64
+	attempt := func(ctx context.Context) (*Artifact, error) {
+		if calls.Add(1) == 1 {
+			// Primary lane: wedge until canceled by the hedge's win.
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return testArtifact(hashLike(0x42)), nil
+	}
+	art, err := d.run(context.Background(), "unit", attempt)
+	if err != nil {
+		t.Fatalf("hedged run failed: %v", err)
+	}
+	if art.RequestSHA != hashLike(0x42) {
+		t.Errorf("wrong artifact from hedge")
+	}
+	if calls.Load() != 2 {
+		t.Errorf("lanes launched = %d, want 2", calls.Load())
+	}
+}
+
+// TestDispatchHedgeIdenticalResults: when both lanes complete, the
+// first result wins and equals what the loser would have produced —
+// determinism makes the race benign.
+func TestDispatchHedgeIdenticalResults(t *testing.T) {
+	d := newDispatcher(0, time.Millisecond, 0, 1) // hedging off: baseline
+	base, err := d.run(context.Background(), "unit", func(ctx context.Context) (*Artifact, error) {
+		return testArtifact(hashLike(0x42)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dh := newDispatcher(0, time.Millisecond, time.Microsecond, 1) // hedge almost immediately
+	hedged, err := dh.run(context.Background(), "unit", func(ctx context.Context) (*Artifact, error) {
+		return testArtifact(hashLike(0x42)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ResultSHA != hedged.ResultSHA {
+		t.Errorf("hedged result differs: %s vs %s", base.ResultSHA, hedged.ResultSHA)
+	}
+}

@@ -1,0 +1,61 @@
+// Workload construction: compile and trace a named benchmark
+// in-process and encode it as an upload payload. The soak gate, the
+// chaos drills, and edb-serve's self-test all feed the server real
+// traces built this way.
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+
+	"edb/internal/arch"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+	"edb/internal/progs"
+	"edb/internal/trace"
+	"edb/internal/tracer"
+)
+
+// BuildTrace compiles and traces the named benchmark at the given
+// scale, returning the trace.
+func BuildTrace(name string, scale int) (*trace.Trace, error) {
+	p, err := progs.ByName(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	img, err := minic.CompileToImage(p.Source)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: compiling %s: %w", name, err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: booting %s: %w", name, err)
+	}
+	tr, err := tracer.New(m, name).Run(p.Fuel)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: tracing %s: %w", name, err)
+	}
+	if m.CPU.ExitCode != 0 {
+		return nil, fmt.Errorf("loadgen: %s exited with %d", name, m.CPU.ExitCode)
+	}
+	return tr, nil
+}
+
+// EncodeTrace renders a trace as an upload payload in the requested
+// format version (2 or 3).
+func EncodeTrace(tr *trace.Trace, version int) ([]byte, error) {
+	var buf bytes.Buffer
+	switch version {
+	case 2:
+		if err := tr.Write(&buf); err != nil {
+			return nil, err
+		}
+	case 3:
+		if err := tr.WriteV3(&buf); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unsupported trace format v%d", version)
+	}
+	return buf.Bytes(), nil
+}

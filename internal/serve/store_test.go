@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"edb/internal/sim"
+)
+
+func testArtifact(hash string) *Artifact {
+	a := &Artifact{
+		RequestSHA: hash,
+		Program:    "store-test",
+		NumEvents:  10,
+		Sessions: []SessionResult{
+			{Index: 3, Type: "OneHeap", Label: "OneHeap(heap#1)", Counting: sim.Counting{Hits: 7}},
+		},
+	}
+	a.ResultSHA = resultHash(a.Sessions)
+	return a
+}
+
+func hashLike(seed byte) string {
+	return strings.Repeat(fmt.Sprintf("%02x", seed), 32)
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashLike(0xaa)
+	if _, ok := s.Get(h); ok {
+		t.Fatal("empty store claims a hit")
+	}
+	leader, _, commit, _ := s.Begin(h)
+	if !leader {
+		t.Fatal("first Begin is not leader")
+	}
+	if err := commit(testArtifact(h), true); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(h)
+	if !ok || got.ResultSHA != testArtifact(h).ResultSHA || got.Sessions[0].Index != 3 {
+		t.Fatalf("artifact did not round-trip: ok=%v got=%+v", ok, got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len() = %d, want 1", s.Len())
+	}
+}
+
+// TestStoreSingleFlight: N concurrent submissions of one hash compute
+// once; followers receive the leader's artifact.
+func TestStoreSingleFlight(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashLike(0xbb)
+	leader, _, commit, _ := s.Begin(h)
+	if !leader {
+		t.Fatal("first Begin is not leader")
+	}
+	const followers = 8
+	var wg sync.WaitGroup
+	results := make([]*Artifact, followers)
+	// Register every follower on the flight before the leader commits,
+	// then let them wait concurrently.
+	for i := 0; i < followers; i++ {
+		lead, wait, _, _ := s.Begin(h)
+		if lead {
+			t.Fatal("follower became leader while flight open")
+		}
+		wg.Add(1)
+		go func(i int, wait func(context.Context) (*Artifact, error)) {
+			defer wg.Done()
+			art, err := wait(context.Background())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = art
+		}(i, wait)
+	}
+	// Commit without persisting (the degraded path).
+	commit(testArtifact(h), false)
+	wg.Wait()
+	for i, art := range results {
+		if art == nil || art.RequestSHA != h {
+			t.Fatalf("follower %d got %+v", i, art)
+		}
+	}
+	// persist=false means the disk never saw it.
+	if s.Len() != 0 {
+		t.Errorf("uncached commit persisted: Len() = %d", s.Len())
+	}
+	// The flight is closed: a new Begin leads again.
+	leader, _, _, fail := s.Begin(h)
+	if !leader {
+		t.Fatal("flight not closed after commit")
+	}
+	fail(errors.New("abandon"))
+}
+
+// TestStoreLeaderFailureNotCached: a failed flight propagates its
+// error to waiters and caches nothing.
+func TestStoreLeaderFailureNotCached(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashLike(0xcc)
+	_, _, _, fail := s.Begin(h)
+	_, wait, _, _ := s.Begin(h)
+	boom := errors.New("boom")
+	go fail(boom)
+	if _, err := wait(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("waiter error = %v, want boom", err)
+	}
+	if _, ok := s.Get(h); ok {
+		t.Error("failure was cached")
+	}
+}
+
+// TestStoreCrashRecovery is the kill -9 drill: a store directory
+// littered with safeio temp files (a write cut down mid-flight) and
+// corrupt or mislabelled artifacts must reopen cleanly, serve the
+// valid entries, and read the damaged ones as misses.
+func TestStoreCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := hashLike(0xdd)
+	_, _, commit, _ := s.Begin(good)
+	if err := commit(testArtifact(good), true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the crash debris: an orphaned temp file, a torn JSON
+	// artifact, and an artifact filed under the wrong hash.
+	tmp := filepath.Join(dir, good+".json.tmp-12345")
+	if err := os.WriteFile(tmp, []byte(`{"request_sha":"`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	torn := hashLike(0xee)
+	if err := os.WriteFile(filepath.Join(dir, torn+".json"), []byte(`{"request_`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mislabelled := hashLike(0xff)
+	wrong := testArtifact(hashLike(0x11))
+	if err := os.WriteFile(filepath.Join(dir, mislabelled+".json"), mustJSON(t, wrong), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("orphaned temp file survived recovery")
+	}
+	if _, ok := s2.Get(good); !ok {
+		t.Error("valid artifact lost in recovery")
+	}
+	if _, ok := s2.Get(torn); ok {
+		t.Error("torn artifact served")
+	}
+	if _, ok := s2.Get(mislabelled); ok {
+		t.Error("mislabelled artifact served")
+	}
+}
+
+func mustJSON(t *testing.T, a *Artifact) []byte {
+	t.Helper()
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -1,0 +1,146 @@
+// Per-tenant policy: token-bucket rate limits and in-flight quotas.
+// Tenancy is declared per request (X-EDB-Tenant header); the server
+// holds one tenantState per tenant name, lazily created, so policy is
+// enforced before any request byte is decoded. A tenant that exhausts
+// its own bucket or quota is the only tenant that feels it — the
+// shared worker pool behind admission is protected separately.
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// TenantConfig is the per-tenant policy knob set.
+type TenantConfig struct {
+	// RatePerSec is the token-bucket refill rate; <= 0 disables rate
+	// limiting for the tenant.
+	RatePerSec float64
+	// Burst is the bucket depth; < 1 is clamped to max(1, RatePerSec).
+	Burst float64
+	// MaxInFlight caps the tenant's concurrently-admitted requests
+	// (the quota); <= 0 means unlimited.
+	MaxInFlight int
+}
+
+// QuotaError reports a tenant-local rejection (rate limit or
+// in-flight quota). The server maps it to 429 with Retry-After.
+type QuotaError struct {
+	Tenant     string
+	Reason     string // "rate" or "quota"
+	RetryAfter time.Duration
+}
+
+// Error implements the error interface.
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("serve: tenant %q over %s limit (retry after %s)",
+		e.Tenant, e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// tenantState is the server's live record for one tenant: its token
+// bucket, quota count, and per-phase circuit breakers.
+type tenantState struct {
+	name string
+	cfg  TenantConfig
+
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	inFlight int
+
+	breakers [numPhases]*breaker
+}
+
+func newTenantState(name string, cfg TenantConfig, bcfg breakerConfig) *tenantState {
+	if cfg.Burst < 1 {
+		cfg.Burst = math.Max(1, cfg.RatePerSec)
+	}
+	t := &tenantState{name: name, cfg: cfg, tokens: cfg.Burst}
+	for p := range t.breakers {
+		t.breakers[p] = newBreaker(bcfg)
+	}
+	return t
+}
+
+// allow takes one token from the bucket, refilling by elapsed time.
+// On refusal it reports how long until a token is available.
+func (t *tenantState) allow(now time.Time) error {
+	if t.cfg.RatePerSec <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.last.IsZero() {
+		t.tokens = math.Min(t.cfg.Burst, t.tokens+now.Sub(t.last).Seconds()*t.cfg.RatePerSec)
+	}
+	t.last = now
+	if t.tokens >= 1 {
+		t.tokens--
+		return nil
+	}
+	wait := time.Duration((1 - t.tokens) / t.cfg.RatePerSec * float64(time.Second))
+	if wait < time.Millisecond {
+		wait = time.Millisecond
+	}
+	return &QuotaError{Tenant: t.name, Reason: "rate", RetryAfter: wait}
+}
+
+// acquireSlot claims one unit of the tenant's in-flight quota; the
+// caller must releaseSlot on every exit path after success.
+func (t *tenantState) acquireSlot() error {
+	if t.cfg.MaxInFlight <= 0 {
+		t.mu.Lock()
+		t.inFlight++
+		t.mu.Unlock()
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.inFlight >= t.cfg.MaxInFlight {
+		return &QuotaError{Tenant: t.name, Reason: "quota", RetryAfter: 100 * time.Millisecond}
+	}
+	t.inFlight++
+	return nil
+}
+
+func (t *tenantState) releaseSlot() {
+	t.mu.Lock()
+	t.inFlight--
+	t.mu.Unlock()
+}
+
+// tenantTable resolves tenant names to state, creating unknown
+// tenants with the default policy on first sight.
+type tenantTable struct {
+	mu       sync.Mutex
+	tenants  map[string]*tenantState
+	explicit map[string]TenantConfig
+	def      TenantConfig
+	bcfg     breakerConfig
+}
+
+func newTenantTable(explicit map[string]TenantConfig, def TenantConfig, bcfg breakerConfig) *tenantTable {
+	return &tenantTable{
+		tenants:  make(map[string]*tenantState),
+		explicit: explicit,
+		def:      def,
+		bcfg:     bcfg,
+	}
+}
+
+func (tt *tenantTable) get(name string) *tenantState {
+	tt.mu.Lock()
+	defer tt.mu.Unlock()
+	if t, ok := tt.tenants[name]; ok {
+		return t
+	}
+	cfg, ok := tt.explicit[name]
+	if !ok {
+		cfg = tt.def
+	}
+	t := newTenantState(name, cfg, tt.bcfg)
+	tt.tenants[name] = t
+	return t
+}
