@@ -15,6 +15,7 @@
 //	edb-serve -retries 2 -retry-backoff 10ms
 //	edb-serve -hedge-after 250ms           # hedged duplicate dispatch
 //	edb-serve -breaker-threshold 5 -breaker-cooldown 1s
+//	edb-serve -max-body-buffer 8388608     # spool larger bodies to disk
 //	edb-serve -drain-timeout 30s           # SIGTERM grace period
 //	edb-serve -metrics-out final.prom      # metrics snapshot on drain
 //	edb-serve -selftest                    # build a workload, submit it
@@ -65,6 +66,7 @@ func main() {
 		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive failures opening a (tenant, phase) circuit (0 = off)")
 		brkCooldown = flag.Duration("breaker-cooldown", time.Second, "open-circuit cooldown")
 		maxBytes    = flag.Int64("max-request-bytes", 0, "request envelope size cap (0 = 64MiB)")
+		maxBodyBuf  = flag.Int64("max-body-buffer", 0, "in-memory body cap before spooled streaming decode (0 = 8MiB)")
 		tenantCap   = flag.Int("tenant-label-cap", 32, "metrics tenant-label cardinality cap")
 		drainT      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain grace period")
 		metricsOut  = flag.String("metrics-out", "", "write a final Prometheus metrics snapshot here on drain")
@@ -80,6 +82,7 @@ func main() {
 		QueuePerTenant:   *queue,
 		DefaultTenant:    serve.TenantConfig{RatePerSec: *rate, Burst: *burst, MaxInFlight: *maxInflight},
 		MaxRequestBytes:  *maxBytes,
+		MaxBodyBuffer:    *maxBodyBuf,
 		DefaultDeadline:  *deadline,
 		MaxDeadline:      *maxDeadline,
 		Retries:          *retries,

@@ -12,6 +12,8 @@
 //	edb-trace -source prog.mc -o prog.trace     # trace your own mini-C
 //	edb-trace -program gcc -v -o gcc.trace      # phase timeline on stderr
 //	edb-trace -program bps -v3 -o bps.v3.trace  # columnar block format
+//	edb-trace -program gcc -stream -o gcc.v3    # stream v3 blocks while
+//	                                            # tracing; bounded memory
 //	edb-trace -convert old.trace -v3 -o new.v3.trace
 //	edb-trace -convert bps.v3.trace -o bps.trace  # v3 back to v2
 package main
@@ -41,14 +43,19 @@ func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
 	text := flag.Bool("text", false, "write the human-readable text format")
 	v3 := flag.Bool("v3", false, "write the columnar streaming format (trace format v3)")
+	stream := flag.Bool("stream", false,
+		"stream v3 blocks to the output while tracing — the trace is never held in memory (implies -v3)")
 	blockEvents := flag.Int("block-events", trace.DefaultBlockEvents,
-		"events per v3 block (with -v3)")
+		"events per v3 block (with -v3 or -stream)")
 	fuel := flag.Uint64("fuel", 2_000_000_000, "instruction budget")
 	verbose := flag.Bool("v", false, "print a per-phase span timeline to stderr when done")
 	flag.Parse()
 
-	if *text && *v3 {
-		fail(fmt.Errorf("-text and -v3 are mutually exclusive"))
+	if *text && (*v3 || *stream) {
+		fail(fmt.Errorf("-text excludes -v3 and -stream"))
+	}
+	if *stream && *convert != "" {
+		fail(fmt.Errorf("-stream excludes -convert"))
 	}
 
 	// -v wires an obsv tracer around each phase; disabled, the spans
@@ -107,9 +114,14 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		tc := tracer.New(m, name)
+		if *stream {
+			runStreamed(tc, m, name, *out, *blockEvents, *fuel, spans)
+			return
+		}
 		sp = spans.StartSpan("tracegen")
 		sp.Attr("program", name)
-		tr, err = tracer.New(m, name).Run(*fuel)
+		tr, err = tc.Run(*fuel)
 		if err != nil {
 			sp.Attr("error", err.Error())
 			sp.End()
@@ -119,12 +131,14 @@ func main() {
 		sp.End()
 	}
 
-	render := tr.Write
+	render := func(w io.Writer) error { return trace.WriteTo(w, tr, trace.WriteOptions{}) }
 	switch {
 	case *text:
 		render = tr.WriteText
 	case *v3:
-		render = func(w io.Writer) error { return tr.WriteV3Blocks(w, *blockEvents) }
+		render = func(w io.Writer) error {
+			return trace.WriteTo(w, tr, trace.WriteOptions{Version: 3, BlockEvents: *blockEvents})
+		}
 	}
 	sp := spans.StartSpan("write")
 	if *out != "" {
@@ -150,6 +164,58 @@ func main() {
 	ins, rem, wr := tr.Counts()
 	fmt.Fprintf(os.Stderr, "%s: %d objects, %d installs, %d removes, %d writes, %.3f simulated seconds\n",
 		tr.Program, tr.Objects.Len(), ins, rem, wr, tr.BaseSeconds())
+	if spans != nil {
+		if err := spans.WriteText(os.Stderr); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runStreamed is the -stream path: trace and encode in one pass, v3
+// blocks leaving through the incremental writer as the program runs.
+// Peak memory is bounded by the writer's block buffer, so traces far
+// larger than RAM stream straight to disk.
+func runStreamed(tc *tracer.Tracer, m *kernel.Machine, name, out string, blockEvents int, fuel uint64, spans *obsv.Tracer) {
+	var installs, removes, writes, events uint64
+	write := func(w io.Writer) error {
+		tw, err := trace.NewWriter(w, trace.WriterOptions{
+			Program: name, Objects: tc.Objects(), BlockEvents: blockEvents,
+		})
+		if err != nil {
+			return err
+		}
+		if err := tc.RunStreamed(fuel, tw); err != nil {
+			tw.Discard()
+			return err
+		}
+		if err := tw.Close(); err != nil {
+			return err
+		}
+		installs, removes, writes = tw.Counts()
+		events = tw.NumEvents()
+		return nil
+	}
+	sp := spans.StartSpan("tracegen-stream")
+	sp.Attr("program", name)
+	var err error
+	if out != "" {
+		err = safeio.WriteFile(out, write)
+	} else {
+		bw := bufio.NewWriter(os.Stdout)
+		if err = write(bw); err == nil {
+			err = bw.Flush()
+		}
+	}
+	if err != nil {
+		sp.Attr("error", err.Error())
+		sp.End()
+		fail(err)
+	}
+	sp.Int("events", int64(events))
+	sp.End()
+	base := &trace.Trace{Program: name, BaseCycles: m.CPU.Cycles}
+	fmt.Fprintf(os.Stderr, "%s: %d objects, %d installs, %d removes, %d writes, %.3f simulated seconds\n",
+		name, tc.Objects().Len(), installs, removes, writes, base.BaseSeconds())
 	if spans != nil {
 		if err := spans.WriteText(os.Stderr); err != nil {
 			fail(err)

@@ -11,6 +11,9 @@
 //     fault.Site bypasses the chaos harness's site enumeration.
 //   - maporder: ranging over a map while feeding report/result output
 //     is a determinism hazard — collect the keys, sort, then emit.
+//   - legacyapi: the deprecated Trace.Write / WriteV3 / WriteV3Blocks
+//     shims must not gain new callers outside internal/trace — use
+//     trace.WriteTo, or trace.NewWriter for the streaming path.
 //
 // A finding can be suppressed with a directive comment on the
 // offending declaration or the line above the offending statement:
@@ -26,6 +29,7 @@ package edbvet
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -98,6 +102,12 @@ func (l *loader) load(path string) (*Package, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Respect build constraints (//go:build lines and _GOOS/_GOARCH
+		// suffixes) for the host platform, else mutually exclusive files
+		// like mmap_unix.go / mmap_other.go redeclare their symbols.
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -269,6 +279,7 @@ func Run(root string) ([]Finding, error) {
 		findings = append(findings, checkObsvNil(p)...)
 		findings = append(findings, checkFaultSite(p, reg)...)
 		findings = append(findings, checkMapOrder(p)...)
+		findings = append(findings, checkLegacyAPI(p)...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Pos, findings[j].Pos

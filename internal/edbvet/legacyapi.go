@@ -1,0 +1,70 @@
+package edbvet
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// legacyWriteAPIs names the deprecated trace write entry points kept as
+// one-release shims over trace.WriteTo. Non-deprecated code must call
+// WriteTo (or the incremental trace.Writer) instead; the shims exist
+// only so out-of-tree callers get one release of warning.
+var legacyWriteAPIs = map[string]bool{
+	"Write":         true,
+	"WriteV3":       true,
+	"WriteV3Blocks": true,
+}
+
+// isTraceType reports whether t (possibly behind a pointer) is the
+// named type Trace from an internal/trace package.
+func isTraceType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Trace" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/trace")
+}
+
+// checkLegacyAPI flags selections of the deprecated Trace.Write /
+// WriteV3 / WriteV3Blocks methods outside internal/trace — calls and
+// method values alike. The selection table resolves the receiver type,
+// so shadowed names and embedded traces are caught while unrelated
+// Write methods (bytes.Buffer, hash.Hash, ...) are not.
+func checkLegacyAPI(p *Package) []Finding {
+	if strings.HasSuffix(p.Path, "internal/trace") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !legacyWriteAPIs[sel.Sel.Name] {
+				return true
+			}
+			selection, ok := p.Info.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			if !isTraceType(selection.Recv()) {
+				return true
+			}
+			if p.allowed("legacyapi", sel) {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:   p.Fset.Position(sel.Pos()),
+				Check: "legacyapi",
+				Msg: "Trace." + sel.Sel.Name +
+					" is a deprecated shim; use trace.WriteTo (or trace.NewWriter for streaming)",
+			})
+			return true
+		})
+	}
+	return out
+}

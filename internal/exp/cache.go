@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"bytes"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -40,6 +41,16 @@ type artifacts struct {
 	bidx          *trace.BlockIndex
 	storeFraction float64
 	expansion     float64
+
+	// streamSrc is the artifact's interned streamed-replay source: the
+	// trace encoded once as v3 bytes behind a SharedSource, so every
+	// streamed replay of this artifact — any shard count, any repeat —
+	// shares one immutable decoded object table instead of re-decoding
+	// the header per open. Built lazily on first use (most analyses
+	// replay in-memory and never pay for the encode); only successes
+	// are memoised, matching the cache's no-negative-caching rule.
+	streamMu  sync.Mutex
+	streamSrc *trace.SharedSource
 
 	// expansionOpt is the code expansion under the optimized patcher.
 	expansionOpt float64
@@ -106,6 +117,35 @@ func CacheSize() int {
 	cacheMu.Lock()
 	defer cacheMu.Unlock()
 	return len(cache)
+}
+
+// streamSource returns the artifact's interned v3 stream source,
+// encoding the trace at the default blocking on first use.
+func (a *artifacts) streamSource() (*trace.SharedSource, error) {
+	a.streamMu.Lock()
+	defer a.streamMu.Unlock()
+	if a.streamSrc != nil {
+		return a.streamSrc, nil
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteTo(&buf, a.tr, trace.WriteOptions{Version: 3}); err != nil {
+		return nil, fmt.Errorf("exp: encoding %s for streaming: %w", a.tr.Program, err)
+	}
+	a.streamSrc = trace.NewSharedSource(trace.BytesSource(buf.Bytes()))
+	return a.streamSrc, nil
+}
+
+// CachedStreamSource returns the interned streamed-replay source for
+// p's trace, building the compile/trace artifacts (or reusing the
+// cached ones) as needed. Every caller for the same (benchmark, scale)
+// gets the same SharedSource, so all streamed replays of one pipeline
+// share a single decoded object table.
+func CachedStreamSource(p progs.Program) (*trace.SharedSource, error) {
+	art, err := cachedArtifacts(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	return art.streamSource()
 }
 
 func keyFor(p progs.Program) cacheKey {

@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"edb/internal/progs"
+	"edb/internal/sessions"
+	"edb/internal/sim"
+)
+
+// TestCachedStreamSource: the (benchmark, scale) artifact interns one
+// v3-encoded SharedSource — repeated requests get the same source, all
+// opens share one decoded object table, and a streamed replay through
+// it is bit-identical to the in-memory replay of the same trace.
+func TestCachedStreamSource(t *testing.T) {
+	ResetCache()
+	p, err := progs.ByName("bps", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := builds.Load()
+	src, err := CachedStreamSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, err := CachedStreamSource(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src2 != src {
+		t.Error("second request minted a new stream source")
+	}
+	if got := builds.Load() - start; got != 1 {
+		t.Errorf("%d cold builds for two requests, want 1", got)
+	}
+
+	// Every open shares the artifact's single decoded object table.
+	s1, err := src.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := src.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Objects != s2.Objects {
+		t.Error("two opens decoded separate object tables")
+	}
+	s1.Close()
+	s2.Close()
+
+	// Streamed replay through the cached source matches in-memory.
+	art, err := cachedArtifacts(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sessions.Discover(art.tr)
+	want, err := sim.Run(art.tr, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.RunWithOptions(nil, set, sim.Options{Source: src, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.PerSession, want.PerSession) {
+		t.Error("streamed replay diverged from in-memory replay")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"edb/internal/fault"
 	"edb/internal/sessions"
 	"edb/internal/sim"
+	"edb/internal/trace"
 )
 
 // ReplayPanicError wraps a panic recovered from a replay attempt into
@@ -187,20 +188,34 @@ func computeArtifact(tenant string, req *Request) (*Artifact, error) {
 	if err := fault.Inject(fault.SiteServeReplay, tenant); err != nil {
 		return nil, fmt.Errorf("serve: replay: %w", err)
 	}
-	full := sessions.Discover(req.Trace)
+	// Session discovery needs only the object table, so both the
+	// materialised and the spooled shapes feed the same path; the spool
+	// replays through the streamed sim engine instead of in memory.
+	numEvents := 0
+	simTrace, simOpts := req.Trace, sim.Options{Shards: req.Header.Shards}
+	discTrace := req.Trace
+	if st := req.Streamed; st != nil {
+		numEvents = int(st.NumEvents)
+		simTrace = nil
+		simOpts.Source = st.Source
+		discTrace = &trace.Trace{Program: st.Program, Objects: st.Objects}
+	} else {
+		numEvents = len(req.Trace.Events)
+	}
+	full := sessions.Discover(discTrace)
 	chosen, origIndex, err := req.Header.Sessions.Select(full)
 	if err != nil {
 		return nil, err
 	}
 	subset := sessions.NewSet(chosen, full.NumObjects())
-	out, err := sim.RunWithOptions(req.Trace, subset, sim.Options{Shards: req.Header.Shards})
+	out, err := sim.RunWithOptions(simTrace, subset, simOpts)
 	if err != nil {
 		return nil, fmt.Errorf("serve: replay: %w", err)
 	}
 	art := &Artifact{
 		RequestSHA: req.Hash,
-		Program:    req.Trace.Program,
-		NumEvents:  len(req.Trace.Events),
+		Program:    discTrace.Program,
+		NumEvents:  numEvents,
 		Sessions:   make([]SessionResult, len(out.PerSession)),
 	}
 	for i := range out.PerSession {

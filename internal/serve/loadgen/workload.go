@@ -44,18 +44,12 @@ func BuildTrace(name string, scale int) (*trace.Trace, error) {
 // EncodeTrace renders a trace as an upload payload in the requested
 // format version (2 or 3).
 func EncodeTrace(tr *trace.Trace, version int) ([]byte, error) {
-	var buf bytes.Buffer
-	switch version {
-	case 2:
-		if err := tr.Write(&buf); err != nil {
-			return nil, err
-		}
-	case 3:
-		if err := tr.WriteV3(&buf); err != nil {
-			return nil, err
-		}
-	default:
+	if version != 2 && version != 3 {
 		return nil, fmt.Errorf("loadgen: unsupported trace format v%d", version)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteTo(&buf, tr, trace.WriteOptions{Version: version}); err != nil {
+		return nil, err
 	}
 	return buf.Bytes(), nil
 }

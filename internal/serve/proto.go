@@ -173,8 +173,13 @@ type Request struct {
 	// Trace is the decoded trace; nil for a hash-only submission.
 	Trace *trace.Trace
 	// TraceBytes is the raw trace frame payload (the content-hash
-	// input); nil for hash-only submissions.
+	// input); nil for hash-only and spooled submissions.
 	TraceBytes []byte
+	// Streamed is the spooled trace of a submission decoded by
+	// DecodeRequestStream (protostream.go); nil for materialised and
+	// hash-only submissions. Exactly one of Trace and Streamed is set
+	// on a full submission.
+	Streamed *StreamedTrace
 	// Hash is the submission's content address: the hex SHA-256 of the
 	// trace payload concatenated with the canonical session spec and
 	// shard selection. For hash-only submissions it is the declared
@@ -183,7 +188,7 @@ type Request struct {
 }
 
 // HashOnly reports whether the submission carries no trace payload.
-func (r *Request) HashOnly() bool { return r.Trace == nil }
+func (r *Request) HashOnly() bool { return r.Trace == nil && r.Streamed == nil }
 
 // contentHash computes a submission's content address. It covers the
 // trace payload bytes and the canonical replay question (session spec

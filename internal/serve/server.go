@@ -16,6 +16,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -56,6 +57,12 @@ type Config struct {
 	// MaxRequestBytes bounds an uploaded envelope (<= 0 =
 	// DefaultMaxRequestBytes).
 	MaxRequestBytes int64
+	// MaxBodyBuffer bounds how much of a request body is held in
+	// memory (<= 0 = DefaultMaxBodyBuffer). Larger envelopes switch to
+	// the incremental decoder: the trace frame spools to disk and
+	// replays through the streamed engine, so peak memory stays near
+	// this bound however large the upload (up to MaxRequestBytes).
+	MaxBodyBuffer int64
 	// DefaultDeadline applies when the client sends no
 	// X-EDB-Deadline-Ms header (<= 0 = 30s); MaxDeadline caps client
 	// requests (<= 0 = 5m).
@@ -365,14 +372,27 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxRequestBytes
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBytes))
+	maxBuf := s.cfg.MaxBodyBuffer
+	if maxBuf <= 0 {
+		maxBuf = DefaultMaxBodyBuffer
+	}
+	// Read up to the body buffer plus one byte: a body that fits is
+	// decoded in memory exactly as before; one that spills switches to
+	// the incremental decoder, which spools the trace frame to disk.
+	limited := http.MaxBytesReader(w, r.Body, maxBytes)
+	body, err := io.ReadAll(io.LimitReader(limited, maxBuf+1))
 	if err != nil {
 		s.writeErr(w, tenant, http.StatusBadRequest, fmt.Errorf("serve: reading request: %w", err))
 		return
 	}
-	// In-flight corruption happens to the bytes, before decoding — the
-	// CRC framing is what must catch it.
-	fault.Mutate(fault.SiteServeDecodeCorrupt, tenant, body)
+	buffered := int64(len(body)) <= maxBuf
+	if buffered {
+		// In-flight corruption happens to the bytes, before decoding —
+		// the CRC framing is what must catch it. (Spooled bodies are
+		// never fully resident, so the corruption site applies to
+		// buffered ones; the CRC discipline is identical either way.)
+		fault.Mutate(fault.SiteServeDecodeCorrupt, tenant, body)
+	}
 
 	dec := ts.breakers[phaseDecode]
 	if err := dec.allow(tenant, phaseDecode, time.Now()); err != nil {
@@ -383,7 +403,10 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		if err := fault.Inject(fault.SiteServeDecode, tenant); err != nil {
 			return nil, fmt.Errorf("serve: decode: %w", err)
 		}
-		return DecodeRequest(body, maxBytes)
+		if buffered {
+			return DecodeRequest(body, maxBytes)
+		}
+		return DecodeRequestStream(io.MultiReader(bytes.NewReader(body), limited), maxBytes, "")
 	}()
 	dec.record(err, time.Now())
 	if err != nil {
@@ -391,6 +414,7 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, tenant, classifyCode(err), err)
 		return
 	}
+	defer req.Cleanup()
 
 	// Hash-only fast path: serve from the store or a concurrent
 	// identical upload; otherwise tell the client to send the bytes.

@@ -179,6 +179,59 @@ func TestServerDeadline(t *testing.T) {
 	}
 }
 
+// TestServerStreamedReplay: a body over MaxBodyBuffer takes the
+// spooled streaming path and produces a byte-identical result (same
+// ResultSHA, same session count) to the fully-buffered path, and the
+// artifact dedupes across the two decoders because the content hash is
+// computed identically.
+func TestServerStreamedReplay(t *testing.T) {
+	_, payload := testWorkload(t)
+	// Far below the envelope size: every submission here streams.
+	srv := startServer(t, serve.Config{StoreDir: t.TempDir(), MaxBodyBuffer: 1024})
+	buffered := startServer(t, serve.Config{StoreDir: t.TempDir()})
+	hdr := &serve.RequestHeader{Program: "qcd"}
+
+	want := client(buffered, "t").Submit(context.Background(), hdr, payload)
+	if want.Failed() {
+		t.Fatalf("buffered submission failed: code=%d err=%v", want.Code, want.Err)
+	}
+	got := client(srv, "t").Submit(context.Background(), hdr, payload)
+	if got.Failed() {
+		t.Fatalf("streamed submission failed: code=%d err=%v", got.Code, got.Err)
+	}
+	if got.ResultSHA != want.ResultSHA || got.Sessions != want.Sessions {
+		t.Fatalf("streamed result diverges: sha %s vs %s, sessions %d vs %d",
+			got.ResultSHA, want.ResultSHA, got.Sessions, want.Sessions)
+	}
+	if got.Cached {
+		t.Fatal("first streamed submission claims a cache hit")
+	}
+	// Same submission again: the streamed decoder's incremental hash
+	// must land on the stored artifact.
+	again := client(srv, "t").Submit(context.Background(), hdr, payload)
+	if again.Failed() || !again.Cached || again.ResultSHA != want.ResultSHA {
+		t.Fatalf("streamed resubmission: cached=%v sha match=%v err=%v",
+			again.Cached, again.ResultSHA == want.ResultSHA, again.Err)
+	}
+	// Sharded streamed replay agrees too (the decode pipeline path).
+	sharded := client(srv, "t").Submit(context.Background(),
+		&serve.RequestHeader{Program: "qcd", Shards: 3}, payload)
+	if sharded.Failed() || sharded.Sessions != want.Sessions {
+		t.Fatalf("sharded streamed submission: code=%d sessions=%d err=%v",
+			sharded.Code, sharded.Sessions, sharded.Err)
+	}
+	if sharded.ResultSHA != want.ResultSHA {
+		t.Fatalf("sharded streamed result diverges: %s vs %s", sharded.ResultSHA, want.ResultSHA)
+	}
+	// A corrupted envelope through the streaming decoder is still a
+	// typed 400.
+	bad := append([]byte(nil), payload...)
+	bad[len(bad)/2] ^= 0x10
+	if res := client(srv, "t").Submit(context.Background(), hdr, bad); res.Code != http.StatusBadRequest {
+		t.Fatalf("corrupt streamed envelope: code=%d err=%v, want 400", res.Code, res.Err)
+	}
+}
+
 func TestServerBadRequest(t *testing.T) {
 	srv := startServer(t, serve.Config{})
 	resp, err := http.Post("http://"+srv.Addr()+"/v1/replay", "application/octet-stream",

@@ -1,0 +1,190 @@
+package sim
+
+// Block-parallel decode pipeline for sharded streamed replay.
+//
+// Before this pipeline every shard worker opened the source and
+// re-read (and re-CRC-verified, and re-decoded) the whole file; the
+// I/O and decode cost scaled with the shard count. Now the source is
+// opened exactly once: the decoder goroutine (runPipeline's calling
+// goroutine) iterates the stream, decodes each block once, deep-copies
+// it into a refcounted sharedBlock drawn from a small free list, and
+// fans the block out to every shard worker's bounded channel. The last
+// worker to finish a block returns it to the free list, so at most
+// pipelineDepth blocks are ever in flight regardless of trace size —
+// the memory ceiling is independent of the file.
+//
+// The decoder applies the block-skip test (stream.go package comment)
+// against the member pages of the *full* session set, maintained by a
+// full-range streamWorker used purely as a member-page tracker. Every
+// shard's member-page set is a subset of the full set's — membership
+// over [lo, hi) ⊆ membership over the whole set — so a block whose
+// summary cannot intersect the full set's pages cannot intersect any
+// shard's either: eliding DecodeWrites at the decoder is sound for all
+// workers at once. Workers still re-run the test against their own
+// narrower sets, so per-shard skips (and the counters' bit-identity
+// with the per-shard re-read engine, which the oracle suite re-proves)
+// are preserved exactly.
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"edb/internal/obsv"
+	"edb/internal/sessions"
+	"edb/internal/trace"
+)
+
+// pipelineDepth is the free-list size: the number of decoded blocks
+// that may be in flight at once. Deep enough to keep workers busy
+// while the decoder reads ahead, shallow enough that peak memory stays
+// a few block-buffers regardless of trace size.
+const pipelineDepth = 8
+
+// sharedBlock is one decoded block fanned out to all shard workers.
+// refs counts workers still replaying it; the worker that drops it to
+// zero returns the block to the free list for reuse.
+type sharedBlock struct {
+	sum  trace.BlockSummary
+	blk  trace.Block
+	refs atomic.Int32
+}
+
+// copyFrom deep-copies the stream's current block, reusing this
+// block's column slices. The stream's own buffers are overwritten by
+// the next Next, so workers must never alias them.
+func (sb *sharedBlock) copyFrom(sum *trace.BlockSummary, src *trace.Block) {
+	sb.sum = *sum
+	b := &sb.blk
+	b.NEvents, b.NWrites = src.NEvents, src.NWrites
+	b.IsWrite = append(b.IsWrite[:0], src.IsWrite...)
+	b.IRKind = append(b.IRKind[:0], src.IRKind...)
+	b.IRObj = append(b.IRObj[:0], src.IRObj...)
+	b.IRBA = append(b.IRBA[:0], src.IRBA...)
+	b.IREA = append(b.IREA[:0], src.IREA...)
+	b.WritesDecoded = src.WritesDecoded
+	if src.WritesDecoded {
+		b.WrBA = append(b.WrBA[:0], src.WrBA...)
+		b.WrEA = append(b.WrEA[:0], src.WrEA...)
+		b.WrPC = append(b.WrPC[:0], src.WrPC...)
+	} else {
+		b.WrBA, b.WrEA, b.WrPC = b.WrBA[:0], b.WrEA[:0], b.WrPC[:0]
+	}
+}
+
+// consume replays one shared block for this worker's sessions,
+// returning 1 if the write columns were skipped (either by this
+// worker's own test or already by the decoder).
+func (w *streamWorker) consume(sb *sharedBlock) int {
+	blk := &sb.blk
+	if w.memberBits != nil {
+		w.extendMembers(blk)
+		if sb.sum.NWrites > 0 && !w.intersects(&sb.sum) {
+			w.replayIROnly(blk)
+			return 1
+		}
+	}
+	if !blk.WritesDecoded {
+		// The decoder skipped the write columns against the full
+		// session set — a superset of this worker's member pages — so
+		// this worker's own test above must also have skipped. Only
+		// reachable with the skip test disabled per-worker; replay the
+		// IR events, which is all the block carries.
+		w.replayIROnly(blk)
+		return 1
+	}
+	w.replayBlock(blk)
+	return 0
+}
+
+// runPipeline is the sharded streamed engine: one decode pass over s
+// feeding shards workers, each owning a contiguous session range of
+// out.PerSession. Caller closes s and runs finishCounters.
+func runPipeline(s *trace.Stream, set *sessions.Set, shards int, skip bool, obs *obsv.Tracer, out *Output) error {
+	n := len(set.Sessions)
+	free := make(chan *sharedBlock, pipelineDepth)
+	for i := 0; i < pipelineDepth; i++ {
+		free <- &sharedBlock{}
+	}
+	feeds := make([]chan *sharedBlock, shards)
+	for k := range feeds {
+		feeds[k] = make(chan *sharedBlock, pipelineDepth)
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		// Even split: the first n%shards shards take one extra
+		// session. shards ≤ n, so every range is non-empty.
+		lo := int32(k * n / shards)
+		hi := int32((k + 1) * n / shards)
+		wg.Add(1)
+		go func(k int, lo, hi int32) {
+			defer wg.Done()
+			w := newStreamWorker(set, lo, hi, out.PerSession[lo:hi], skip)
+			skipped := 0
+			for sb := range feeds[k] {
+				skipped += w.consume(sb)
+				if sb.refs.Add(-1) == 0 {
+					free <- sb
+				}
+			}
+			w.settle()
+			if obs != nil {
+				sp := obs.StartSpan("replay-stream-shard")
+				sp.Attr("program", out.Program)
+				sp.Attr("sessions", strconv.Itoa(int(lo))+".."+strconv.Itoa(int(hi)))
+				sp.Int("skipped_blocks", int64(skipped))
+				sp.End()
+			}
+		}(k, lo, hi)
+	}
+
+	// Full-set member-page tracker for the decoder's global skip test;
+	// per, pages, and words go unused.
+	var g *streamWorker
+	if skip {
+		g = newStreamWorker(set, 0, int32(n), nil, true)
+	}
+	decodeSkipped := 0
+	var derr error
+	for s.Next() {
+		sum := s.Summary()
+		blk, err := s.DecodeIR()
+		if err != nil {
+			derr = err
+			break
+		}
+		if g != nil {
+			g.extendMembers(blk)
+		}
+		if g == nil || sum.NWrites == 0 || g.intersects(sum) {
+			if err := s.DecodeWrites(); err != nil {
+				derr = err
+				break
+			}
+		} else {
+			decodeSkipped++
+		}
+		sb := <-free
+		sb.copyFrom(sum, blk)
+		sb.refs.Store(int32(shards))
+		for k := range feeds {
+			feeds[k] <- sb
+		}
+	}
+	if derr == nil {
+		derr = s.Err()
+	}
+	for k := range feeds {
+		close(feeds[k])
+	}
+	wg.Wait()
+	if obs != nil {
+		sp := obs.StartSpan("replay-stream-decode")
+		sp.Attr("program", out.Program)
+		sp.Int("blocks", int64(s.NumBlocks))
+		sp.Int("skipped_write_columns", int64(decodeSkipped))
+		sp.End()
+	}
+	return derr
+}

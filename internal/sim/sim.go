@@ -96,13 +96,29 @@ type Output struct {
 const ShardThreshold = 64
 
 // Options parameterises a replay beyond the trace and session set.
-// The zero value reproduces Run's behaviour exactly.
+// The zero value reproduces Run's behaviour exactly. Callers pick
+// in-memory vs streamed replay by data, not by function name: pass a
+// materialised *trace.Trace to replay in memory, or set Source (with a
+// nil trace) to stream a v3 file block by block.
 type Options struct {
-	// Shards selects the engine: 0 auto-selects (Sharded across
-	// GOMAXPROCS workers when the host has spare cores and the session
-	// population is at least ShardThreshold), 1 forces Sequential, and
-	// >1 forces Sharded with that worker count.
+	// Shards selects the engine: 0 auto-selects for in-memory replay
+	// (Sharded across GOMAXPROCS workers when the host has spare cores
+	// and the session population is at least ShardThreshold) and
+	// single-pass for streamed replay, 1 forces Sequential, and >1
+	// forces Sharded with that worker count.
 	Shards int
+	// Source selects streamed replay over a v3 trace: the trace
+	// argument must be nil, and blocks are decoded once and fanned out
+	// to all shards through a bounded pipeline (stream.go). Prepass
+	// does not apply to streamed replay.
+	Source trace.StreamSource
+	// NoSkip disables the streamed engine's block-skip fast path:
+	// every block's write columns are decoded and replayed. Results
+	// are bit-identical with and without skipping (the differential
+	// suite holds the engine to that); NoSkip exists as the oracle's
+	// slow half and for measuring the skip win. In-memory replay
+	// ignores it.
+	NoSkip bool
 	// Obs, when non-nil, receives replay-engine spans: the trace
 	// prepass (when not supplied via Prepass), one span per shard
 	// worker (with its session index range), and an events-per-second
@@ -129,8 +145,21 @@ func Run(tr *trace.Trace, set *sessions.Set) (*Output, error) {
 }
 
 // RunWithOptions is Run with explicit engine selection, a shareable
-// precomputed prepass, and observability sinks (see Options).
+// precomputed prepass, streamed replay (Options.Source), and
+// observability sinks (see Options).
 func RunWithOptions(tr *trace.Trace, set *sessions.Set, o Options) (*Output, error) {
+	if o.Source != nil {
+		if tr != nil {
+			return nil, fmt.Errorf("sim: both a materialised trace and a stream source supplied")
+		}
+		if o.Prepass != nil {
+			return nil, fmt.Errorf("sim: a prepass cannot drive a streamed replay")
+		}
+		return runStreamed(o.Source, set, o)
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("sim: nil trace and no stream source")
+	}
 	shards := o.Shards
 	if shards == 0 {
 		if w := runtime.GOMAXPROCS(0); w > 1 && len(set.Sessions) >= ShardThreshold {

@@ -2,13 +2,18 @@ package sim
 
 // Streaming replay over the columnar trace store (trace format v3).
 //
-// RunStream replays a v3 trace file block by block, never holding
-// []trace.Event: each worker makes one pass over its own Stream,
-// decoding the install/remove columns of every block and — the fast
-// path — skipping the *write columns* of any block whose written-page
-// summary cannot intersect the pages its monitored sessions live on.
-// (Skipping whole blocks would never fire on real workloads: locals
-// churn on every call, so every block holds install/remove events.)
+// runStreamed (RunWithOptions with Options.Source set) replays a v3
+// trace file block by block, never holding []trace.Event: a single
+// decode pass reads the file once, decoding the install/remove columns
+// of every block and — the fast path — skipping the *write columns* of
+// any block whose written-page summary cannot intersect the pages any
+// monitored session lives on. With one shard the decode pass and the
+// replay are the same loop; with several, decoded blocks fan out to
+// the shard workers through a bounded pipeline (pipeline.go), and each
+// worker re-applies the skip test against its own narrower member-page
+// set. (Skipping whole blocks would never fire on real workloads:
+// locals churn on every call, so every block holds install/remove
+// events.)
 //
 // Why skipping write columns is sound, bit for bit (the full argument
 // is DESIGN.md §12; the property suite re-proves it empirically):
@@ -49,7 +54,6 @@ package sim
 import (
 	"fmt"
 	"strconv"
-	"sync"
 	"time"
 
 	"edb/internal/arch"
@@ -61,11 +65,14 @@ import (
 )
 
 // StreamOptions parameterises RunStream.
+//
+// Deprecated: use Options — Shards/NoSkip/Obs carry over field for
+// field, with the source moving into Options.Source.
 type StreamOptions struct {
 	// Shards is the worker count: each worker owns a contiguous
-	// session-index range and streams the file independently. <= 1
-	// replays single-pass on the calling goroutine; values above the
-	// session count are clamped.
+	// session-index range; all workers consume one shared decode pass
+	// over the file. <= 1 replays single-pass on the calling goroutine;
+	// values above the session count are clamped.
 	Shards int
 	// NoSkip disables the block-skip fast path: every block's write
 	// columns are decoded and replayed. Results are bit-identical with
@@ -79,11 +86,28 @@ type StreamOptions struct {
 }
 
 // RunStream replays a v3 trace from src against the session set,
-// streaming blocks instead of materialising events, and skipping write
-// columns of blocks that provably cannot touch monitored pages (see
-// the package comment above; disable with StreamOptions.NoSkip).
-// Output is bit-identical to Run on the materialised trace.
+// streaming blocks instead of materialising events. Output is
+// bit-identical to Run on the materialised trace.
+//
+// Deprecated: use RunWithOptions(nil, set, Options{Source: src, ...});
+// this shim forwards to it.
 func RunStream(src trace.StreamSource, set *sessions.Set, o StreamOptions) (*Output, error) {
+	return RunWithOptions(nil, set, Options{
+		Shards: o.Shards,
+		Source: src,
+		NoSkip: o.NoSkip,
+		Obs:    o.Obs,
+	})
+}
+
+// runStreamed is the streamed replay engine behind RunWithOptions: it
+// opens the source exactly once and replays block by block, skipping
+// write columns of blocks that provably cannot touch monitored pages
+// (see the package comment above; disable with Options.NoSkip). With
+// shards > 1 a single decode pass fans decoded blocks out to every
+// shard worker through a bounded pipeline (pipeline.go) instead of
+// each worker re-reading the file.
+func runStreamed(src trace.StreamSource, set *sessions.Set, o Options) (*Output, error) {
 	s, err := src.Open()
 	if err != nil {
 		return nil, fmt.Errorf("sim: opening trace stream: %w", err)
@@ -129,42 +153,26 @@ func RunStream(src trace.StreamSource, set *sessions.Set, o StreamOptions) (*Out
 		return out, nil
 	}
 
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
-	for k := 0; k < shards; k++ {
-		lo := int32(k * n / shards)
-		hi := int32((k + 1) * n / shards)
-		if lo == hi {
-			continue
+	if shards <= 1 {
+		defer s.Close()
+		skipped, err := replayStream(s, set, 0, int32(n), out.PerSession, !o.NoSkip)
+		if o.Obs != nil {
+			sp := o.Obs.StartSpan("replay-stream-shard")
+			sp.Attr("program", s.Program)
+			sp.Attr("sessions", "0.."+strconv.Itoa(n))
+			sp.Int("skipped_blocks", int64(skipped))
+			sp.End()
 		}
-		ws := s
-		if k > 0 {
-			// Every worker streams its own pass over the file.
-			if ws, err = src.Open(); err != nil {
-				errs[k] = fmt.Errorf("opening stream: %w", err)
-				continue
-			}
+		if err != nil {
+			return nil, fmt.Errorf("sim: streaming %s: %w", out.Program, err)
 		}
-		wg.Add(1)
-		go func(k int, lo, hi int32, ws *trace.Stream) {
-			defer wg.Done()
-			defer ws.Close()
-			skipped, err := replayStream(ws, set, lo, hi, out.PerSession[lo:hi], !o.NoSkip)
-			if o.Obs != nil {
-				sp := o.Obs.StartSpan("replay-stream-shard")
-				sp.Attr("program", ws.Program)
-				sp.Attr("sessions", strconv.Itoa(int(lo))+".."+strconv.Itoa(int(hi)))
-				sp.Int("skipped_blocks", int64(skipped))
-				sp.End()
-			}
-			errs[k] = err
-		}(k, lo, hi, ws)
+		finishCounters(out.PerSession, out.TotalWrites)
+		return out, nil
 	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return nil, fmt.Errorf("sim: streaming %s: %w", out.Program, e)
-		}
+
+	defer s.Close()
+	if err := runPipeline(s, set, shards, !o.NoSkip, o.Obs, out); err != nil {
+		return nil, fmt.Errorf("sim: streaming %s: %w", out.Program, err)
 	}
 	finishCounters(out.PerSession, out.TotalWrites)
 	return out, nil
@@ -216,10 +224,10 @@ func (w *streamWorker) markMember(pn uint32) {
 	}
 }
 
-// replayStream replays one stream for sessions [lo, hi), accumulating
-// into per, and returns the number of blocks whose write columns were
-// skipped.
-func replayStream(s *trace.Stream, set *sessions.Set, lo, hi int32, per []Counting, skip bool) (int, error) {
+// newStreamWorker builds the replay state for sessions [lo, hi)
+// accumulating into per. skip sizes the member-page bitmap; without it
+// the worker never consults member pages.
+func newStreamWorker(set *sessions.Set, lo, hi int32, per []Counting, skip bool) *streamWorker {
 	w := &streamWorker{
 		set:     set,
 		lo:      lo,
@@ -235,7 +243,36 @@ func replayStream(s *trace.Stream, set *sessions.Set, lo, hi int32, per []Counti
 	if skip {
 		w.memberBits = make([]uint64, (1<<20)/64) // 20-bit page numbers
 	}
+	return w
+}
 
+// extendMembers grows memberPages with the block's member IR spans.
+// Called *before* the skip decision, so mid-block installs are covered.
+func (w *streamWorker) extendMembers(blk *trace.Block) {
+	for j := range blk.IRObj {
+		if len(w.membership(blk.IRObj[j])) == 0 {
+			continue
+		}
+		first, last := arch.PagesSpanned(blk.IRBA[j], blk.IREA[j], arch.PageSize4K)
+		for pn := first; pn <= last; pn++ {
+			w.markMember(pn)
+			w.markMember(pn ^ 1) // 8 KiB buddy
+		}
+	}
+}
+
+// settle closes every open page interval into the worker's counters.
+func (w *streamWorker) settle() {
+	for psi := range w.pages {
+		w.pages[psi].settle(w.per, w.lo, psi)
+	}
+}
+
+// replayStream replays one stream for sessions [lo, hi), accumulating
+// into per, and returns the number of blocks whose write columns were
+// skipped.
+func replayStream(s *trace.Stream, set *sessions.Set, lo, hi int32, per []Counting, skip bool) (int, error) {
+	w := newStreamWorker(set, lo, hi, per, skip)
 	skipped := 0
 	for s.Next() {
 		sum := s.Summary()
@@ -244,18 +281,7 @@ func replayStream(s *trace.Stream, set *sessions.Set, lo, hi int32, per []Counti
 			return skipped, err
 		}
 		if skip {
-			// Extend memberPages with this block's member IR spans
-			// *before* deciding, so mid-block installs are covered.
-			for j := range blk.IRObj {
-				if len(w.membership(blk.IRObj[j])) == 0 {
-					continue
-				}
-				first, last := arch.PagesSpanned(blk.IRBA[j], blk.IREA[j], arch.PageSize4K)
-				for pn := first; pn <= last; pn++ {
-					w.markMember(pn)
-					w.markMember(pn ^ 1) // 8 KiB buddy
-				}
-			}
+			w.extendMembers(blk)
 			if sum.NWrites > 0 && !w.intersects(sum) {
 				skipped++
 				w.replayIROnly(blk)
@@ -270,9 +296,7 @@ func replayStream(s *trace.Stream, set *sessions.Set, lo, hi int32, per []Counti
 	if err := s.Err(); err != nil {
 		return skipped, err
 	}
-	for psi := range w.pages {
-		w.pages[psi].settle(per, lo, psi)
-	}
+	w.settle()
 	return skipped, nil
 }
 

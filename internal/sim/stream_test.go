@@ -4,7 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
-	"strings"
+	"reflect"
 	"testing"
 
 	"edb/internal/fault"
@@ -267,8 +267,10 @@ func TestStreamFaultInjection(t *testing.T) {
 	}
 }
 
-// flakySource fails every Open after the first — the re-open path each
-// extra shard worker takes.
+// flakySource fails every Open after the first. Before the decode
+// pipeline each extra shard worker re-opened the source, so a sharded
+// replay over this source failed; now it must succeed with exactly one
+// Open no matter the shard count.
 type flakySource struct {
 	inner trace.StreamSource
 	opens int
@@ -282,17 +284,30 @@ func (f *flakySource) Open() (*trace.Stream, error) {
 	return f.inner.Open()
 }
 
-// TestStreamWorkerOpenError: a worker that cannot open its own pass
-// over the source fails the whole replay with its error.
-func TestStreamWorkerOpenError(t *testing.T) {
+// TestStreamSingleOpen: a sharded streamed replay opens its source
+// exactly once — the shared decode pipeline replaced per-shard
+// re-reads — and still matches the in-memory engine bit for bit.
+func TestStreamSingleOpen(t *testing.T) {
 	tr := checkedTrace(t, 11, 300)
 	set := sessions.Discover(tr)
 	if len(set.Sessions) < 2 {
 		t.Skip("need >=2 sessions for a second worker")
 	}
-	src := &flakySource{inner: v3Source(t, tr, 64)}
-	_, err := RunStream(src, set, StreamOptions{Shards: 2})
-	if err == nil || !strings.Contains(err.Error(), "re-open refused") {
-		t.Fatalf("worker open failure not surfaced: %v", err)
+	want, err := Run(tr, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 8} {
+		src := &flakySource{inner: v3Source(t, tr, 64)}
+		got, err := RunWithOptions(nil, set, Options{Source: src, Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if src.opens != 1 {
+			t.Fatalf("shards=%d: source opened %d times, want 1", shards, src.opens)
+		}
+		if !reflect.DeepEqual(got.PerSession, want.PerSession) {
+			t.Fatalf("shards=%d: pipeline counters diverge from in-memory replay", shards)
+		}
 	}
 }

@@ -54,7 +54,6 @@ import (
 	"hash/crc32"
 	"io"
 	"math/bits"
-	"os"
 
 	"edb/internal/arch"
 	"edb/internal/fault"
@@ -187,131 +186,19 @@ func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 // WriteV3 serialises the trace in the columnar streaming format with
 // the default block size. v1/v2 readers do not read it; OpenStream and
 // Read do.
-func (t *Trace) WriteV3(w io.Writer) error { return t.WriteV3Blocks(w, DefaultBlockEvents) }
+//
+// Deprecated: use WriteTo(w, t, WriteOptions{Version: 3}).
+func (t *Trace) WriteV3(w io.Writer) error { return WriteTo(w, t, WriteOptions{Version: version3}) }
 
 // WriteV3Blocks is WriteV3 with an explicit events-per-block
 // (<= 0 selects DefaultBlockEvents). The choice is a pure layout
 // parameter: any blocking decodes to the same trace and replays to the
 // same counters (the metamorphic suite pins this down to 1-event
 // blocks).
+//
+// Deprecated: use WriteTo(w, t, WriteOptions{Version: 3, BlockEvents: n}).
 func (t *Trace) WriteV3Blocks(w io.Writer, blockEvents int) error {
-	if err := fault.Inject(fault.SiteTraceWrite, t.Program); err != nil {
-		return fmt.Errorf("trace: writing %s: %w", t.Program, err)
-	}
-	if blockEvents <= 0 {
-		blockEvents = DefaultBlockEvents
-	}
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(magic); err != nil {
-		return err
-	}
-	var scratch [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(scratch[:], version3)
-	if _, err := bw.Write(scratch[:n]); err != nil {
-		return err
-	}
-
-	// writeFrame checksums and emits one frame. The chaos hook flips a
-	// payload bit *after* the checksum is taken (per frame, so seeded
-	// plans can corrupt the header, any summary, or any column region),
-	// modelling at-rest corruption that readers must detect.
-	writeFrame := func(payload []byte) error {
-		sum := crc32.ChecksumIEEE(payload)
-		fault.Mutate(fault.SiteTraceCorrupt, t.Program, payload)
-		var hdr [binary.MaxVarintLen64 + 4]byte
-		n := binary.PutUvarint(hdr[:], uint64(len(payload)))
-		binary.LittleEndian.PutUint32(hdr[n:], sum)
-		if _, err := bw.Write(hdr[:n+4]); err != nil {
-			return err
-		}
-		_, err := bw.Write(payload)
-		return err
-	}
-
-	nEvents := len(t.Events)
-	nBlocks := 0
-	if nEvents > 0 {
-		nBlocks = (nEvents + blockEvents - 1) / blockEvents
-	}
-	_, _, nWrites := t.Counts()
-
-	var buf bytes.Buffer
-	putUvarint := func(b *bytes.Buffer, v uint64) {
-		n := binary.PutUvarint(scratch[:], v)
-		b.Write(scratch[:n])
-	}
-	t.writeMeta(&buf)
-	putUvarint(&buf, uint64(nBlocks))
-	putUvarint(&buf, uint64(nEvents))
-	putUvarint(&buf, uint64(nWrites))
-	if err := writeFrame(buf.Bytes()); err != nil {
-		return err
-	}
-
-	// Per-column scratch buffers, reused across blocks.
-	var cols [8]bytes.Buffer
-	var frame bytes.Buffer
-	for off := 0; off < nEvents; off += blockEvents {
-		end := off + blockEvents
-		if end > nEvents {
-			end = nEvents
-		}
-		events := t.Events[off:end]
-		sum := summarize(events)
-
-		buf.Reset()
-		putUvarint(&buf, uint64(sum.NEvents))
-		putUvarint(&buf, uint64(sum.NWrites))
-		putUvarint(&buf, uint64(sum.MinPage))
-		putUvarint(&buf, uint64(sum.MaxPage-sum.MinPage))
-		buf.Write(sum.Bloom[:])
-		if err := writeFrame(buf.Bytes()); err != nil {
-			return err
-		}
-
-		for i := range cols {
-			cols[i].Reset()
-		}
-		interleave := make([]byte, (len(events)+7)/8)
-		kinds := make([]byte, (len(events)-sum.NWrites+7)/8)
-		var prevIRBA, prevWrBA, prevPC int64
-		ir := 0
-		for i := range events {
-			e := &events[i]
-			if e.Kind == EvWrite {
-				interleave[i>>3] |= 1 << (i & 7)
-				ba := int64(uint32(e.BA))
-				putUvarint(&cols[5], zigzag(ba-prevWrBA))
-				prevWrBA = ba
-				putUvarint(&cols[6], uint64(e.EA-e.BA))
-				pc := int64(uint32(e.PC))
-				putUvarint(&cols[7], zigzag(pc-prevPC))
-				prevPC = pc
-				continue
-			}
-			if e.Kind == EvRemove {
-				kinds[ir>>3] |= 1 << (ir & 7)
-			}
-			ir++
-			putUvarint(&cols[2], uint64(e.Obj))
-			ba := int64(uint32(e.BA))
-			putUvarint(&cols[3], zigzag(ba-prevIRBA))
-			prevIRBA = ba
-			putUvarint(&cols[4], uint64(e.EA-e.BA))
-		}
-		cols[0].Write(interleave)
-		cols[1].Write(kinds)
-
-		frame.Reset()
-		for i := range cols {
-			putUvarint(&frame, uint64(cols[i].Len()))
-			frame.Write(cols[i].Bytes())
-		}
-		if err := writeFrame(frame.Bytes()); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+	return WriteTo(w, t, WriteOptions{Version: version3, BlockEvents: blockEvents})
 }
 
 // Block is one decoded v3 block in columnar form, reused across
@@ -358,26 +245,11 @@ type StreamSource interface {
 	Open() (*Stream, error)
 }
 
-type fileSource string
-
 // FileSource returns a StreamSource that opens the v3 trace file at
-// path; each Open is an independent *os.File owned (and closed) by the
-// returned Stream.
-func FileSource(path string) StreamSource { return fileSource(path) }
-
-func (p fileSource) Open() (*Stream, error) {
-	f, err := os.Open(string(p))
-	if err != nil {
-		return nil, err
-	}
-	s, err := OpenStream(f)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	s.closer = f
-	return s, nil
-}
+// path with default windowed readahead; each Open is an independent
+// handle owned (and closed) by the returned Stream. Use FileSourceWith
+// to tune the window or map the file instead (readahead.go).
+func FileSource(path string) StreamSource { return fileSourceOpt{path: path} }
 
 type bytesSource []byte
 
@@ -385,6 +257,17 @@ type bytesSource []byte
 func BytesSource(data []byte) StreamSource { return bytesSource(data) }
 
 func (b bytesSource) Open() (*Stream, error) { return OpenStream(bytes.NewReader(b)) }
+
+func (b bytesSource) openRaw() (io.ReadCloser, error) {
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+func (b bytesSource) openRawAt(off int64) (io.ReadCloser, error) {
+	if off < 0 || off > int64(len(b)) {
+		return nil, fmt.Errorf("trace: byte offset %d outside %d-byte source", off, len(b))
+	}
+	return io.NopCloser(bytes.NewReader(b[off:])), nil
+}
 
 // Stream is a streaming reader over a v3 trace file: the header is
 // decoded eagerly; blocks are visited one at a time with Next and
@@ -1006,25 +889,5 @@ func readV3(d *decoder) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Trace{
-		Program:    s.Program,
-		BaseCycles: s.BaseCycles,
-		Instret:    s.Instret,
-		Objects:    s.Objects,
-	}
-	t.Events = make([]Event, 0, prealloc(s.NumEvents))
-	for s.Next() {
-		blk, err := s.DecodeIR()
-		if err != nil {
-			return nil, err
-		}
-		if err := s.DecodeWrites(); err != nil {
-			return nil, err
-		}
-		t.Events = blk.AppendEvents(t.Events)
-	}
-	if err := s.Err(); err != nil {
-		return nil, err
-	}
-	return t, nil
+	return materializeStream(s)
 }

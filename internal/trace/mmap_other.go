@@ -1,0 +1,11 @@
+//go:build !unix
+
+package trace
+
+import "errors"
+
+// mmapFile is unsupported off POSIX; FileSource falls back to the
+// windowed-readahead read path.
+func mmapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, errors.New("trace: mmap unsupported on this platform")
+}

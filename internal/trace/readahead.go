@@ -1,0 +1,212 @@
+// Windowed readahead for FileSource: a double-buffered background
+// prefetcher that keeps the next file window in flight while the
+// decoder chews on the current one, overlapping disk I/O with block
+// decode. An optional mmap mode maps the whole file instead (the page
+// cache then does the readahead and the decoder reads straight from
+// the mapping).
+package trace
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultReadaheadBytes is the prefetch window FileSource uses unless
+// configured otherwise. Two windows are in flight at a time, so the
+// steady-state buffer cost of a streamed replay is twice this.
+const DefaultReadaheadBytes = 512 << 10
+
+// FileSourceOptions configures how FileSource reads the file.
+type FileSourceOptions struct {
+	// ReadaheadBytes is the prefetch window size (double-buffered);
+	// 0 selects DefaultReadaheadBytes, negative disables readahead and
+	// reads the file directly.
+	ReadaheadBytes int
+	// Mmap maps the file into memory instead of streaming reads
+	// (POSIX-only; silently falls back to reads where unsupported).
+	Mmap bool
+}
+
+type fileSourceOpt struct {
+	path string
+	opts FileSourceOptions
+}
+
+// FileSourceWith is FileSource with explicit I/O options.
+func FileSourceWith(path string, opts FileSourceOptions) StreamSource {
+	return fileSourceOpt{path: path, opts: opts}
+}
+
+func (p fileSourceOpt) Open() (*Stream, error) {
+	rc, err := p.openRaw()
+	if err != nil {
+		return nil, err
+	}
+	s, err := OpenStream(rc)
+	if err != nil {
+		rc.Close()
+		return nil, err
+	}
+	s.closer = rc
+	return s, nil
+}
+
+// openRaw opens the file behind the configured I/O strategy, so
+// Materialize and SharedSource share one open path with Open.
+func (p fileSourceOpt) openRaw() (io.ReadCloser, error) {
+	return p.openRawAt(0)
+}
+
+// openRawAt opens the byte stream positioned at off.
+func (p fileSourceOpt) openRawAt(off int64) (io.ReadCloser, error) {
+	if p.opts.Mmap {
+		if data, close, err := mmapFile(p.path); err == nil {
+			return &mmapReader{Reader: *bytes.NewReader(data[off:]), close: close}, nil
+		}
+		// Unsupported platform or mapping failure: fall through to the
+		// plain read path — mmap is an optimisation, never a contract.
+	}
+	f, err := os.Open(p.path)
+	if err != nil {
+		return nil, err
+	}
+	if off != 0 {
+		if _, err := f.Seek(off, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if p.opts.ReadaheadBytes < 0 {
+		return f, nil
+	}
+	window := p.opts.ReadaheadBytes
+	if window == 0 {
+		window = DefaultReadaheadBytes
+	}
+	return newPrefetchReader(f, window), nil
+}
+
+// mmapReader adapts a mapped region to io.ReadCloser; Close unmaps.
+type mmapReader struct {
+	bytes.Reader
+	close func() error
+}
+
+func (m *mmapReader) Close() error {
+	if m.close == nil {
+		return nil
+	}
+	c := m.close
+	m.close = nil
+	return c()
+}
+
+// chunk is one prefetched window handed from the producer goroutine to
+// the reader; err (delivered after the bytes) ends the stream.
+type chunk struct {
+	b   []byte
+	err error
+}
+
+// prefetchReader overlaps file I/O with consumption: a producer
+// goroutine fills one window buffer while the consumer drains the
+// other (double buffering — two windows bound the memory cost). The
+// producer parks as soon as both windows are in flight, so a slow
+// consumer never grows the footprint.
+type prefetchReader struct {
+	src    io.ReadCloser
+	filled chan chunk
+	free   chan []byte
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	cur     []byte // unread remainder of the current window
+	curBuf  []byte // current window's backing buffer (returned to free)
+	err     error  // sticky, delivered once buffered windows drain
+	stopped bool
+}
+
+func newPrefetchReader(src io.ReadCloser, window int) *prefetchReader {
+	p := &prefetchReader{
+		src:    src,
+		filled: make(chan chunk, 2),
+		free:   make(chan []byte, 2),
+		stop:   make(chan struct{}),
+	}
+	p.free <- make([]byte, window)
+	p.free <- make([]byte, window)
+	p.wg.Add(1)
+	go p.produce()
+	return p
+}
+
+// produce fills free window buffers from the file until EOF, error, or
+// Close. Every send also selects on stop, so Close never deadlocks
+// against a parked producer.
+func (p *prefetchReader) produce() {
+	defer p.wg.Done()
+	for {
+		var buf []byte
+		select {
+		case buf = <-p.free:
+		case <-p.stop:
+			return
+		}
+		n, err := io.ReadFull(p.src, buf)
+		if n > 0 {
+			select {
+			case p.filled <- chunk{b: buf[:n]}:
+			case <-p.stop:
+				return
+			}
+		} else {
+			// Window unused: recycle it so the channel accounting
+			// stays balanced (nobody will return this one).
+			p.free <- buf
+		}
+		if err != nil {
+			if err == io.ErrUnexpectedEOF {
+				err = io.EOF
+			}
+			select {
+			case p.filled <- chunk{err: err}:
+			case <-p.stop:
+			}
+			return
+		}
+	}
+}
+
+func (p *prefetchReader) Read(b []byte) (int, error) {
+	for len(p.cur) == 0 {
+		if p.err != nil {
+			return 0, p.err
+		}
+		if p.curBuf != nil {
+			p.free <- p.curBuf
+			p.curBuf = nil
+		}
+		c := <-p.filled
+		if c.err != nil {
+			p.err = c.err
+			return 0, p.err
+		}
+		p.cur, p.curBuf = c.b, c.b[:cap(c.b)]
+	}
+	n := copy(b, p.cur)
+	p.cur = p.cur[n:]
+	return n, nil
+}
+
+// Close stops the producer and closes the underlying file.
+func (p *prefetchReader) Close() error {
+	if p.stopped {
+		return nil
+	}
+	p.stopped = true
+	close(p.stop)
+	p.wg.Wait()
+	return p.src.Close()
+}

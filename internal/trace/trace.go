@@ -142,7 +142,12 @@ const (
 // the body is encoded to an in-memory payload, checksummed, and written
 // behind a length-prefixed header so readers can verify integrity
 // before decoding.
-func (t *Trace) Write(w io.Writer) error {
+//
+// Deprecated: use WriteTo(w, t, WriteOptions{}).
+func (t *Trace) Write(w io.Writer) error { return WriteTo(w, t, WriteOptions{}) }
+
+// writeV2 is the version-2 serialisation behind WriteTo.
+func (t *Trace) writeV2(w io.Writer) error {
 	if err := fault.Inject(fault.SiteTraceWrite, t.Program); err != nil {
 		return fmt.Errorf("trace: writing %s: %w", t.Program, err)
 	}
@@ -174,8 +179,14 @@ func (t *Trace) Write(w io.Writer) error {
 
 // writeMeta encodes the trace metadata — program, counters, object
 // table — shared by the v1/v2 body and the v3 header frame.
-// bytes.Buffer writes cannot fail, so no errors flow here.
 func (t *Trace) writeMeta(buf *bytes.Buffer) {
+	writeMetaRaw(buf, t.Program, t.BaseCycles, t.Instret, t.Objects)
+}
+
+// writeMetaRaw is writeMeta without a Trace value: the incremental
+// Writer serialises its header from a live object table and counters.
+// bytes.Buffer writes cannot fail, so no errors flow here.
+func writeMetaRaw(buf *bytes.Buffer, program string, baseCycles, instret uint64, tab *objects.Table) {
 	var scratch [binary.MaxVarintLen64]byte
 	putUvarint := func(v uint64) {
 		n := binary.PutUvarint(scratch[:], v)
@@ -185,12 +196,12 @@ func (t *Trace) writeMeta(buf *bytes.Buffer) {
 		putUvarint(uint64(len(s)))
 		buf.WriteString(s)
 	}
-	putString(t.Program)
-	putUvarint(t.BaseCycles)
-	putUvarint(t.Instret)
+	putString(program)
+	putUvarint(baseCycles)
+	putUvarint(instret)
 
 	// Object table.
-	objs := t.Objects.All()
+	objs := tab.All()
 	putUvarint(uint64(len(objs)))
 	for _, o := range objs {
 		buf.WriteByte(byte(o.Kind))

@@ -62,6 +62,13 @@ type Tracer struct {
 	stackFns  []string // function names on the shadow stack, innermost last
 	fnCount   map[string]int
 	truncated bool
+
+	// sink, when set (RunStreamed), receives every event as it
+	// happens instead of t.tr.Events — the tracer never materialises
+	// the trace. sinkErr is sticky: the first append failure stops
+	// further writes and surfaces when the run ends.
+	sink    *trace.Writer
+	sinkErr error
 }
 
 type lifetimeObj struct {
@@ -139,7 +146,22 @@ func New(m *kernel.Machine, program string) *Tracer {
 	return t
 }
 
-func (t *Tracer) emit(e trace.Event) { t.tr.Events = append(t.tr.Events, e) }
+func (t *Tracer) emit(e trace.Event) {
+	if t.sink != nil {
+		if t.sinkErr == nil {
+			t.sinkErr = t.sink.Append(e)
+		}
+		return
+	}
+	t.tr.Events = append(t.tr.Events, e)
+}
+
+// Objects exposes the tracer's object table — callers constructing a
+// trace.Writer hand it the same table the streamed events reference.
+// The table grows while the program runs (heap allocations mint
+// objects), which is why the incremental writer defers its header to
+// Close.
+func (t *Tracer) Objects() *objects.Table { return t.tab }
 
 func (t *Tracer) onStore(ba, ea, pc arch.Addr) {
 	if t.img.ImplicitStores[pc] {
@@ -250,6 +272,35 @@ func (t *Tracer) onRealloc(old, new arch.Range) {
 // Run executes the traced program to completion and returns the
 // finalised trace.
 func (t *Tracer) Run(fuel uint64) (*trace.Trace, error) {
+	if err := t.run(fuel); err != nil {
+		return nil, err
+	}
+	t.tr.BaseCycles = t.m.CPU.Cycles
+	t.tr.Instret = t.m.CPU.Instret
+	return t.tr, nil
+}
+
+// RunStreamed executes the traced program to completion, appending
+// every event to w as it happens — the trace is never materialised, so
+// peak memory is bounded by w's block buffer however long the run. On
+// success w carries the final cycle counters and is ready to Close;
+// the caller owns Close (and Discard on failure).
+func (t *Tracer) RunStreamed(fuel uint64, w *trace.Writer) error {
+	t.sink = w
+	defer func() { t.sink = nil }()
+	if err := t.run(fuel); err != nil {
+		return err
+	}
+	if t.sinkErr != nil {
+		return fmt.Errorf("tracer: streaming trace: %w", t.sinkErr)
+	}
+	w.SetCounters(t.m.CPU.Cycles, t.m.CPU.Instret)
+	return nil
+}
+
+// run is the shared body of Run and RunStreamed: emit program-lifetime
+// installs, execute, tear down whatever is still live.
+func (t *Tracer) run(fuel uint64) error {
 	// Program-lifetime monitors: globals and function statics.
 	for _, lo := range t.lifetime {
 		t.emit(trace.Event{Kind: trace.EvInstall, Obj: lo.id, BA: lo.r.BA, EA: lo.r.EA})
@@ -262,10 +313,10 @@ func (t *Tracer) Run(fuel uint64) (*trace.Trace, error) {
 	t.pushFunc(entryIdx, arch.Addr(t.m.CPU.Regs[isa.SP]))
 
 	if err := t.m.Run(fuel); err != nil {
-		return nil, err
+		return err
 	}
 	if t.truncated {
-		return nil, fmt.Errorf("tracer: shadow stack underflow (non-canonical call/return)")
+		return fmt.Errorf("tracer: shadow stack underflow (non-canonical call/return)")
 	}
 
 	// Tear down whatever is still live, innermost first.
@@ -281,10 +332,7 @@ func (t *Tracer) Run(fuel uint64) (*trace.Trace, error) {
 		lo := t.lifetime[i]
 		t.emit(trace.Event{Kind: trace.EvRemove, Obj: lo.id, BA: lo.r.BA, EA: lo.r.EA})
 	}
-
-	t.tr.BaseCycles = t.m.CPU.Cycles
-	t.tr.Instret = t.m.CPU.Instret
-	return t.tr, nil
+	return nil
 }
 
 // TraceProgram compiles nothing — it runs an already-loaded machine

@@ -1,6 +1,7 @@
 package tracer
 
 import (
+	"bytes"
 	"testing"
 
 	"edb/internal/arch"
@@ -301,6 +302,77 @@ func TestWriteDensity(t *testing.T) {
 	density := float64(writes) / float64(tr.BaseCycles)
 	if density <= 0 || density > 0.2 {
 		t.Errorf("write density = %f writes/cycle, implausible", density)
+	}
+}
+
+// TestRunStreamedMatchesMaterialized: the streaming path (events
+// appended to a trace.Writer as the machine runs) must produce a v3
+// file byte-identical to materialising the whole trace and encoding it
+// afterwards — same events, same blocking, same counters.
+func TestRunStreamedMatchesMaterialized(t *testing.T) {
+	src := `
+	int g;
+	int f(int n) { int x; x = n * 2; g = g + x; return x; }
+	int main() {
+		int i;
+		int p = alloc(32);
+		for (i = 0; i < 50; i = i + 1) { p[i % 8] = f(i); }
+		free(p);
+		return 0;
+	}`
+	img, err := minic.CompileToImage(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blockEvents := range []int{0, 8, 64} {
+		// Materialised reference.
+		m1, err := kernel.NewMachine(img, arch.PageSize4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := New(m1, "diff").Run(50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := trace.WriteTo(&want, tr, trace.WriteOptions{Version: 3, BlockEvents: blockEvents}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Streamed run on a fresh machine.
+		m2, err := kernel.NewMachine(img, arch.PageSize4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc := New(m2, "diff")
+		var got bytes.Buffer
+		tw, err := trace.NewWriter(&got, trace.WriterOptions{
+			Program: "diff", Objects: tc.Objects(), BlockEvents: blockEvents,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.RunStreamed(50_000_000, tw); err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Errorf("blockEvents=%d: streamed v3 bytes diverge from materialised (%d vs %d bytes)",
+				blockEvents, got.Len(), want.Len())
+		}
+		ins, rem, wr := tw.Counts()
+		wantIns, wantRem, wantWr := tr.Counts()
+		if ins != uint64(wantIns) || rem != uint64(wantRem) || wr != uint64(wantWr) {
+			t.Errorf("blockEvents=%d: streamed counts %d/%d/%d, want %d/%d/%d",
+				blockEvents, ins, rem, wr, wantIns, wantRem, wantWr)
+		}
+		if tw.NumEvents() != uint64(len(tr.Events)) {
+			t.Errorf("blockEvents=%d: streamed %d events, materialised %d",
+				blockEvents, tw.NumEvents(), len(tr.Events))
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strconv"
+	"sync"
 	"testing"
 
 	"edb/internal/sessions"
@@ -51,9 +52,17 @@ type traceStoreBaseline struct {
 }
 
 const (
-	traceBenchFile = "BENCH_trace_store.json"
-	traceBenchV2   = "TraceReplayFile/v2-read-sequential"
-	traceBenchV3   = "TraceReplayFile/v3-streamed-skip"
+	traceBenchFile   = "BENCH_trace_store.json"
+	traceBenchV2     = "TraceReplayFile/v2-read-sequential"
+	traceBenchV3     = "TraceReplayFile/v3-streamed-skip"
+	traceBenchPipe   = "TraceReplayFile/v3-pipeline-sharded"
+	traceBenchReread = "TraceReplayFile/v3-pershard-reread"
+
+	// gateShards is the shard count for the pipeline-vs-reread pair.
+	gateShards = 4
+	// pipelineWin is the required decode-pipeline speedup over the old
+	// per-shard re-read fan-out (same shard count, same set).
+	pipelineWin = 1.3
 )
 
 func loadTraceStoreBaseline(t *testing.T) *traceStoreBaseline {
@@ -150,6 +159,48 @@ func (fx *traceGateFixture) replayV3Stream(tb testing.TB) *sim.Output {
 	return out
 }
 
+// replayV3Pipeline is the sharded streamed path: one decoder goroutine
+// reads and decodes the file once, fanning the blocks out to gateShards
+// replay workers.
+func (fx *traceGateFixture) replayV3Pipeline(tb testing.TB) *sim.Output {
+	out, err := sim.RunWithOptions(nil, fx.set, sim.Options{
+		Source: trace.FileSource(fx.v3path), Shards: gateShards,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return out
+}
+
+// replayV3PerShardReread emulates the pre-pipeline fan-out this PR
+// removed: gateShards concurrent workers, each opening the v3 file
+// itself and replaying only its contiguous session range — the file is
+// read and decoded once per shard.
+func (fx *traceGateFixture) replayV3PerShardReread(tb testing.TB) []*sim.Output {
+	n := len(fx.set.Sessions)
+	outs := make([]*sim.Output, gateShards)
+	errs := make([]error, gateShards)
+	var wg sync.WaitGroup
+	for k := 0; k < gateShards; k++ {
+		lo, hi := k*n/gateShards, (k+1)*n/gateShards
+		sub := sessions.NewSet(fx.set.Sessions[lo:hi], fx.set.NumObjects())
+		wg.Add(1)
+		go func(k int, sub *sessions.Set) {
+			defer wg.Done()
+			outs[k], errs[k] = sim.RunWithOptions(nil, sub, sim.Options{
+				Source: trace.FileSource(fx.v3path), Shards: 1,
+			})
+		}(k, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return outs
+}
+
 // BenchmarkTraceReplayFile is the measurement behind
 // BENCH_trace_store.json: both from-file replay paths on the identical
 // trace and sparse monitor set. ns/op ratios here are the events/sec
@@ -167,6 +218,20 @@ func BenchmarkTraceReplayFile(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			fx.replayV3Stream(b)
+		}
+		b.ReportMetric(float64(fx.events), "events")
+	})
+	b.Run("v3-pipeline-sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fx.replayV3Pipeline(b)
+		}
+		b.ReportMetric(float64(fx.events), "events")
+	})
+	b.Run("v3-pershard-reread", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fx.replayV3PerShardReread(b)
 		}
 		b.ReportMetric(float64(fx.events), "events")
 	})
@@ -195,6 +260,20 @@ func TestTraceStoreBaselineRecordsWin(t *testing.T) {
 	if base.Trace.V3Bytes <= 0 || base.Trace.V2Bytes <= 0 {
 		t.Errorf("baseline lacks trace sizes (v2=%d, v3=%d)", base.Trace.V2Bytes, base.Trace.V3Bytes)
 	}
+	// The decode pipeline must be recorded beating the old per-shard
+	// re-read fan-out by >=1.3x at the same shard count.
+	pipe, ok := base.Benchmarks[traceBenchPipe]
+	if !ok {
+		t.Fatalf("%s lacks benchmarks %s", traceBenchFile, traceBenchPipe)
+	}
+	reread, ok := base.Benchmarks[traceBenchReread]
+	if !ok {
+		t.Fatalf("%s lacks benchmarks %s", traceBenchFile, traceBenchReread)
+	}
+	if float64(pipe.NsOp)*pipelineWin > float64(reread.NsOp) {
+		t.Errorf("recorded pipeline replay %d ns/op is not >=%.1fx faster than per-shard re-read %d ns/op",
+			pipe.NsOp, pipelineWin, reread.NsOp)
+	}
 }
 
 // TestTraceBenchGate is check (b): re-measure both paths and hold the
@@ -221,6 +300,19 @@ func TestTraceBenchGate(t *testing.T) {
 	if want, got := fx.replayV2File(t), fx.replayV3Stream(t); !reflect.DeepEqual(want.PerSession, got.PerSession) {
 		t.Fatal("streamed replay counters diverge from the v2 in-memory replay on the gate set")
 	}
+	if want, got := fx.replayV2File(t), fx.replayV3Pipeline(t); !reflect.DeepEqual(want.PerSession, got.PerSession) {
+		t.Fatal("pipeline replay counters diverge from the v2 in-memory replay on the gate set")
+	}
+	{
+		want := fx.replayV2File(t)
+		var merged []sim.Counting
+		for _, out := range fx.replayV3PerShardReread(t) {
+			merged = append(merged, out.PerSession...)
+		}
+		if !reflect.DeepEqual(want.PerSession, merged) {
+			t.Fatal("per-shard re-read counters diverge from the v2 in-memory replay on the gate set")
+		}
+	}
 
 	measure := func(op func(testing.TB)) (ns, allocs int64) {
 		// Best of three: benchmark minima are far more stable than
@@ -241,6 +333,8 @@ func TestTraceBenchGate(t *testing.T) {
 	}
 	v2ns, v2allocs := measure(func(tb testing.TB) { fx.replayV2File(tb) })
 	v3ns, v3allocs := measure(func(tb testing.TB) { fx.replayV3Stream(tb) })
+	pipens, pipeallocs := measure(func(tb testing.TB) { fx.replayV3Pipeline(tb) })
+	rerns, rerallocs := measure(func(tb testing.TB) { fx.replayV3PerShardReread(tb) })
 	evs := func(ns int64) int64 {
 		if ns <= 0 {
 			return 0
@@ -249,6 +343,8 @@ func TestTraceBenchGate(t *testing.T) {
 	}
 	t.Logf("%s: %d ns/op (%d events/sec, %d allocs/op)", traceBenchV2, v2ns, evs(v2ns), v2allocs)
 	t.Logf("%s: %d ns/op (%d events/sec, %d allocs/op)", traceBenchV3, v3ns, evs(v3ns), v3allocs)
+	t.Logf("%s: %d ns/op (%d events/sec, %d allocs/op)", traceBenchPipe, pipens, evs(pipens), pipeallocs)
+	t.Logf("%s: %d ns/op (%d events/sec, %d allocs/op)", traceBenchReread, rerns, evs(rerns), rerallocs)
 
 	if regen {
 		var base traceStoreBaseline
@@ -271,8 +367,10 @@ func TestTraceBenchGate(t *testing.T) {
 			AllocsOp     int64 `json:"allocs_op"`
 			EventsPerSec int64 `json:"events_per_sec"`
 		}{
-			traceBenchV2: {NsOp: v2ns, AllocsOp: v2allocs, EventsPerSec: evs(v2ns)},
-			traceBenchV3: {NsOp: v3ns, AllocsOp: v3allocs, EventsPerSec: evs(v3ns)},
+			traceBenchV2:     {NsOp: v2ns, AllocsOp: v2allocs, EventsPerSec: evs(v2ns)},
+			traceBenchV3:     {NsOp: v3ns, AllocsOp: v3allocs, EventsPerSec: evs(v3ns)},
+			traceBenchPipe:   {NsOp: pipens, AllocsOp: pipeallocs, EventsPerSec: evs(pipens)},
+			traceBenchReread: {NsOp: rerns, AllocsOp: rerallocs, EventsPerSec: evs(rerns)},
 		}
 		data, err := json.MarshalIndent(&base, "", "  ")
 		if err != nil {
@@ -304,5 +402,12 @@ func TestTraceBenchGate(t *testing.T) {
 	// reusable block buffers; allow 2% drift plus rounding, no more.
 	if limit := float64(want.AllocsOp)*1.02 + 1; float64(v3allocs) > limit {
 		t.Errorf("%s: %d allocs/op exceeds baseline %d", traceBenchV3, v3allocs, want.AllocsOp)
+	}
+	// The decode pipeline must beat the old per-shard re-read fan-out
+	// by >=1.3x live: same shard count, same set, one decode pass
+	// versus gateShards of them.
+	if float64(pipens)*pipelineWin > float64(rerns) {
+		t.Errorf("pipeline replay %d ns/op is not >=%.1fx faster than per-shard re-read %d ns/op (%d vs %d events/sec)",
+			pipens, pipelineWin, rerns, evs(pipens), evs(rerns))
 	}
 }
