@@ -7,9 +7,9 @@
 
 GO ?= go
 
-.PHONY: ci vet staticcheck lint build test race chaos fuzz cover replay-gate trace-gate serve-gate bench-pipeline bench-replay bench-trace bench-codepatch-opt obsv-bench
+.PHONY: ci vet staticcheck lint build test race chaos fuzz cover replay-gate trace-gate serve-gate repatch-gate bench-pipeline bench-replay bench-trace bench-codepatch-opt obsv-bench
 
-ci: vet staticcheck build lint race chaos cover obsv-bench replay-gate trace-gate serve-gate
+ci: vet staticcheck build lint race chaos cover obsv-bench replay-gate trace-gate serve-gate repatch-gate
 
 vet:
 	$(GO) vet ./...
@@ -66,6 +66,7 @@ FUZZTIME ?= 15s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTraceRead -fuzztime $(FUZZTIME) ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzServeRequest -fuzztime $(FUZZTIME) ./internal/serve/
+	$(GO) test -run '^$$' -fuzz FuzzRepatchScript -fuzztime $(FUZZTIME) ./internal/core/codepatch/
 
 # Coverage gate for the replay core's packages: statement coverage of
 # internal/sim and internal/sessions must not fall below the recorded
@@ -76,10 +77,12 @@ fuzz:
 # corruption matrix + round-trip suites sit well above it); the
 # interprocedural-analysis PR added internal/analysis at 90% (the
 # dependence-map corruption matrix and interproc dataflow tests hold
-# it above 92%).
+# it above 92%). The incremental re-patching PR added
+# internal/core/codepatch at 90% (the repatch property/metamorphic
+# suite and fuzz corpus hold it above 92%).
 cover:
 	@set -e; \
-	for spec in internal/sim:92.0 internal/sessions:99.0 internal/trace:90.0 internal/analysis:90.0; do \
+	for spec in internal/sim:92.0 internal/sessions:99.0 internal/trace:90.0 internal/analysis:90.0 internal/core/codepatch:90.0; do \
 		pkg=$${spec%%:*}; floor=$${spec##*:}; \
 		pct=$$($(GO) test -cover ./$$pkg/ | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p'); \
 		if [ -z "$$pct" ]; then echo "cover: $$pkg: no coverage output (test failure?)"; exit 1; fi; \
@@ -126,6 +129,20 @@ trace-gate:
 SERVE_SLACK ?= 1.00
 serve-gate:
 	EDB_SERVE_BENCH=1 EDB_SERVE_BENCH_SLACK=$(SERVE_SLACK) $(GO) test -run TestServeBenchGate -count=1 -v .
+
+# Incremental re-patching gate: re-measures a watch-set churn cycle and
+# a live store rewrite against a stop-the-world rebuild (recompile,
+# repatch, reverify, replay back to the pause point) on the fact-laden
+# bps image, and fails unless both incremental paths still beat the
+# rebuild by >=3x live and sit within REPATCH_SLACK of the committed
+# BENCH_repatch.json ns/op. The 3x ratio takes no slack (both sides are
+# measured back-to-back on the same host); the static half — the
+# committed baseline must itself document the >=3x win — runs inside
+# the ordinary test suite. Regenerate the baseline with:
+# EDB_REGEN_REPATCH_BENCH=1 go test -run TestRepatchBenchGate -count=1 .
+REPATCH_SLACK ?= 0.25
+repatch-gate:
+	EDB_REPATCH_BENCH=1 EDB_REPATCH_BENCH_SLACK=$(REPATCH_SLACK) $(GO) test -run TestRepatchBenchGate -count=1 -v .
 
 # Observability disabled-path gate: re-measures the pipeline
 # benchmarks with observation off against BENCH_pipeline.json and

@@ -130,6 +130,33 @@ func (dm *DepMap) site(fn string, idx int) *DepSite {
 	return nil
 }
 
+// SiteRef names one optimized site by its patched-body location. It is
+// the key the incremental re-patcher uses to track demoted sites — the
+// optimized sites whose static justification a runtime code mutation
+// invalidated, now covered dynamically by the store-observation
+// fallback instead of by the dependence map.
+type SiteRef struct {
+	Func  string
+	Index int
+}
+
+// Ref returns the site's location key.
+func (s *DepSite) Ref() SiteRef { return SiteRef{Func: s.Func, Index: s.Index} }
+
+// Drop removes the site at ref (if present), returning whether a site
+// was removed. The incremental re-patcher calls it when it demotes a
+// site: a demoted site is no longer justified by static facts, so
+// keeping its entry would make the map lie to VerifyRepatched.
+func (dm *DepMap) Drop(ref SiteRef) bool {
+	for i := range dm.Sites {
+		if dm.Sites[i].Func == ref.Func && dm.Sites[i].Index == ref.Index {
+			dm.Sites = append(dm.Sites[:i], dm.Sites[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 // DependentsOf returns the optimized sites whose justification mentions
 // fn — as a callee summary, a covering check inside it, an entry fact
 // into it, or because the site lives in fn itself. This is the

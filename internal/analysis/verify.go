@@ -116,6 +116,23 @@ func VerifyPatched(p *asm.Program) []Violation {
 // entry fact still holds). A corrupted or stale map — the situation the
 // incremental re-patcher must detect — yields violations.
 func VerifyPatchedWithDeps(p *asm.Program, dm *DepMap) []Violation {
+	return VerifyRepatched(p, dm, nil)
+}
+
+// VerifyRepatched is the incremental re-patcher's re-proof obligation,
+// run after every runtime code mutation: VerifyPatchedWithDeps, except
+// that stores at demoted sites are accepted without a dominating
+// static check. A demoted site is an elided store whose static
+// justification a mutation invalidated; the re-patcher removed it from
+// the dependence map and the runtime now covers it dynamically — the
+// store-observation hook routes every such store through a full
+// CheckWrite, so the notification contract holds without the static
+// fact. Everything else (stub shape, reserved registers, every
+// still-elided store, every surviving dependence-map entry) is proved
+// exactly as for a fresh patch. A demoted set naming a site that is
+// not an elided store is itself a violation: demotion must never be
+// used to wave through a store the patcher simply forgot to check.
+func VerifyRepatched(p *asm.Program, dm *DepMap, demoted map[SiteRef]bool) []Violation {
 	var vs []Violation
 	if len(p.Funcs) == 0 || p.Funcs[0].Name != checkFuncName {
 		vs = append(vs, Violation{Index: -1,
@@ -144,10 +161,29 @@ func VerifyPatchedWithDeps(p *asm.Program, dm *DepMap) []Violation {
 		if fi == 0 && f.Name == checkFuncName {
 			continue
 		}
-		vs = append(vs, verifyFunc(f, ctx, facts)...)
+		vs = append(vs, verifyFunc(f, ctx, facts, demoted)...)
+	}
+	// A demoted site must actually be an elided store in the patched
+	// program — anything else means the demoted set is being abused to
+	// hide a genuinely uncovered store.
+	demotedKeys := make([]SiteRef, 0, len(demoted))
+	for ref := range demoted {
+		demotedKeys = append(demotedKeys, ref)
+	}
+	sort.Slice(demotedKeys, func(i, j int) bool {
+		if demotedKeys[i].Func != demotedKeys[j].Func {
+			return demotedKeys[i].Func < demotedKeys[j].Func
+		}
+		return demotedKeys[i].Index < demotedKeys[j].Index
+	})
+	for _, ref := range demotedKeys {
+		if _, ok := facts.elided[siteKey{ref.Func, ref.Index}]; !ok {
+			vs = append(vs, Violation{Func: ref.Func, Index: ref.Index,
+				Msg: "demoted set names a site that is not an elided store"})
+		}
 	}
 	if dm != nil {
-		vs = append(vs, validateDeps(p, dm, ip, facts)...)
+		vs = append(vs, validateDeps(p, dm, ip, facts, demoted)...)
 	}
 	return vs
 }
@@ -181,7 +217,7 @@ func newPatchFacts() *patchFacts {
 	}
 }
 
-func verifyFunc(f *asm.Func, ctx *ipContext, facts *patchFacts) []Violation {
+func verifyFunc(f *asm.Func, ctx *ipContext, facts *patchFacts, demoted map[SiteRef]bool) []Violation {
 	var vs []Violation
 	add := func(i int, in asm.Inst, msg string) {
 		vs = append(vs, Violation{Func: f.Name, Index: i, Inst: in.String(), Msg: msg})
@@ -220,7 +256,7 @@ func verifyFunc(f *asm.Func, ctx *ipContext, facts *patchFacts) []Violation {
 			if inst.CheckElided {
 				facts.elided[siteKey{f.Name, i}] = e
 			}
-			if !st.has(e) {
+			if !st.has(e) && !(inst.CheckElided && demoted[SiteRef{Func: f.Name, Index: i}]) {
 				add(i, inst, fmt.Sprintf(
 					"store of %s not covered by a dominating matching check (available: %s)",
 					e, st))
@@ -232,7 +268,7 @@ func verifyFunc(f *asm.Func, ctx *ipContext, facts *patchFacts) []Violation {
 
 // validateDeps cross-checks a dependence map against the verified
 // patched program.
-func validateDeps(p *asm.Program, dm *DepMap, ip *Interproc, facts *patchFacts) []Violation {
+func validateDeps(p *asm.Program, dm *DepMap, ip *Interproc, facts *patchFacts, demoted map[SiteRef]bool) []Violation {
 	var vs []Violation
 	add := func(fn string, idx int, msg string) {
 		vs = append(vs, Violation{Func: fn, Index: idx, Msg: msg})
@@ -255,6 +291,10 @@ func validateDeps(p *asm.Program, dm *DepMap, ip *Interproc, facts *patchFacts) 
 		return elidedKeys[i].idx < elidedKeys[j].idx
 	})
 	for _, k := range elidedKeys {
+		if demoted[SiteRef{Func: k.fn, Index: k.idx}] {
+			// Demoted: dynamically covered; the map rightly has no site.
+			continue
+		}
 		e := facts.elided[k]
 		s := dm.site(k.fn, k.idx)
 		switch {

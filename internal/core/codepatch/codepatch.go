@@ -323,6 +323,19 @@ type WMS struct {
 	// check was not statically elided).
 	Checks uint64
 
+	// incremental selects the incremental-invalidation policy for
+	// monitor updates (see InstallMonitor): instead of flushing every
+	// runtime fact table, only the facts a given update can actually
+	// falsify are dropped. Off by default — the full flush is the
+	// from-scratch re-patch oracle the differential tests compare
+	// against.
+	incremental bool
+	// FactsDropped / FactsKept count executed-check facts invalidated
+	// and retained across incremental monitor updates (both zero under
+	// the full-flush policy, which drops everything unconditionally).
+	FactsDropped uint64
+	FactsKept    uint64
+
 	// Static-optimization runtime state.
 	elided    map[arch.Addr]bool // patched-image store addrs with no check
 	checked   map[arch.Addr]byte // executed-check table (checkMiss/checkHit)
@@ -387,7 +400,7 @@ func (w *WMS) InstallMonitor(ba, ea arch.Addr) error {
 	if err := w.svc.InstallMonitor(ba, ea); err != nil {
 		return err
 	}
-	w.invalidateCaches()
+	w.invalidateForInstall(ba, ea)
 	w.m.CPU.ChargeCycles(w.updCost)
 	return nil
 }
@@ -397,9 +410,80 @@ func (w *WMS) RemoveMonitor(ba, ea arch.Addr) error {
 	if err := w.svc.RemoveMonitor(ba, ea); err != nil {
 		return err
 	}
-	w.invalidateCaches()
+	w.invalidateForRemove(ba, ea)
 	w.m.CPU.ChargeCycles(w.updCost)
 	return nil
+}
+
+// SetIncremental selects the invalidation policy for subsequent monitor
+// updates. Off (the default), every update flushes every runtime fact
+// table — behaviourally identical to a from-scratch re-patch, which is
+// what makes it the differential oracle. On, updates drop only the
+// facts they can actually falsify (see invalidateForInstall /
+// invalidateForRemove); the re-patch-storm differential asserts the two
+// policies produce bit-identical output, stores, notifications and
+// monitor statistics.
+func (w *WMS) SetIncremental(on bool) { w.incremental = on }
+
+// wordIntersects reports whether the word [a, a+4) intersects [ba, ea).
+func wordIntersects(a, ba, ea arch.Addr) bool {
+	return a < ea && a+arch.WordBytes > ba
+}
+
+// invalidateForInstall drops the runtime facts an InstallMonitor(ba, ea)
+// can falsify. Installing a monitor can only turn lookup misses into
+// hits, so:
+//
+//   - checkMiss facts whose word intersects the new range are dropped;
+//     checkMiss facts elsewhere, and every checkHit fact, remain true
+//     statements about their address and are kept.
+//   - miss-cache entries (guaranteed-miss facts) intersecting the range
+//     are dropped; the rest stay valid.
+//   - the memo page is conservatively discarded either way — the memo
+//     fast path skips the counted lookup entirely, so keeping it would
+//     let the two policies diverge in Stats, not just in cycles.
+func (w *WMS) invalidateForInstall(ba, ea arch.Addr) {
+	if !w.incremental {
+		w.invalidateCaches()
+		return
+	}
+	w.memoValid = false
+	for a, v := range w.checked {
+		if v == checkMiss && wordIntersects(a, ba, ea) {
+			delete(w.checked, a)
+			w.FactsDropped++
+		} else {
+			w.FactsKept++
+		}
+	}
+	for i := range w.missCache {
+		e := &w.missCache[i]
+		if e.valid && wordIntersects(e.addr, ba, ea) {
+			e.valid = false
+		}
+	}
+}
+
+// invalidateForRemove drops the runtime facts a RemoveMonitor(ba, ea)
+// can falsify — the mirror image of invalidateForInstall. Removing a
+// monitor can only turn hits into misses, so checkHit facts intersecting
+// the removed range are dropped while every checkMiss fact and the whole
+// miss cache (guaranteed-miss facts cannot be falsified by a removal)
+// survive.
+func (w *WMS) invalidateForRemove(ba, ea arch.Addr) {
+	if !w.incremental {
+		w.invalidateCaches()
+		return
+	}
+	w.memoValid = false
+	for a, v := range w.checked {
+		if v == checkHit && wordIntersects(a, ba, ea) {
+			delete(w.checked, a)
+			w.FactsDropped++
+		} else {
+			w.FactsKept++
+		}
+	}
 }
 
 // fullCheck is the stub's first entry: the memo fast path when enabled,

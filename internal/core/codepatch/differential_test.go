@@ -260,6 +260,300 @@ func TestDifferentialInterleavedMonitors(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Re-patch-storm differential.
+//
+// The incremental engine's contract is invariance to the invalidation
+// policy: a run whose monitor set (and, for the self-modifying
+// workload, whose text) churns under the incremental policy must be
+// bit-identical — output, executed stores, notification sequence,
+// monitor statistics, check and elision counters — to the same run
+// under the full-flush policy. The full flush IS the from-scratch
+// re-patch: patching is deterministic given the source (asserted by
+// TestRepatchDeterministic), static decisions do not depend on the
+// monitor set, and a freshly attached WMS starts with exactly the empty
+// fact tables a full flush leaves behind. The two policies may differ
+// only in what the dropped-fact fallbacks cost: the incremental run can
+// keep facts the flush discards, so it may take fewer elide fallbacks
+// and more fast hits, never more/fewer checks.
+
+// repatchOp is one scripted engine action, applied once the executed-
+// store count reaches After.
+type repatchOp struct {
+	After   uint64
+	Kind    byte // 'i' install, 'r' remove, 'w' rewrite
+	R       arch.Range
+	Func    string
+	Ordinal int
+	Delta   int32
+}
+
+// stormRun is one machine under a re-patch storm: the engine wrapping
+// it and the observed notifications.
+type stormRun struct {
+	*machineUnderTest
+	img *codepatch.Image
+}
+
+// buildStorm is build() plus the incremental engine wrapper.
+func buildStorm(t *testing.T, src string, opt codepatch.PatchOptions, incremental bool) *stormRun {
+	t.Helper()
+	prog, err := minic.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := codepatch.PatchWithOptions(prog, opt)
+	if err != nil {
+		t.Fatalf("patch: %v", err)
+	}
+	if vs := analysis.VerifyPatchedWithDeps(prog, res.DepMap); len(vs) != 0 {
+		t.Fatalf("patched image does not verify: %v", vs[0])
+	}
+	img, err := asm.Assemble(prog)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := &machineUnderTest{m: m, res: res}
+	mut.w, err = codepatch.Attach(m, func(n wms.Notification) {
+		mut.notifs = append(mut.notifs, notif{BA: n.BA, EA: n.EA, Store: m.CPU.Stores})
+	})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	mut.w.SetIncremental(incremental)
+	return &stormRun{machineUnderTest: mut, img: codepatch.NewImage(prog, res, m, mut.w)}
+}
+
+// runStorm single-steps until every scripted op has fired, then lets
+// the machine free-run to completion. Op thresholds are store counts,
+// which advance identically in every run of the same program, so the
+// storm perturbs each run at the same point in the store stream.
+func runStorm(t *testing.T, sr *stormRun, script []repatchOp, fuel uint64) {
+	t.Helper()
+	si := 0
+	for steps := uint64(0); !sr.m.CPU.Halted && si < len(script); steps++ {
+		if steps > fuel {
+			t.Fatal("storm run exhausted fuel during scripted window")
+		}
+		for si < len(script) && sr.m.CPU.Stores >= script[si].After {
+			op := script[si]
+			si++
+			var err error
+			switch op.Kind {
+			case 'i':
+				err = sr.img.InstallMonitor(op.R.BA, op.R.EA)
+			case 'r':
+				err = sr.img.RemoveMonitor(op.R.BA, op.R.EA)
+			case 'w':
+				err = sr.img.RewriteStore(op.Func, op.Ordinal, op.Delta)
+			default:
+				t.Fatalf("bad op kind %q", op.Kind)
+			}
+			if err != nil {
+				t.Fatalf("storm op %c at store %d: %v", op.Kind, op.After, err)
+			}
+		}
+		if sr.m.CPU.Halted {
+			break
+		}
+		if err := sr.m.CPU.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sr.m.CPU.Halted {
+		if err := sr.m.Run(fuel); err != nil {
+			t.Fatalf("storm free-run: %v", err)
+		}
+	}
+}
+
+// compareStorm asserts policy invariance between a full-flush run and
+// an incremental run of the same variant, including the one-sided
+// fallback-accounting bounds.
+func compareStorm(t *testing.T, full, incr *stormRun) {
+	t.Helper()
+	if got, want := incr.m.Out.String(), full.m.Out.String(); got != want {
+		t.Errorf("output diverged across invalidation policies:\nincr: %q\nfull: %q", got, want)
+	}
+	if got, want := incr.m.CPU.Stores, full.m.CPU.Stores; got != want {
+		t.Errorf("executed stores diverged: incr %d, full %d", got, want)
+	}
+	if len(incr.notifs) != len(full.notifs) {
+		t.Fatalf("notification count diverged: incr %d, full %d", len(incr.notifs), len(full.notifs))
+	}
+	for i := range full.notifs {
+		if incr.notifs[i] != full.notifs[i] {
+			t.Fatalf("notification %d diverged: incr %+v, full %+v", i, incr.notifs[i], full.notifs[i])
+		}
+	}
+	if got, want := incr.w.Stats(), full.w.Stats(); got != want {
+		t.Errorf("WMS stats diverged: incr %+v, full %+v", got, want)
+	}
+	if incr.w.Checks != full.w.Checks || incr.w.Elided != full.w.Elided || incr.w.PreChecks != full.w.PreChecks {
+		t.Errorf("check counters diverged: incr (C=%d E=%d P=%d), full (C=%d E=%d P=%d)",
+			incr.w.Checks, incr.w.Elided, incr.w.PreChecks,
+			full.w.Checks, full.w.Elided, full.w.PreChecks)
+	}
+	// The whole point of keeping facts: the incremental run never pays
+	// MORE fallbacks than the flush-everything run, and never answers
+	// fewer checks out of the miss cache.
+	if incr.w.ElideFallbacks > full.w.ElideFallbacks {
+		t.Errorf("incremental pays more elide fallbacks (%d) than full flush (%d)",
+			incr.w.ElideFallbacks, full.w.ElideFallbacks)
+	}
+	if incr.w.FastHits < full.w.FastHits {
+		t.Errorf("incremental takes fewer fast hits (%d) than full flush (%d)",
+			incr.w.FastHits, full.w.FastHits)
+	}
+	if incr.img.Stats.Installs != full.img.Stats.Installs ||
+		incr.img.Stats.Removes != full.img.Stats.Removes ||
+		incr.img.Stats.Rewrites != full.img.Stats.Rewrites {
+		t.Errorf("engine op counts diverged: incr %+v, full %+v", incr.img.Stats, full.img.Stats)
+	}
+}
+
+// genStormScript builds a random interleaved install/remove script over
+// the image's data symbols. Thresholds are strictly increasing so the
+// script replays identically from the store stream.
+func genStormScript(rng *rand.Rand, m *kernel.Machine, ops int) []repatchOp {
+	syms := make([]string, 0, len(m.Image.Data))
+	for s := range m.Image.Data {
+		syms = append(syms, s)
+	}
+	sort.Strings(syms)
+	pool := make([]arch.Range, 0, len(syms)+1)
+	for _, s := range syms {
+		pool = append(pool, m.Image.Data[s])
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	pool = append(pool, arch.Range{BA: pool[0].BA, EA: m.Image.GlobalEnd})
+	var script []repatchOp
+	after := uint64(0)
+	for k := 0; k < ops; k++ {
+		after += uint64(rng.Intn(30))
+		r := pool[rng.Intn(len(pool))]
+		if rng.Intn(4) == 0 { // sometimes monitor a single word
+			r = arch.Range{BA: r.BA, EA: r.BA + arch.WordBytes}
+		}
+		kind := byte('i')
+		if rng.Intn(2) == 0 {
+			kind = 'r'
+		}
+		script = append(script, repatchOp{After: after, Kind: kind, R: r})
+	}
+	return script
+}
+
+// TestRepatchDeterministic pins the from-scratch-oracle argument:
+// patching the same source twice yields bit-identical text images, so
+// "flush every runtime fact" and "throw the image away and re-patch
+// from scratch" are the same machine state.
+func TestRepatchDeterministic(t *testing.T) {
+	src := progs.SMC(1).Source
+	for _, v := range patchVariants {
+		a := build(t, src, v.opt)
+		b := build(t, src, v.opt)
+		ta, tb := a.m.Image.Text, b.m.Image.Text
+		if len(ta) != len(tb) {
+			t.Fatalf("%s: re-patch changed text size: %d vs %d words", v.name, len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				t.Fatalf("%s: re-patch text differs at word %d: %#x vs %#x", v.name, i, ta[i], tb[i])
+			}
+		}
+	}
+}
+
+// TestRepatchStormRandomPrograms: generated programs under random
+// interleaved install/remove storms, every optimization tier, the
+// incremental policy differentially pinned to the full-flush oracle.
+func TestRepatchStormRandomPrograms(t *testing.T) {
+	const seeds = 14
+	keptSomewhere := false
+	for seed := int64(0); seed < seeds; seed++ {
+		src := minic.GenProgram(rand.New(rand.NewSource(200 + seed)))
+		for _, v := range patchVariants {
+			full := buildStorm(t, src, v.opt, false)
+			incr := buildStorm(t, src, v.opt, true)
+			script := genStormScript(rand.New(rand.NewSource(9000+seed)), full.m, 12)
+			runStorm(t, full, script, diffFuel)
+			runStorm(t, incr, script, diffFuel)
+			compareStorm(t, full, incr)
+			if incr.w.FactsKept > 0 {
+				keptSomewhere = true
+			}
+			if full.w.FactsDropped != 0 || full.w.FactsKept != 0 {
+				t.Errorf("full-flush run counted incremental facts: dropped=%d kept=%d",
+					full.w.FactsDropped, full.w.FactsKept)
+			}
+			if t.Failed() {
+				t.Fatalf("seed %d %s diverged; source:\n%s", seed, v.name, src)
+			}
+		}
+	}
+	if !keptSomewhere {
+		t.Error("incremental policy never kept a fact across any storm — selective invalidation is not engaging")
+	}
+}
+
+// TestRepatchStormWorkloads: the five paper workloads plus the
+// self-modifying workload under monitor storms; smc additionally
+// applies its SMCRewrites self-modification schedule through
+// Image.RewriteStore, mid-run, in both policies.
+func TestRepatchStormWorkloads(t *testing.T) {
+	names := append(progs.Names(), "smc")
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			p, err := progs.ByName(name, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range patchVariants {
+				full := buildStorm(t, p.Source, v.opt, false)
+				incr := buildStorm(t, p.Source, v.opt, true)
+				script := genStormScript(rand.New(rand.NewSource(77)), full.m, 10)
+				if name == "smc" {
+					for _, rw := range progs.SMCRewrites(1) {
+						script = append(script, repatchOp{
+							After: rw.AfterStores, Kind: 'w',
+							Func: rw.Func, Ordinal: rw.Ordinal, Delta: rw.DeltaOff,
+						})
+					}
+					sort.Slice(script, func(i, j int) bool { return script[i].After < script[j].After })
+				}
+				runStorm(t, full, script, p.Fuel)
+				runStorm(t, incr, script, p.Fuel)
+				compareStorm(t, full, incr)
+				// After the storm the engine must still prove itself
+				// sound under its surviving dependence map.
+				for _, sr := range []*stormRun{full, incr} {
+					if vs := sr.img.Verify(); len(vs) != 0 {
+						t.Errorf("%s: post-storm image fails re-verification: %v", v.name, vs[0])
+					}
+				}
+				if name == "smc" && v.opt.Optimize {
+					if incr.img.Stats.Rewrites != len(progs.SMCRewrites(1)) {
+						t.Errorf("%s: applied %d rewrites, want %d",
+							v.name, incr.img.Stats.Rewrites, len(progs.SMCRewrites(1)))
+					}
+				}
+				if t.Failed() {
+					t.Fatalf("%s/%s diverged", name, v.name)
+				}
+			}
+		})
+	}
+}
+
 // TestDifferentialWorkloads runs the full differential comparison over
 // the five paper benchmark workloads with pre-installed monitors.
 func TestDifferentialWorkloads(t *testing.T) {

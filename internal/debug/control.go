@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"edb/internal/arch"
+	"edb/internal/core/codepatch"
 )
 
 // Execution control: the paper's data breakpoint "suspends execution
@@ -61,6 +62,45 @@ func (s *Session) RunUntilBreak(fuel uint64) ([]Hit, BreakState, error) {
 		return nil, Exited, nil
 	}
 	return nil, OutOfFuel, nil
+}
+
+// Live session mutation: the verbs below work on a *suspended or
+// not-yet-started* CPU exactly the same as on one that has been running
+// for a billion cycles. For the CodePatch strategies they go through
+// the incremental re-patching engine, so growing or shrinking the watch
+// set mid-run costs an incremental invalidation — never a re-patch —
+// and the engine's RepatchStats account for every mutation.
+
+// Watch installs a data breakpoint on a global or function static while
+// the debuggee is suspended (or before it starts). It is BreakOnData
+// under its control-verb name: the point is that it is legal at any
+// break, and the re-patch-storm differential proves the mid-run install
+// leaves replay bit-identical to a session that watched from the start.
+func (s *Session) Watch(symbol string) (*Breakpoint, error) {
+	return s.BreakOnData(symbol)
+}
+
+// Unwatch removes a breakpoint mid-run; the counterpart of Watch.
+func (s *Session) Unwatch(name string) error {
+	return s.Clear(name)
+}
+
+// Engine exposes the incremental re-patching engine backing a CodePatch
+// or CodePatchOpt session (nil for the other strategies). Callers use
+// it for RepatchStats and soundness re-verification.
+func (s *Session) Engine() *codepatch.Image { return s.engine }
+
+// RewriteStore mutates the ordinal-th non-implicit store of fn in the
+// debuggee's live text (offset delta in bytes), demoting whatever
+// optimizer decisions the rewrite invalidates and re-proving the image
+// sound — the self-modifying-code verb. Only the CodePatch strategies
+// own the text they patched; the rest cannot rewrite.
+func (s *Session) RewriteStore(fn string, ordinal int, deltaOff int32) error {
+	if s.engine == nil {
+		return fmt.Errorf("debug: strategy %s has no re-patching engine (need %s or %s)",
+			s.Strategy, CodePatch, CodePatchOpt)
+	}
+	return s.engine.RewriteStore(fn, ordinal, deltaOff)
 }
 
 // ReadWord inspects debuggee memory (kernel privilege, so monitored

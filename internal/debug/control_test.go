@@ -140,3 +140,124 @@ func TestBreakStateString(t *testing.T) {
 		}
 	}
 }
+
+// TestLiveWatchMidRun: the Watch/Unwatch control verbs mutate the watch
+// set of a *suspended* debuggee — the incremental re-patching case. The
+// session watches counter, breaks on its first write, grows the set
+// with table while suspended, shrinks it again later, and the hit log
+// shows exactly the writes each window covered.
+func TestLiveWatchMidRun(t *testing.T) {
+	for _, strat := range Strategies {
+		strat := strat
+		t.Run(string(strat), func(t *testing.T) {
+			s, err := Launch(ctrlProg, strat, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Watch("counter"); err != nil {
+				t.Fatal(err)
+			}
+			// Break at counter's first write (i=1), then grow the watch
+			// set mid-run.
+			if _, state, err := s.RunUntilBreak(1_000_000); err != nil || state != Broke {
+				t.Fatalf("state=%v err=%v", state, err)
+			}
+			if _, err := s.Watch("table"); err != nil {
+				t.Fatal(err)
+			}
+			// Two more breaks: table[1] (same iteration) and counter (i=2).
+			for i := 0; i < 2; i++ {
+				if _, state, err := s.RunUntilBreak(1_000_000); err != nil || state != Broke {
+					t.Fatalf("break %d: state=%v err=%v", i, state, err)
+				}
+			}
+			// Shrink mid-run: no more counter breaks, table still fires.
+			if err := s.Unwatch("counter"); err != nil {
+				t.Fatal(err)
+			}
+			hits, state, err := s.RunUntilBreak(1_000_000)
+			if err != nil || state != Broke {
+				t.Fatalf("state=%v err=%v", state, err)
+			}
+			if hits[0].Breakpoint != "table" {
+				t.Errorf("post-unwatch break on %q, want table", hits[0].Breakpoint)
+			}
+			if err := s.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Output(); got != "15\n" {
+				t.Errorf("output %q, want 15", got)
+			}
+			// CodePatch sessions run every mutation through the engine.
+			if eng := s.Engine(); eng != nil {
+				if eng.Stats.Installs != 2 || eng.Stats.Removes != 1 {
+					t.Errorf("engine stats %+v, want 2 installs / 1 remove", eng.Stats)
+				}
+				if vs := eng.Verify(); len(vs) != 0 {
+					t.Errorf("post-run image fails verification: %v", vs[0])
+				}
+			} else if strat == CodePatch || strat == CodePatchOpt {
+				t.Error("code strategy session has no engine")
+			}
+		})
+	}
+}
+
+// TestRewriteStoreVerb: the self-modifying-code control verb. Only the
+// CodePatch strategies own their text; rewriting step's table store
+// mid-run shifts which slot the remaining iterations update, and the
+// engine re-proves soundness after the edit.
+func TestRewriteStoreVerb(t *testing.T) {
+	for _, strat := range []Strategy{NativeHardware, VirtualMemory, TrapPatch} {
+		s, err := Launch(ctrlProg, strat, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.RewriteStore("step", 2, 4); err == nil {
+			t.Errorf("%s: RewriteStore accepted without an engine", strat)
+		}
+	}
+	for _, strat := range []Strategy{CodePatch, CodePatchOpt} {
+		strat := strat
+		t.Run(string(strat), func(t *testing.T) {
+			s, err := Launch(ctrlProg, strat, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Watch("counter"); err != nil {
+				t.Fatal(err)
+			}
+			// Suspend at the first counter write, then retarget step's
+			// table store (ordinal 2: one param spill, counter, table)
+			// one slot up while the CPU is paused on it.
+			if _, state, err := s.RunUntilBreak(1_000_000); err != nil || state != Broke {
+				t.Fatalf("state=%v err=%v", state, err)
+			}
+			if err := s.RewriteStore("step", 2, 4); err != nil {
+				t.Fatal(err)
+			}
+			if s.Engine().Stats.Rewrites != 1 {
+				t.Errorf("Rewrites = %d, want 1", s.Engine().Stats.Rewrites)
+			}
+			if vs := s.Engine().Verify(); len(vs) != 0 {
+				t.Fatalf("post-rewrite image fails verification: %v", vs[0])
+			}
+			if err := s.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			// counter's arithmetic is untouched by the table retarget.
+			if got := s.Output(); got != "15\n" {
+				t.Errorf("output %q, want 15", got)
+			}
+			// table[i&3] became table[(i&3)+1]: i=4 wrote slot 1's old
+			// home... the shifted slot of the final write (i=5) is 2.
+			v, err := s.ReadSymbolIndex("table", 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != 15 {
+				t.Errorf("shifted table slot = %d, want 15", v)
+			}
+		})
+	}
+}

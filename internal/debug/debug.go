@@ -92,8 +92,13 @@ type Session struct {
 	Image    *asm.Image
 
 	backend Backend
-	bps     map[string]*Breakpoint
-	log     []Hit
+	// engine is the incremental re-patching engine, present only for the
+	// CodePatch strategies: the session's monitor mutations run through
+	// it (so its invalidation policy and accounting apply) and it exposes
+	// live-text rewriting (RewriteStore).
+	engine *codepatch.Image
+	bps    map[string]*Breakpoint
+	log    []Hit
 	// MaxHits bounds the log (0 = unlimited).
 	MaxHits int
 
@@ -154,14 +159,15 @@ func LaunchWith(src string, strat Strategy, c LaunchConfig) (*Session, error) {
 		return nil, err
 	}
 	var tpRes *trappatch.PatchResult
+	var cpRes *codepatch.PatchResult
 	sp = c.Obs.StartSpan("patch")
 	switch strat {
 	case TrapPatch:
 		tpRes, err = trappatch.Patch(prog)
 	case CodePatch:
-		_, err = codepatch.Patch(prog)
+		cpRes, err = codepatch.Patch(prog)
 	case CodePatchOpt:
-		_, err = codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true})
+		cpRes, err = codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true})
 	case NativeHardware, VirtualMemory:
 		// No compile-time transformation.
 	default:
@@ -197,9 +203,29 @@ func LaunchWith(src string, strat Strategy, c LaunchConfig) (*Session, error) {
 		if err != nil {
 			return nil, err
 		}
+		cw.SetIncremental(true)
 		s.backend = cw
+		s.engine = codepatch.NewImage(prog, cpRes, m, cw)
 	}
 	return s, nil
+}
+
+// install and remove are the session's single monitor-mutation funnel:
+// through the re-patching engine when one backs the session (so the
+// incremental invalidation policy and RepatchStats see every debugger
+// watch-set change, mid-run or not), directly at the backend otherwise.
+func (s *Session) install(ba, ea arch.Addr) error {
+	if s.engine != nil {
+		return s.engine.InstallMonitor(ba, ea)
+	}
+	return s.backend.InstallMonitor(ba, ea)
+}
+
+func (s *Session) remove(ba, ea arch.Addr) error {
+	if s.engine != nil {
+		return s.engine.RemoveMonitor(ba, ea)
+	}
+	return s.backend.RemoveMonitor(ba, ea)
 }
 
 func (s *Session) onHit(n wms.Notification) {
@@ -265,7 +291,7 @@ func (s *Session) BreakOnRange(name string, ba, ea arch.Addr) (*Breakpoint, erro
 	if _, dup := s.bps[name]; dup {
 		return nil, fmt.Errorf("debug: breakpoint %q already set", name)
 	}
-	if err := s.backend.InstallMonitor(ba, ea); err != nil {
+	if err := s.install(ba, ea); err != nil {
 		return nil, fmt.Errorf("debug: installing %q: %w", name, err)
 	}
 	bp := &Breakpoint{Name: name, Range: arch.Range{BA: ba, EA: ea}}
@@ -287,13 +313,13 @@ func (s *Session) Clear(name string) error {
 		}
 		for _, r := range lw.frames {
 			if !r.Empty() {
-				_ = s.backend.RemoveMonitor(r.BA, r.EA)
+				_ = s.remove(r.BA, r.EA)
 			}
 		}
 		s.locals = append(s.locals[:i], s.locals[i+1:]...)
 		return nil
 	}
-	return s.backend.RemoveMonitor(bp.Range.BA, bp.Range.EA)
+	return s.remove(bp.Range.BA, bp.Range.EA)
 }
 
 // Breakpoints lists installed breakpoints sorted by name.

@@ -78,7 +78,7 @@ func (s *Session) onCall(target, pc arch.Addr) {
 		}
 		base := fp - arch.Addr(lw.offset)
 		r := arch.Range{BA: base, EA: base + arch.Addr(lw.words*arch.WordBytes)}
-		if err := s.backend.InstallMonitor(r.BA, r.EA); err != nil {
+		if err := s.install(r.BA, r.EA); err != nil {
 			// Hardware register exhaustion: record and carry on; the
 			// instantiation simply goes unmonitored, as it would on a
 			// real debug-register machine.
@@ -109,7 +109,7 @@ func (s *Session) onRet(pc arch.Addr) {
 		r := lw.frames[len(lw.frames)-1]
 		lw.frames = lw.frames[:len(lw.frames)-1]
 		if !r.Empty() {
-			_ = s.backend.RemoveMonitor(r.BA, r.EA)
+			_ = s.remove(r.BA, r.EA)
 		}
 	}
 }

@@ -28,7 +28,9 @@ func REPL(s *Session, in io.Reader, out io.Writer) {
 		case "help", "h":
 			fmt.Fprint(out, `commands:
   watch <symbol>            data breakpoint on a global or func$static
+  unwatch <name>            remove a breakpoint (legal at any break)
   watchlocal <func> <var>   data breakpoint on a local (per activation)
+  rewrite <func> <n> <d>    shift func's n-th store by d bytes (live text)
   c | continue              run until the next monitored write
   run                       run to completion
   p <symbol> [index]        print a data symbol (optionally one element)
@@ -45,6 +47,34 @@ func REPL(s *Session, in io.Reader, out io.Writer) {
 				fmt.Fprintln(out, "error:", err)
 			} else {
 				fmt.Fprintf(out, "watching %s\n", fields[1])
+			}
+		case "unwatch":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: unwatch <name>")
+				break
+			}
+			if err := s.Unwatch(fields[1]); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				fmt.Fprintf(out, "unwatched %s\n", fields[1])
+			}
+		case "rewrite":
+			if len(fields) != 4 {
+				fmt.Fprintln(out, "usage: rewrite <func> <ordinal> <delta>")
+				break
+			}
+			ord, err1 := strconv.Atoi(fields[2])
+			delta, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(out, "usage: rewrite <func> <ordinal> <delta>")
+				break
+			}
+			if err := s.RewriteStore(fields[1], ord, int32(delta)); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			} else {
+				st := s.Engine().Stats
+				fmt.Fprintf(out, "rewrote %s store #%d by %+d bytes (%d word(s) patched, %d site(s) demoted)\n",
+					fields[1], ord, delta, st.WordsRewritten, st.Demoted)
 			}
 		case "watchlocal":
 			if len(fields) != 3 {
@@ -110,6 +140,11 @@ func REPL(s *Session, in io.Reader, out io.Writer) {
 				uint32(pc), fn, s.Machine.CPU.Cycles, s.Machine.BaseSeconds(), s.Machine.CPU.Halted)
 			for _, bp := range s.Breakpoints() {
 				fmt.Fprintf(out, "  breakpoint %-20s %v hits=%d\n", bp.Name, bp.Range, bp.Hits)
+			}
+			if eng := s.Engine(); eng != nil {
+				st := eng.Stats
+				fmt.Fprintf(out, "  repatch: installs=%d removes=%d rewrites=%d demoted=%d\n",
+					st.Installs, st.Removes, st.Rewrites, st.Demoted)
 			}
 		case "q", "quit", "exit":
 			return

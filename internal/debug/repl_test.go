@@ -108,3 +108,48 @@ func TestREPLQuitOnEOF(t *testing.T) {
 		t.Errorf("info output missing:\n%s", out)
 	}
 }
+
+// TestREPLUnwatchRewrite drives the live-mutation verbs: drop a
+// breakpoint at a break, rewrite a store in the live text, and read the
+// engine accounting back through info.
+func TestREPLUnwatchRewrite(t *testing.T) {
+	out := runREPL(t, `
+watch counter
+c
+unwatch counter
+rewrite bump 1 4
+rewrite bump 99 4
+info
+run
+q
+`)
+	for _, want := range []string{
+		"wrote 2 to",
+		"unwatched counter",
+		"rewrote bump store #1 by +4 bytes",
+		"error:",
+		"repatch: installs=1 removes=1 rewrites=1",
+		"program exited",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "rewrote bump store #99") {
+		t.Errorf("bad ordinal was reported as rewritten:\n%s", out)
+	}
+}
+
+// TestREPLRewriteWithoutEngine: strategies without a re-patching engine
+// refuse the verb with a typed error, not a crash.
+func TestREPLRewriteWithoutEngine(t *testing.T) {
+	s, err := Launch(replProg, VirtualMemory, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	REPL(s, strings.NewReader("rewrite bump 1 4\nq\n"), &out)
+	if !strings.Contains(out.String(), "no re-patching engine") {
+		t.Errorf("missing engine error:\n%s", out.String())
+	}
+}

@@ -66,6 +66,15 @@ type artifacts struct {
 	// issued by stores whose statically planned check is elided / fast.
 	// These parameterise the CPOpt analytical model.
 	elideFrac, fastFrac float64
+
+	// prog and gen pin the artifacts to the image generation they were
+	// computed against. A mid-run re-patch (NoteImageMutation) bumps the
+	// program's generation: the interproc layer, check-class plan, and
+	// prepass above all describe the pre-mutation image, so any use of
+	// an older-generation artifact must fail with StaleArtifactError
+	// instead of silently reusing invalidated decisions.
+	prog string
+	gen  uint64
 }
 
 // cacheKey identifies one (benchmark, scale) pipeline. Name and Fuel
@@ -98,10 +107,72 @@ var (
 	cacheMu sync.Mutex
 	cache   = make(map[cacheKey]*cacheEntry)
 
+	// mutGens counts mid-run image mutations per program name. An
+	// artifact built at generation g is valid only while the program's
+	// generation is still g.
+	mutGens = make(map[string]uint64)
+
 	// builds counts cold (uncached) pipeline builds, for the
 	// single-flight tests and cache diagnostics.
 	builds atomic.Int64
 )
+
+// imageGen reports program's current image generation.
+func imageGen(program string) uint64 {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return mutGens[program]
+}
+
+// StaleArtifactError reports an attempt to consume cached
+// compile/trace artifacts built before a mid-run image mutation. The
+// cached interprocedural layer, check-class plan, and replay prepass
+// all describe the pre-mutation image; reusing them silently would
+// reintroduce exactly the invalidated-optimizer-decision bugs the
+// incremental re-patching engine exists to prevent.
+type StaleArtifactError struct {
+	Program    string
+	BuiltGen   uint64
+	CurrentGen uint64
+}
+
+func (e *StaleArtifactError) Error() string {
+	return fmt.Sprintf("exp: cached artifacts for %s are stale: built at image generation %d, now %d (a mid-run re-patch invalidated the cached analysis; rebuild via cachedArtifacts)",
+		e.Program, e.BuiltGen, e.CurrentGen)
+}
+
+// fresh returns a StaleArtifactError when the artifacts predate the
+// program's latest image mutation.
+func (a *artifacts) fresh() error {
+	if cur := imageGen(a.prog); cur != a.gen {
+		return &StaleArtifactError{Program: a.prog, BuiltGen: a.gen, CurrentGen: cur}
+	}
+	return nil
+}
+
+// NoteImageMutation records a mid-run mutation of program's live image
+// (monitor install/remove, store rewrite): the program's cached
+// artifacts are evicted, and any still-held reference to them fails
+// its next use with StaleArtifactError. Hosts wire this up with
+// TrackImage; the next cachedArtifacts call rebuilds from the mutated
+// source of truth.
+func NoteImageMutation(program string) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	mutGens[program]++
+	for k := range cache {
+		if k.name == program {
+			delete(cache, k)
+		}
+	}
+}
+
+// TrackImage invalidates program's cached artifacts on every
+// successful incremental mutation of img — the glue between the live
+// re-patching engine and this cache.
+func TrackImage(img *codepatch.Image, program string) {
+	img.SetMutationHook(func() { NoteImageMutation(program) })
+}
 
 // ResetCache drops every cached compile/trace artifact. Long-running
 // hosts (the REPL, repeated benchmark harnesses) can call this to bound
@@ -122,6 +193,9 @@ func CacheSize() int {
 // streamSource returns the artifact's interned v3 stream source,
 // encoding the trace at the default blocking on first use.
 func (a *artifacts) streamSource() (*trace.SharedSource, error) {
+	if err := a.fresh(); err != nil {
+		return nil, err
+	}
 	a.streamMu.Lock()
 	defer a.streamMu.Unlock()
 	if a.streamSrc != nil {
@@ -178,14 +252,28 @@ func cachedArtifacts(p progs.Program, o *obs) (*artifacts, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.art != nil {
-		o.cacheResult(p.Name, true)
-		return e.art, nil
+		// A mutation can land between the map lookup above and taking
+		// the entry lock; an entry that went stale in that window is
+		// dead, not reusable.
+		if e.art.fresh() != nil {
+			e.art = nil
+		} else {
+			o.cacheResult(p.Name, true)
+			return e.art, nil
+		}
 	}
 	o.cacheResult(p.Name, false)
+	genAtStart := imageGen(p.Name)
 	ps := o.phase(p.Name, PhaseBuild)
 	art, err := buildArtifacts(p, o)
 	ps.done(err)
 	if err != nil {
+		return nil, err
+	}
+	art.prog, art.gen = p.Name, genAtStart
+	// A mutation that raced the build makes this result stale before it
+	// was ever cached: surface the typed error, memoise nothing.
+	if err := art.fresh(); err != nil {
 		return nil, err
 	}
 	e.art = art

@@ -63,6 +63,7 @@ var chaosScenarios = map[fault.Site]func(t *testing.T){
 	fault.SiteServeStoreRead:     chaosServeDelegated,
 	fault.SiteServeStoreWrite:    chaosServeDelegated,
 	fault.SiteServeRespond:       chaosServeDelegated,
+	fault.SiteServeRepatch:       chaosServeDelegated,
 }
 
 // chaosServeDelegated records that a serving-path site's drill runs in

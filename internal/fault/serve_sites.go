@@ -37,6 +37,12 @@ var (
 	// degraded to an uncached success. Keyed by tenant. Honors
 	// Transient and Permanent.
 	SiteServeStoreWrite = Register("serve.Store.Write")
+	// SiteServeRepatch fires at the top of an incremental session
+	// mutation (POST /v1/session with mutate_from): the server degrades
+	// an injected failure to a full recompute of the target spec, so
+	// the request still succeeds with the bit-identical result hash.
+	// Keyed by tenant. Honors Transient and Permanent.
+	SiteServeRepatch = Register("serve.Repatch")
 	// SiteServeRespond fires mid-stream, between the per-session result
 	// lines and the response trailer, modelling a response-path I/O
 	// error after the HTTP status has been committed. Keyed by tenant.

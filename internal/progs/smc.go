@@ -1,0 +1,128 @@
+package progs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SMC synthesises a self-modifying workload in the style of a template
+// interpreter with inline-cache patching (the scenario of Maebe & De
+// Bosschere's *Instrumenting self-modifying code*): a hot handler
+// funnels every result through one store site into a global slot table,
+// and the "JIT" periodically retargets that store site in the live text
+// — modelled as offset-delta rewrites of the handler's store, applied
+// through codepatch.Image.RewriteStore at the explicit-store counts of
+// SMCRewrites. The program itself is an ordinary deterministic mini-C
+// benchmark; the self-modification schedule lives beside it as data so
+// the re-patch-storm differential can apply the identical schedule to
+// the incremental engine and to the from-scratch oracle.
+//
+// Structural signature: one tiny leaf handler whose slot-table store is
+// the stable rewrite target, a mid-size dispatch loop, global tables
+// only (no heap), and a moderate write rate between ctex and qcd.
+func SMC(scale int) Program {
+	const slots = 64
+	rounds := 40 * scale
+
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("// smc: self-patching template-interpreter analogue\n")
+	w("int rs = 88675123;\n")
+	w("int slot_tab[%d];\n", slots)
+	w("int hist[16];\n")
+	w("int gen = 0;\n")
+	w("int dispatched = 0;\n")
+	w("int ROUNDS = %d;\n", rounds)
+
+	b.WriteString(`
+int rnd() {
+	rs = rs * 1103515245 + 12345;
+	return (rs >> 16) & 0x7fff;
+}
+
+// The patch target: the handler's slot_tab store (non-implicit store
+// ordinal 2 — the two traced parameter spills precede it).
+// RewriteStore shifts its offset in whole slots, retargeting which
+// entry of slot_tab the hot path updates — the inline-cache promotion
+// a self-modifying runtime performs. The index mask keeps every
+// post-rewrite target inside slot_tab (indices 0..47 plus at most
+// 8 slots of accumulated delta).
+int handler(int idx, int v) {
+	slot_tab[idx & 47] = v;
+	return v;
+}
+
+int dispatch(int n) {
+	int i;
+	int acc;
+	acc = 0;
+	for (i = 0; i < n; i = i + 1) {
+		acc = acc + handler(rnd(), (rnd() & 255) + 1);
+		dispatched = dispatched + 1;
+	}
+	return acc & 0xffff;
+}
+
+int main() {
+	int r;
+	int k;
+	int total;
+	int cs;
+	total = 0;
+	for (r = 0; r < ROUNDS; r = r + 1) {
+		total = (total + dispatch(96)) & 0xffff;
+		hist[r & 15] = total;
+		gen = gen + 1;
+	}
+	cs = total;
+	for (k = 0; k < 64; k = k + 1) {
+		cs = (cs * 31 + slot_tab[k]) & 0xffff;
+	}
+	for (k = 0; k < 16; k = k + 1) {
+		cs = (cs * 31 + hist[k]) & 0xffff;
+	}
+	print(cs);
+	print(dispatched);
+	print(gen);
+	return 0;
+}
+`)
+
+	return Program{
+		Name:        "smc",
+		Source:      b.String(),
+		Fuel:        uint64(40_000_000) * uint64(scale),
+		Description: "self-patching interpreter analogue; store sites rewritten mid-run per SMCRewrites",
+	}
+}
+
+// SMCRewrite is one step of the workload's self-modification schedule:
+// after AfterStores explicit stores have retired, add DeltaOff to the
+// offset of the Ordinal-th non-implicit store of Func (via
+// codepatch.Image.RewriteStore). Deltas are whole 4-byte slots and
+// their running sum stays within [0, 32] bytes, so every retargeted
+// store still lands inside slot_tab.
+type SMCRewrite struct {
+	Func        string
+	Ordinal     int
+	DeltaOff    int32
+	AfterStores uint64
+}
+
+// SMCRewrites returns the deterministic self-modification schedule for
+// SMC(scale). The schedule is part of the workload's definition: two
+// runs are comparable only if both applied it at the same store counts.
+func SMCRewrites(scale int) []SMCRewrite {
+	if scale < 1 {
+		scale = 1
+	}
+	span := uint64(scale)
+	return []SMCRewrite{
+		{Func: "handler", Ordinal: 2, DeltaOff: +4, AfterStores: 400 * span},
+		{Func: "handler", Ordinal: 2, DeltaOff: +8, AfterStores: 900 * span},
+		{Func: "handler", Ordinal: 2, DeltaOff: -4, AfterStores: 1500 * span},
+		{Func: "handler", Ordinal: 2, DeltaOff: +16, AfterStores: 2200 * span},
+		{Func: "handler", Ordinal: 2, DeltaOff: -8, AfterStores: 3000 * span},
+	}
+}

@@ -55,14 +55,18 @@ const (
 var serveDrills = map[fault.Site]struct {
 	kinds   []fault.Kind
 	outcome drillOutcome
+	// mutate routes the victim's submissions to POST /v1/session with a
+	// mutate_from header — the only path that reaches the site.
+	mutate bool
 }{
-	fault.SiteServeDecode:        {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeTypedError},
-	fault.SiteServeDecodeCorrupt: {[]fault.Kind{fault.Corrupt}, outcomeBadRequest},
-	fault.SiteServeAdmit:         {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeTypedError},
-	fault.SiteServeReplay:        {[]fault.Kind{fault.Transient, fault.Permanent, fault.Panic}, outcomeTypedError},
-	fault.SiteServeStoreRead:     {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeDegraded},
-	fault.SiteServeStoreWrite:    {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeDegraded},
-	fault.SiteServeRespond:       {[]fault.Kind{fault.Transient, fault.Permanent}, outcomeTruncatedStream},
+	fault.SiteServeDecode:        {kinds: []fault.Kind{fault.Transient, fault.Permanent}, outcome: outcomeTypedError},
+	fault.SiteServeDecodeCorrupt: {kinds: []fault.Kind{fault.Corrupt}, outcome: outcomeBadRequest},
+	fault.SiteServeAdmit:         {kinds: []fault.Kind{fault.Transient, fault.Permanent}, outcome: outcomeTypedError},
+	fault.SiteServeReplay:        {kinds: []fault.Kind{fault.Transient, fault.Permanent, fault.Panic}, outcome: outcomeTypedError},
+	fault.SiteServeStoreRead:     {kinds: []fault.Kind{fault.Transient, fault.Permanent}, outcome: outcomeDegraded},
+	fault.SiteServeStoreWrite:    {kinds: []fault.Kind{fault.Transient, fault.Permanent}, outcome: outcomeDegraded},
+	fault.SiteServeRepatch:       {kinds: []fault.Kind{fault.Transient, fault.Permanent}, outcome: outcomeDegraded, mutate: true},
+	fault.SiteServeRespond:       {kinds: []fault.Kind{fault.Transient, fault.Permanent}, outcome: outcomeTruncatedStream},
 }
 
 // TestServeChaosCoversEverySite fails when a serving site is
@@ -130,14 +134,14 @@ func TestServeChaosDrills(t *testing.T) {
 				// One server and one pair of fault-free baselines for
 				// the whole seed sweep: drills only vary the plan.
 				srv := startServer(t, serve.Config{Workers: 2, Retries: 0})
-				victim, bystander := client(srv, "victim"), client(srv, "bystander")
-				vBase := victim.Submit(context.Background(), victimHdr(), payload)
+				victim, bystander := drillVictim(srv, spec.mutate), client(srv, "bystander")
+				vBase := victim.Submit(context.Background(), drillVictimHdr(spec.mutate), payload)
 				bBase := bystander.Submit(context.Background(), bystanderHdr(), payload)
 				if vBase.Failed() || bBase.Failed() {
 					t.Fatalf("baseline failed: victim=%v bystander=%v", vBase.Err, bBase.Err)
 				}
 				for seed := int64(0); seed < chaosSeeds; seed++ {
-					runDrill(t, srv, site, kind, spec.outcome, seed, payload, vBase, bBase)
+					runDrill(t, srv, site, kind, spec.outcome, spec.mutate, seed, payload, vBase, bBase)
 				}
 			})
 		}
@@ -167,12 +171,39 @@ func bystanderHdr() *serve.RequestHeader {
 	return &serve.RequestHeader{Sessions: serve.SessionSpec{MaxSessions: 7}}
 }
 
+// Mutate drills need a session-mutation victim: same tenant, but the
+// submission declares a base spec and rides POST /v1/session. The
+// drill server has no artifact store, so the fault-free path already
+// degrades to a full recompute — the drill's baseline SHA is the
+// target spec's direct result either way.
+func mutateVictimHdr() *serve.RequestHeader {
+	return &serve.RequestHeader{
+		Sessions:   serve.SessionSpec{MaxSessions: 5},
+		MutateFrom: &serve.SessionSpec{MaxSessions: 3},
+	}
+}
+
+func drillVictimHdr(mutate bool) *serve.RequestHeader {
+	if mutate {
+		return mutateVictimHdr()
+	}
+	return victimHdr()
+}
+
+func drillVictim(srv *serve.Server, mutate bool) *loadgen.Client {
+	c := client(srv, "victim")
+	if mutate {
+		c.Path = "/v1/session"
+	}
+	return c
+}
+
 // runDrill executes one (site, kind, seed) cell of the matrix against
 // the shared drill server. Retries are off on that server: the drill
 // asserts the raw typed error; retry absorption has its own test.
-func runDrill(t *testing.T, srv *serve.Server, site fault.Site, kind fault.Kind, outcome drillOutcome, seed int64, payload []byte, vBase, bBase *loadgen.Result) {
+func runDrill(t *testing.T, srv *serve.Server, site fault.Site, kind fault.Kind, outcome drillOutcome, mutate bool, seed int64, payload []byte, vBase, bBase *loadgen.Result) {
 	t.Helper()
-	victim, bystander := client(srv, "victim"), client(srv, "bystander")
+	victim, bystander := drillVictim(srv, mutate), client(srv, "bystander")
 
 	// Arm: one-shot fault on the victim's key, firing on the
 	// (seed%2+1)-th matching invocation — seeds vary both the plan
@@ -191,7 +222,7 @@ func runDrill(t *testing.T, srv *serve.Server, site fault.Site, kind fault.Kind,
 		go func() {
 			bres <- bystander.Submit(context.Background(), bystanderHdr(), payload)
 		}()
-		res := victim.Submit(context.Background(), victimHdr(), payload)
+		res := victim.Submit(context.Background(), drillVictimHdr(mutate), payload)
 		if b := <-bres; b.Failed() || b.ResultSHA != bBase.ResultSHA {
 			t.Fatalf("seed %d: bystander perturbed by victim's %s fault: code=%d err=%v sha match=%v",
 				seed, kind, b.Code, b.Err, b.ResultSHA == bBase.ResultSHA)
@@ -210,7 +241,7 @@ func runDrill(t *testing.T, srv *serve.Server, site fault.Site, kind fault.Kind,
 
 	// Fault cleared: the victim's retry succeeds bit-identically.
 	fault.Deactivate()
-	retry := victim.Submit(context.Background(), victimHdr(), payload)
+	retry := victim.Submit(context.Background(), drillVictimHdr(mutate), payload)
 	if retry.Failed() || retry.ResultSHA != vBase.ResultSHA {
 		t.Fatalf("seed %d: post-fault retry not bit-identical: err=%v sha match=%v",
 			seed, retry.Err, retry.ResultSHA == vBase.ResultSHA)

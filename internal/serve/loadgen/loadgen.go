@@ -33,6 +33,9 @@ type Client struct {
 	// MaxAttempts bounds retries of shed requests (429/503 with
 	// Retry-After); 0 means 5.
 	MaxAttempts int
+	// Path is the endpoint to POST to; "" means "/v1/replay". Session
+	// mutations go to "/v1/session".
+	Path string
 	// HTTP is the transport; nil uses a dedicated client.
 	HTTP *http.Client
 }
@@ -123,7 +126,11 @@ func (c *Client) SubmitHashFirst(ctx context.Context, hdr *serve.RequestHeader, 
 // res on success. Returns the status code and the server's suggested
 // retry delay for shed responses.
 func (c *Client) once(ctx context.Context, envelope []byte, res *Result) (int, time.Duration, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/replay", bytes.NewReader(envelope))
+	path := c.Path
+	if path == "" {
+		path = "/v1/replay"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(envelope))
 	if err != nil {
 		return 0, 0, err
 	}

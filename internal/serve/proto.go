@@ -165,6 +165,18 @@ type RequestHeader struct {
 	// hash-only submissions; on full uploads the server verifies it
 	// against the computed hash and rejects a mismatch.
 	ContentSHA256 string `json:"content_sha256,omitempty"`
+	// MutateFrom marks a session-mutation submission (POST
+	// /v1/session): the tenant previously replayed this trace under the
+	// MutateFrom spec and now wants the Sessions spec — typically a
+	// grown watch set. The server derives the base submission's content
+	// hash from the *uploaded* trace bytes plus this spec (so a stale
+	// or foreign base can never be reused: content addressing pins the
+	// base to the identical trace), reuses the base artifact's rows by
+	// discovery index, and replays only the added sessions. MutateFrom
+	// is excluded from the content hash: a mutation and a direct
+	// submission of the same target spec are the same content and must
+	// dedupe. Rejected on /v1/replay.
+	MutateFrom *SessionSpec `json:"mutate_from,omitempty"`
 }
 
 // Request is one decoded replay submission.
@@ -351,6 +363,9 @@ func DecodeRequest(data []byte, maxBytes int64) (*Request, error) {
 		return nil, d.errAt(0, "negative shards")
 	}
 	if len(tb) == 0 {
+		if hdr.MutateFrom != nil {
+			return nil, d.errAt(d.off, "mutate_from requires the full trace payload")
+		}
 		if hdr.ContentSHA256 == "" {
 			return nil, d.errAt(d.off, "empty trace frame without a declared content hash")
 		}

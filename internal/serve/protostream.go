@@ -194,6 +194,9 @@ func DecodeRequestStream(r io.Reader, maxBytes int64, spoolDir string) (*Request
 		if err := expectEOF(d, maxBytes); err != nil {
 			return nil, err
 		}
+		if hdr.MutateFrom != nil {
+			return nil, d.errAt(d.off, "mutate_from requires the full trace payload")
+		}
 		if hdr.ContentSHA256 == "" {
 			return nil, d.errAt(d.off, "empty trace frame without a declared content hash")
 		}

@@ -160,6 +160,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/replay", s.handleReplay)
+	mux.HandleFunc("POST /v1/session", s.handleSession)
 	mux.HandleFunc("POST /v1/experiment", s.handleExperiment)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -343,6 +344,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // handleReplay is the submission path. See the package comment for
 // the stage order; every rejection is a typed, tenant-scoped error.
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	s.handleSubmission(w, r, false)
+}
+
+// handleSession is the live session-mutation path: the same envelope
+// as /v1/replay with mutate_from set — the tenant grows (or shrinks)
+// an existing submission's watch set, and the server reuses the base
+// artifact's rows instead of replaying every session from scratch.
+// Everything between the socket and the resolve step is shared with
+// /v1/replay: a mutation is admitted, rate-limited, and
+// breaker-guarded exactly like a fresh submission.
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	s.handleSubmission(w, r, true)
+}
+
+func (s *Server) handleSubmission(w http.ResponseWriter, r *http.Request, mutate bool) {
 	start := time.Now()
 	tenant := tenantOf(r)
 	ts := s.tenants.get(tenant)
@@ -415,6 +431,19 @@ func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer req.Cleanup()
+
+	// The two endpoints accept the same envelope; mutate_from is what
+	// distinguishes them, so its presence must match the route.
+	if mutate && req.Header.MutateFrom == nil {
+		s.writeErr(w, tenant, http.StatusBadRequest,
+			specErrf("serve: session mutation without mutate_from (use /v1/replay)"))
+		return
+	}
+	if !mutate && req.Header.MutateFrom != nil {
+		s.writeErr(w, tenant, http.StatusBadRequest,
+			specErrf("serve: mutate_from requires POST /v1/session"))
+		return
+	}
 
 	// Hash-only fast path: serve from the store or a concurrent
 	// identical upload; otherwise tell the client to send the bytes.
@@ -509,9 +538,15 @@ func (s *Server) resolve(ctx context.Context, tenant string, ts *tenantState, re
 		rb.record(err, time.Now())
 		return art, true, err
 	}
-	art, err := s.disp.run(ctx, tenant, func(ctx context.Context) (*Artifact, error) {
+	compute := func(ctx context.Context) (*Artifact, error) {
 		return computeArtifact(tenant, req)
-	})
+	}
+	if req.Header.MutateFrom != nil {
+		compute = func(ctx context.Context) (*Artifact, error) {
+			return s.computeMutated(tenant, ts, req)
+		}
+	}
+	art, err := s.disp.run(ctx, tenant, compute)
 	rb.record(err, time.Now())
 	if err != nil {
 		fail(err)

@@ -1,0 +1,180 @@
+// Session-mutation end-to-end tests: a live tenant grows its watch
+// set through POST /v1/session and the server answers from the base
+// artifact plus a replay of only the added sessions. The contract
+// under test is bit-identity — the merged artifact must carry the
+// same ResultSHA as a from-scratch submission of the target spec —
+// plus the degraded paths (no base artifact, spooled upload) and the
+// endpoint validation rules.
+package serve_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"edb/internal/obsv"
+	"edb/internal/serve"
+	"edb/internal/serve/loadgen"
+)
+
+func mutationHdr(base, target int) *serve.RequestHeader {
+	return &serve.RequestHeader{
+		Sessions:   serve.SessionSpec{MaxSessions: target},
+		MutateFrom: &serve.SessionSpec{MaxSessions: base},
+	}
+}
+
+func sessionClient(srv *serve.Server, tenant string) *loadgen.Client {
+	c := client(srv, tenant)
+	c.Path = "/v1/session"
+	return c
+}
+
+func metricsText(t *testing.T, srv *serve.Server) string {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestServerSessionMutation: the incremental path. Submit a base spec,
+// mutate it to a grown spec, and check the merged result against both
+// a dedupe probe on the same server and a from-scratch computation on
+// an independent one.
+func TestServerSessionMutation(t *testing.T) {
+	_, payload := testWorkload(t)
+	srv := startServer(t, serve.Config{StoreDir: t.TempDir(), Metrics: obsv.NewMetrics()})
+	ctx := context.Background()
+
+	base := client(srv, "mut").Submit(ctx, &serve.RequestHeader{
+		Sessions: serve.SessionSpec{MaxSessions: 3},
+	}, payload)
+	if base.Failed() {
+		t.Fatalf("base submission failed: code=%d err=%v", base.Code, base.Err)
+	}
+
+	grown := sessionClient(srv, "mut").Submit(ctx, mutationHdr(3, 8), payload)
+	if grown.Failed() {
+		t.Fatalf("mutation failed: code=%d err=%v", grown.Code, grown.Err)
+	}
+	if grown.Cached {
+		t.Fatal("first mutation claims a cache hit")
+	}
+	if grown.Sessions <= base.Sessions {
+		t.Fatalf("mutation did not grow the watch set: %d -> %d sessions", base.Sessions, grown.Sessions)
+	}
+	if !strings.Contains(metricsText(t, srv), "edb_serve_repatch_incremental_total") {
+		t.Error("mutation with a stored base did not take the incremental path")
+	}
+
+	// The merged artifact committed under the direct submission's
+	// content hash: a /v1/replay of the target spec dedupes onto it.
+	direct := client(srv, "mut").Submit(ctx, &serve.RequestHeader{
+		Sessions: serve.SessionSpec{MaxSessions: 8},
+	}, payload)
+	if direct.Failed() || !direct.Cached || direct.ResultSHA != grown.ResultSHA {
+		t.Fatalf("direct target submission: cached=%v sha match=%v err=%v",
+			direct.Cached, direct.ResultSHA == grown.ResultSHA, direct.Err)
+	}
+
+	// And it is bit-identical to a from-scratch computation elsewhere.
+	ref := startServer(t, serve.Config{})
+	want := client(ref, "mut").Submit(ctx, &serve.RequestHeader{
+		Sessions: serve.SessionSpec{MaxSessions: 8},
+	}, payload)
+	if want.Failed() {
+		t.Fatal(want.Err)
+	}
+	if grown.ResultSHA != want.ResultSHA {
+		t.Fatalf("merged artifact diverges from from-scratch computation: %s vs %s",
+			grown.ResultSHA, want.ResultSHA)
+	}
+}
+
+// TestServerSessionMutationDegrades: a mutation that cannot find its
+// base artifact (no store) or cannot derive the base hash (spooled
+// upload) silently falls back to a full recompute — slower, never
+// wrong.
+func TestServerSessionMutationDegrades(t *testing.T) {
+	_, payload := testWorkload(t)
+	ctx := context.Background()
+
+	ref := startServer(t, serve.Config{})
+	want := client(ref, "deg").Submit(ctx, &serve.RequestHeader{
+		Sessions: serve.SessionSpec{MaxSessions: 6},
+	}, payload)
+	if want.Failed() {
+		t.Fatal(want.Err)
+	}
+
+	// No artifact store: the base lookup misses.
+	storeless := startServer(t, serve.Config{Metrics: obsv.NewMetrics()})
+	res := sessionClient(storeless, "deg").Submit(ctx, mutationHdr(2, 6), payload)
+	if res.Failed() || res.ResultSHA != want.ResultSHA {
+		t.Fatalf("base-miss mutation: code=%d sha match=%v err=%v",
+			res.Code, res.ResultSHA == want.ResultSHA, res.Err)
+	}
+	if !strings.Contains(metricsText(t, storeless), `reason="base-miss"`) {
+		t.Error("base-miss degrade not counted")
+	}
+
+	// Spooled upload: the envelope exceeds MaxBodyBuffer, so the raw
+	// trace bytes are never resident and the base hash cannot be
+	// derived.
+	spooling := startServer(t, serve.Config{
+		StoreDir: t.TempDir(), MaxBodyBuffer: 1024, Metrics: obsv.NewMetrics(),
+	})
+	if b := client(spooling, "deg").Submit(ctx, &serve.RequestHeader{
+		Sessions: serve.SessionSpec{MaxSessions: 2},
+	}, payload); b.Failed() {
+		t.Fatal(b.Err)
+	}
+	sp := sessionClient(spooling, "deg").Submit(ctx, mutationHdr(2, 6), payload)
+	if sp.Failed() || sp.ResultSHA != want.ResultSHA {
+		t.Fatalf("spooled mutation: code=%d sha match=%v err=%v",
+			sp.Code, sp.ResultSHA == want.ResultSHA, sp.Err)
+	}
+	if !strings.Contains(metricsText(t, spooling), `reason="spooled"`) {
+		t.Error("spooled degrade not counted")
+	}
+}
+
+// TestServerSessionMutationValidation: the endpoint rules. mutate_from
+// belongs on /v1/session, with a full trace payload, and nowhere else.
+func TestServerSessionMutationValidation(t *testing.T) {
+	_, payload := testWorkload(t)
+	srv := startServer(t, serve.Config{})
+	ctx := context.Background()
+
+	// mutate_from on the plain replay endpoint.
+	if res := client(srv, "v").Submit(ctx, mutationHdr(2, 6), payload); res.Code != http.StatusBadRequest ||
+		res.Err == nil || !strings.Contains(res.Err.Error(), "/v1/session") {
+		t.Errorf("mutate_from on /v1/replay: code=%d err=%v, want 400", res.Code, res.Err)
+	}
+	// A session mutation without a declared base.
+	if res := sessionClient(srv, "v").Submit(ctx, &serve.RequestHeader{
+		Sessions: serve.SessionSpec{MaxSessions: 6},
+	}, payload); res.Code != http.StatusBadRequest ||
+		res.Err == nil || !strings.Contains(res.Err.Error(), "mutate_from") {
+		t.Errorf("session without mutate_from: code=%d err=%v, want 400", res.Code, res.Err)
+	}
+	// Hash-only mutation: the base hash is derived from the uploaded
+	// trace bytes, so a bare content hash cannot carry a mutation.
+	hashOnly := mutationHdr(2, 6)
+	hashOnly.ContentSHA256 = serve.HashRequest(&serve.RequestHeader{
+		Sessions: serve.SessionSpec{MaxSessions: 6},
+	}, payload)
+	if res := sessionClient(srv, "v").Submit(ctx, hashOnly, nil); res.Code != http.StatusBadRequest ||
+		res.Err == nil || !strings.Contains(res.Err.Error(), "full trace payload") {
+		t.Errorf("hash-only mutation: code=%d err=%v, want 400", res.Code, res.Err)
+	}
+}

@@ -63,6 +63,12 @@ type Tracer struct {
 	fnCount   map[string]int
 	truncated bool
 
+	// Monitor-churn schedule (see Churn): churn[churnNext] fires once
+	// writeCount reaches its threshold.
+	churn      []churnStep
+	churnNext  int
+	writeCount uint64
+
 	// sink, when set (RunStreamed), receives every event as it
 	// happens instead of t.tr.Events — the tracer never materialises
 	// the trace. sinkErr is sticky: the first append failure stops
@@ -72,8 +78,15 @@ type Tracer struct {
 }
 
 type lifetimeObj struct {
-	id objects.ID
-	r  arch.Range
+	sym string
+	id  objects.ID
+	r   arch.Range
+}
+
+// churnStep is one armed ChurnPoint, resolved to a lifetime object.
+type churnStep struct {
+	at  uint64
+	idx int // index into t.lifetime
 }
 
 // New attaches a tracer to the machine. It must be called before Run,
@@ -108,7 +121,7 @@ func New(m *kernel.Machine, program string) *Tracer {
 				Kind: objects.KindLocalStatic, Func: f.Name, Name: sym,
 				SizeBytes: r.Len(),
 			})
-			t.lifetime = append(t.lifetime, lifetimeObj{id: id, r: r})
+			t.lifetime = append(t.lifetime, lifetimeObj{sym: sym, id: id, r: r})
 		}
 	}
 	// Globals: every data symbol that is not a function static, in
@@ -130,7 +143,7 @@ func New(m *kernel.Machine, program string) *Tracer {
 		id := t.tab.Add(objects.Object{
 			Kind: objects.KindGlobal, Name: sym, SizeBytes: r.Len(),
 		})
-		t.lifetime = append(t.lifetime, lifetimeObj{id: id, r: r})
+		t.lifetime = append(t.lifetime, lifetimeObj{sym: sym, id: id, r: r})
 	}
 
 	cpu := m.CPU
@@ -168,6 +181,55 @@ func (t *Tracer) onStore(ba, ea, pc arch.Addr) {
 		return
 	}
 	t.emit(trace.Event{Kind: trace.EvWrite, BA: ba, EA: ea, PC: pc})
+	t.writeCount++
+	for t.churnNext < len(t.churn) && t.churn[t.churnNext].at <= t.writeCount {
+		lo := t.lifetime[t.churn[t.churnNext].idx]
+		t.emit(trace.Event{Kind: trace.EvRemove, Obj: lo.id, BA: lo.r.BA, EA: lo.r.EA})
+		t.emit(trace.Event{Kind: trace.EvInstall, Obj: lo.id, BA: lo.r.BA, EA: lo.r.EA})
+		t.churnNext++
+	}
+}
+
+// ChurnPoint is one step of an opt-in monitor-churn schedule: once
+// AfterWrites explicit stores have been traced, the program-lifetime
+// monitor for the global or static Sym is removed and immediately
+// re-installed in the event stream. This is the trace-level image of a
+// live session mutation — a debugger (or an edb-serve tenant) dropping
+// and re-adding a watchpoint mid-run — and it keys on the explicit
+// store count, the same deterministic clock the re-patch storm uses, so
+// two traces of the same program under the same schedule are identical.
+type ChurnPoint struct {
+	Sym         string
+	AfterWrites uint64
+}
+
+// Churn arms a monitor-churn schedule. It must be called before Run or
+// RunStreamed. Points may arrive in any order; they fire sorted by
+// threshold (ties in the given order). The resulting trace stays
+// balanced and exclusive — every remove is followed by an install of
+// the same object and range — so replay in any engine (sequential,
+// sharded, streamed) must agree bit-identically with the unchurned
+// session semantics aside from the extra install/remove counts.
+func (t *Tracer) Churn(points []ChurnPoint) error {
+	byName := make(map[string]int, len(t.lifetime))
+	for i, lo := range t.lifetime {
+		byName[lo.sym] = i
+	}
+	steps := make([]churnStep, 0, len(points))
+	for _, p := range points {
+		idx, ok := byName[p.Sym]
+		if !ok {
+			return fmt.Errorf("tracer: churn point names unknown lifetime symbol %q", p.Sym)
+		}
+		if p.AfterWrites == 0 {
+			return fmt.Errorf("tracer: churn point for %q has zero threshold", p.Sym)
+		}
+		steps = append(steps, churnStep{at: p.AfterWrites, idx: idx})
+	}
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
+	t.churn = steps
+	t.churnNext = 0
+	return nil
 }
 
 func (t *Tracer) pushFunc(funcIdx int, fp arch.Addr) {

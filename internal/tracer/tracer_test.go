@@ -433,3 +433,156 @@ func TestTraceDeterministic(t *testing.T) {
 		lastBA = e.BA
 	}
 }
+
+// TestChurnEmitsMidStreamEvents: an armed churn schedule injects a
+// remove/install pair for the named lifetime object at each explicit-
+// write threshold, and the result is still a balanced, exclusive trace.
+func TestChurnEmitsMidStreamEvents(t *testing.T) {
+	src := `
+	int g; int h;
+	int main() {
+		int i;
+		for (i = 0; i < 20; i = i + 1) { g = g + i; h = h - i; }
+		return 0;
+	}`
+	img, err := minic.CompileToImage(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := New(m, "churn")
+	// Out of order on purpose: Churn sorts by threshold.
+	if err := tc.Churn([]ChurnPoint{
+		{Sym: "g", AfterWrites: 30},
+		{Sym: "g", AfterWrites: 10},
+		{Sym: "h", AfterWrites: 10},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tc.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("churned trace invalid: %v", err)
+	}
+	if err := tr.ValidateExclusive(); err != nil {
+		t.Fatalf("churned trace not exclusive: %v", err)
+	}
+	gObj, ok := findObj(tr, objects.KindGlobal, "", "g")
+	if !ok {
+		t.Fatal("no object for g")
+	}
+	hObj, ok := findObj(tr, objects.KindGlobal, "", "h")
+	if !ok {
+		t.Fatal("no object for h")
+	}
+	// Lifetime install + 2 churn re-installs for g, + 1 for h.
+	if ins, rem := eventsFor(tr, gObj.ID); ins != 3 || rem != 3 {
+		t.Errorf("g: %d installs / %d removes, want 3/3", ins, rem)
+	}
+	if ins, rem := eventsFor(tr, hObj.ID); ins != 2 || rem != 2 {
+		t.Errorf("h: %d installs / %d removes, want 2/2", ins, rem)
+	}
+	// Every churn remove is immediately followed by the re-install of
+	// the same object over the same range.
+	churns := 0
+	for i, e := range tr.Events {
+		if e.Kind != trace.EvRemove || i+1 >= len(tr.Events) {
+			continue
+		}
+		next := tr.Events[i+1]
+		if next.Kind == trace.EvInstall && next.Obj == e.Obj {
+			if next.BA != e.BA || next.EA != e.EA {
+				t.Errorf("churn re-install range %v..%v != removed %v..%v", next.BA, next.EA, e.BA, e.EA)
+			}
+			churns++
+		}
+	}
+	if churns != 3 {
+		t.Errorf("found %d adjacent remove/install pairs, want 3", churns)
+	}
+}
+
+func TestChurnValidation(t *testing.T) {
+	img, err := minic.CompileToImage(`int g; int main() { g = 1; return 0; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := kernel.NewMachine(img, arch.PageSize4K)
+	tc := New(m, "churn")
+	if err := tc.Churn([]ChurnPoint{{Sym: "ghost", AfterWrites: 1}}); err == nil {
+		t.Error("unknown symbol accepted")
+	}
+	if err := tc.Churn([]ChurnPoint{{Sym: "g", AfterWrites: 0}}); err == nil {
+		t.Error("zero threshold accepted")
+	}
+}
+
+// TestChurnStreamedBitIdentical: the churn schedule keys on the
+// explicit-write count, so the streamed writer and the materialise-
+// then-encode path must stay byte-identical — mid-stream session
+// mutation does not perturb replayable trace I/O.
+func TestChurnStreamedBitIdentical(t *testing.T) {
+	src := `
+	int g; int acc;
+	int f(int n) { g = g + n; return g; }
+	int main() {
+		int i;
+		for (i = 0; i < 40; i = i + 1) { acc = acc + f(i); }
+		return 0;
+	}`
+	img, err := minic.CompileToImage(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedule := []ChurnPoint{
+		{Sym: "g", AfterWrites: 7},
+		{Sym: "acc", AfterWrites: 19},
+		{Sym: "g", AfterWrites: 44},
+	}
+	m1, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := New(m1, "churn")
+	if err := t1.Churn(schedule); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := t1.Run(50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := trace.WriteTo(&want, tr, trace.WriteOptions{Version: 3, BlockEvents: 16}); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := kernel.NewMachine(img, arch.PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := New(m2, "churn")
+	if err := t2.Churn(schedule); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	tw, err := trace.NewWriter(&got, trace.WriterOptions{
+		Program: "churn", Objects: t2.Objects(), BlockEvents: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.RunStreamed(50_000_000, tw); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("streamed churned v3 bytes diverge from materialised (%d vs %d bytes)", got.Len(), want.Len())
+	}
+}

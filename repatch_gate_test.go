@@ -1,0 +1,376 @@
+// The incremental re-patching bench gate (`make repatch-gate`): holds
+// the live engine's claim — mutating a running image's watch set must
+// be far cheaper than the stop-the-world alternative — to the
+// committed BENCH_repatch.json numbers. Two checks:
+//
+//	(a) static: the committed file itself must still document the win —
+//	    applying a 33-monitor watch-set change to a live image
+//	    (InstallMonitor/RemoveMonitor) and toggling a store rewrite
+//	    (RewriteStore + dependence-map demotion + re-verification) must
+//	    both be recorded at ≥3x faster than a full re-patch of the same
+//	    live session (compile + patch + verify + assemble + machine +
+//	    attach + reinstall + re-execute the debuggee back to its pause
+//	    point). This runs in every `go test ./...` (it reads JSON, no
+//	    benchmarking).
+//
+//	(b) dynamic (opt-in, EDB_REPATCH_BENCH=1): re-measure all three
+//	    paths on this host — identical program, identical 33-monitor
+//	    set, best-of-three benchmark minima — and fail if a live ratio
+//	    falls below 3x or an incremental path regressed >slack against
+//	    its committed ns/op. EDB_REPATCH_BENCH_SLACK overrides the 25%
+//	    regression slack; the 3x ratios take no slack because both
+//	    sides are measured back-to-back on the same host.
+//
+// EDB_REGEN_REPATCH_BENCH=1 re-measures and rewrites the baseline.
+package edb_test
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"sort"
+	"strconv"
+	"testing"
+
+	"edb/internal/analysis"
+	"edb/internal/arch"
+	"edb/internal/asm"
+	"edb/internal/core/codepatch"
+	"edb/internal/kernel"
+	"edb/internal/minic"
+	"edb/internal/progs"
+)
+
+const (
+	repatchBenchFile = "BENCH_repatch.json"
+	repatchBenchInc  = "Repatch/incremental-watchset"
+	repatchBenchRw   = "Repatch/incremental-rewrite"
+	repatchBenchFull = "Repatch/full-rebuild"
+
+	// repatchMonitors is the gate's watch-set size: one op installs (and
+	// removes) this many word-granular monitors.
+	repatchMonitors = 33
+	// repatchWin is the required incremental-over-full speedup.
+	repatchWin = 3.0
+	// repatchFuel bounds the debuggee runs (bps completes well within).
+	repatchFuel = 200_000_000
+)
+
+type repatchBaseline struct {
+	Workload struct {
+		Program  string `json:"program"`
+		Monitors int    `json:"monitors"`
+	} `json:"workload"`
+	Benchmarks map[string]struct {
+		NsOp     int64 `json:"ns_op"`
+		AllocsOp int64 `json:"allocs_op"`
+	} `json:"benchmarks"`
+}
+
+func loadRepatchBaseline(t *testing.T) *repatchBaseline {
+	t.Helper()
+	data, err := os.ReadFile(repatchBenchFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base repatchBaseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		t.Fatal(err)
+	}
+	return &base
+}
+
+// repatchGateFixture is the gate workload: a live optimized bps image
+// plus the 33-monitor set (word-granular ranges over its data
+// segment) and a probed rewrite target.
+type repatchGateFixture struct {
+	prog   progs.Program
+	img    *codepatch.Image
+	ranges []arch.Range
+	// rwFn is a function whose store #0 tolerates a ±4 offset toggle
+	// (probed at setup; restored immediately).
+	rwFn string
+}
+
+func repatchGateSetup(tb testing.TB) *repatchGateFixture {
+	tb.Helper()
+	p, err := progs.ByName("bps", 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	fx := &repatchGateFixture{prog: p, img: buildRepatchImage(tb, p)}
+	// Run the debuggee to completion first: the incremental ops are
+	// measured against a fact-laden live image (executed-check table,
+	// miss cache populated), the steady state a real mid-run mutation
+	// sees — an empty-table image would flatter the linear invalidation
+	// scans.
+	if err := fx.img.M.Run(repatchFuel); err != nil {
+		tb.Fatal(err)
+	}
+
+	// The 33-monitor set: word-granular ranges walked across the data
+	// symbols in address order, so the set is deterministic.
+	data := fx.img.M.Image.Data
+	names := make([]string, 0, len(data))
+	for name := range data {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(a, b int) bool { return data[names[a]].BA < data[names[b]].BA })
+	for _, name := range names {
+		r := data[name]
+		for a := r.BA; a+4 <= r.EA && len(fx.ranges) < repatchMonitors; a += 4 {
+			fx.ranges = append(fx.ranges, arch.Range{BA: a, EA: a + 4})
+		}
+		if len(fx.ranges) == repatchMonitors {
+			break
+		}
+	}
+	if len(fx.ranges) < repatchMonitors {
+		tb.Fatalf("bps data segment yields only %d word ranges, need %d", len(fx.ranges), repatchMonitors)
+	}
+
+	// Probe a rewritable store: first function whose store #0 accepts a
+	// +4 offset delta (undone at once, so the image stays canonical up
+	// to demotions — which is the steady state the benchmark measures).
+	for _, f := range fx.img.Prog.Funcs {
+		if err := fx.img.RewriteStore(f.Name, 0, 4); err == nil {
+			if err := fx.img.RewriteStore(f.Name, 0, -4); err != nil {
+				tb.Fatal(err)
+			}
+			fx.rwFn = f.Name
+			break
+		} else if !errors.Is(err, codepatch.ErrNoSuchStore) && !errors.Is(err, codepatch.ErrImmOverflow) {
+			tb.Fatal(err)
+		}
+	}
+	if fx.rwFn == "" {
+		tb.Fatal("no rewritable store in the bps image")
+	}
+	return fx
+}
+
+func buildRepatchImage(tb testing.TB, p progs.Program) *codepatch.Image {
+	tb.Helper()
+	prog, err := minic.Compile(p.Source)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	img, err := codepatch.BuildImage(prog, codepatch.PatchOptions{Optimize: true}, arch.PageSize4K, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return img
+}
+
+// incrementalWatchset is one incremental op: grow the live watch set
+// to the full monitor set, then shrink it back — no recompile, no
+// re-verify, no machine rebuild.
+func (fx *repatchGateFixture) incrementalWatchset(tb testing.TB) {
+	for _, r := range fx.ranges {
+		if err := fx.img.InstallMonitor(r.BA, r.EA); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	for _, r := range fx.ranges {
+		if err := fx.img.RemoveMonitor(r.BA, r.EA); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// incrementalRewrite is one incremental self-modifying-code op: toggle
+// a store offset out and back, paying the in-place text writes, the
+// dependence-map demotion sweep, and two soundness re-verifications.
+func (fx *repatchGateFixture) incrementalRewrite(tb testing.TB) {
+	if err := fx.img.RewriteStore(fx.rwFn, 0, 4); err != nil {
+		tb.Fatal(err)
+	}
+	if err := fx.img.RewriteStore(fx.rwFn, 0, -4); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// fullRebuild is one stop-the-world op: the entire ahead-of-time
+// pipeline — compile, optimized patch, interprocedural verification,
+// assemble, machine, attach — plus reinstalling the watch set and
+// re-executing the debuggee. The replay is not optional garnish: a
+// from-scratch re-patch abandons the live machine, so a session
+// paused mid-run must re-execute to its pause point before debugging
+// can continue — exactly the cost the incremental engine exists to
+// avoid. The gate charges one full program run for it, matching the
+// execution the incremental image's preflight performed.
+func (fx *repatchGateFixture) fullRebuild(tb testing.TB) {
+	prog, err := minic.Compile(fx.prog.Source)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := codepatch.PatchWithOptions(prog, codepatch.PatchOptions{Optimize: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if v := analysis.VerifyPatchedWithDeps(prog, res.DepMap); len(v) > 0 {
+		tb.Fatalf("rebuild unsound: %v", v[0])
+	}
+	timg, err := asm.Assemble(prog)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := kernel.NewMachine(timg, arch.PageSize4K)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	w, err := codepatch.Attach(m, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, r := range fx.ranges {
+		if err := w.InstallMonitor(r.BA, r.EA); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := m.Run(repatchFuel); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// BenchmarkRepatch is the measurement behind BENCH_repatch.json.
+func BenchmarkRepatch(b *testing.B) {
+	fx := repatchGateSetup(b)
+	b.Run("incremental-watchset", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fx.incrementalWatchset(b)
+		}
+	})
+	b.Run("incremental-rewrite", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fx.incrementalRewrite(b)
+		}
+	})
+	b.Run("full-rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			fx.fullRebuild(b)
+		}
+	})
+}
+
+// TestRepatchBaselineRecordsWin is check (a): the committed baseline
+// must document both ≥3x incremental wins. It guards the file against
+// a quiet regeneration that papers over a regression.
+func TestRepatchBaselineRecordsWin(t *testing.T) {
+	base := loadRepatchBaseline(t)
+	if base.Workload.Program != "bps" || base.Workload.Monitors != repatchMonitors {
+		t.Fatalf("baseline workload drifted: %+v", base.Workload)
+	}
+	full, ok := base.Benchmarks[repatchBenchFull]
+	if !ok {
+		t.Fatalf("%s lacks benchmark %s", repatchBenchFile, repatchBenchFull)
+	}
+	for _, name := range []string{repatchBenchInc, repatchBenchRw} {
+		inc, ok := base.Benchmarks[name]
+		if !ok {
+			t.Fatalf("%s lacks benchmark %s", repatchBenchFile, name)
+		}
+		if float64(inc.NsOp)*repatchWin > float64(full.NsOp) {
+			t.Errorf("recorded %s %d ns/op is not >=%.0fx faster than %s %d ns/op",
+				name, inc.NsOp, repatchWin, repatchBenchFull, full.NsOp)
+		}
+	}
+}
+
+// TestRepatchBenchGate is check (b): re-measure all three paths and
+// hold the live ratios and the incremental paths' committed numbers.
+func TestRepatchBenchGate(t *testing.T) {
+	regen := os.Getenv("EDB_REGEN_REPATCH_BENCH") != ""
+	if os.Getenv("EDB_REPATCH_BENCH") == "" && !regen {
+		t.Skip("set EDB_REPATCH_BENCH=1 (make repatch-gate) to run the re-patch latency gate")
+	}
+	slack := 0.25
+	if s := os.Getenv("EDB_REPATCH_BENCH_SLACK"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("EDB_REPATCH_BENCH_SLACK: %v", err)
+		}
+		slack = v
+	}
+	fx := repatchGateSetup(t)
+
+	// Soundness pre-flight: after a full watch-set cycle and a rewrite
+	// toggle the live image must still verify, and the engine's books
+	// must balance — speed of an unsound engine is worth nothing.
+	fx.incrementalWatchset(t)
+	fx.incrementalRewrite(t)
+	if vs := fx.img.Verify(); len(vs) > 0 {
+		t.Fatalf("live image fails verification after the gate ops: %v", vs[0])
+	}
+	if st := fx.img.Stats; st.Installs != st.Removes {
+		t.Fatalf("unbalanced engine books after the toggle cycle: %+v", st)
+	}
+
+	measure := func(op func(testing.TB)) (ns, allocs int64) {
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for j := 0; j < b.N; j++ {
+					op(b)
+				}
+			})
+			if i == 0 || r.NsPerOp() < ns {
+				ns = r.NsPerOp()
+			}
+			allocs = r.AllocsPerOp()
+		}
+		return ns, allocs
+	}
+	incns, incallocs := measure(func(tb testing.TB) { fx.incrementalWatchset(tb) })
+	rwns, rwallocs := measure(func(tb testing.TB) { fx.incrementalRewrite(tb) })
+	fullns, fullallocs := measure(func(tb testing.TB) { fx.fullRebuild(tb) })
+	t.Logf("%s: %d ns/op (%d allocs/op)", repatchBenchInc, incns, incallocs)
+	t.Logf("%s: %d ns/op (%d allocs/op)", repatchBenchRw, rwns, rwallocs)
+	t.Logf("%s: %d ns/op (%d allocs/op)", repatchBenchFull, fullns, fullallocs)
+
+	if regen {
+		var base repatchBaseline
+		base.Workload.Program = fx.prog.Name
+		base.Workload.Monitors = repatchMonitors
+		base.Benchmarks = map[string]struct {
+			NsOp     int64 `json:"ns_op"`
+			AllocsOp int64 `json:"allocs_op"`
+		}{
+			repatchBenchInc:  {NsOp: incns, AllocsOp: incallocs},
+			repatchBenchRw:   {NsOp: rwns, AllocsOp: rwallocs},
+			repatchBenchFull: {NsOp: fullns, AllocsOp: fullallocs},
+		}
+		data, err := json.MarshalIndent(&base, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(repatchBenchFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s", repatchBenchFile)
+		return
+	}
+
+	base := loadRepatchBaseline(t)
+	for _, g := range []struct {
+		name string
+		ns   int64
+	}{{repatchBenchInc, incns}, {repatchBenchRw, rwns}} {
+		if float64(g.ns)*repatchWin > float64(fullns) {
+			t.Errorf("%s %d ns/op is not >=%.0fx faster than full rebuild %d ns/op",
+				g.name, g.ns, repatchWin, fullns)
+		}
+		want, ok := base.Benchmarks[g.name]
+		if !ok {
+			t.Fatalf("%s has no entry %q", repatchBenchFile, g.name)
+		}
+		if limit := float64(want.NsOp) * (1 + slack); float64(g.ns) > limit {
+			t.Errorf("%s: %d ns/op exceeds baseline %d by more than %.0f%%",
+				g.name, g.ns, want.NsOp, slack*100)
+		}
+	}
+	_ = fullallocs
+}
